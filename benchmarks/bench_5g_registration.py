@@ -1,0 +1,126 @@
+"""XTRA-5G — registration latency under the 5G core.
+
+The paper's architecture is generation-agnostic; this bench repeats the
+Fig 7 experiment over a 5G standalone core.  The baseline pays **two**
+visited↔home round trips (AUSF/UDM vector fetch + the home-controlled
+RES* confirmation); CellBricks pays one broker round trip — so its
+relative win should *exceed* the 4G numbers at every remote placement.
+"""
+
+from conftest import print_header
+
+from repro.analysis.stats import mean
+from repro.core import Brokerd, UeSapCredentials
+from repro.core.btelco5g import CellBricksAmf, CellBricksUe5G
+from repro.crypto import CertificateAuthority
+from repro.crypto.keypool import pooled_keypair
+from repro.fivegc import Amf, Ausf, Gnb, Smf, Udm, Ue5G, make_supi
+from repro.fivegc.topology5g import (
+    AMF_ADDRESS,
+    AUSF_ADDRESS,
+    BROKER_ADDRESS,
+    GNB_ADDRESS,
+    SMF_ADDRESS,
+    Topology5G,
+    UDM_ADDRESS,
+)
+from repro.lte.aka import UsimState
+from repro.net import Simulator
+
+PLACEMENT_ORDER = ("local", "us-west-1", "us-east-1")
+K = bytes(range(16))
+
+# The corresponding 4G results for comparison (paper Fig 7).
+FOURG_GAIN = {"us-west-1": 0.14, "us-east-1": 0.408}
+
+
+def _register_many(arch: str, placement: str, trials: int) -> float:
+    """Mean registration latency (ms) over repeated register cycles."""
+    sim = Simulator()
+    topo = Topology5G.build(sim, placement)
+    if arch == "BL":
+        home_key = pooled_keypair(830)
+        udm = Udm(topo.udm_host, home_network_key=home_key)
+        Ausf(topo.ausf_host, udm_ip=UDM_ADDRESS)
+        Smf(topo.smf_host)
+        amf = Amf(topo.amf_host, ausf_ip=AUSF_ADDRESS, smf_ip=SMF_ADDRESS)
+        Gnb(topo.gnb_host, agw_ip=AMF_ADDRESS)
+        supi = make_supi(3)
+        udm.provision(supi, K)
+
+        def fresh_ue():
+            return Ue5G(topo.ue_host, GNB_ADDRESS, supi, UsimState(
+                k=K, highest_sqn=udm.subscribers[str(supi)].sqn),
+                home_key.public_key, serving_network=amf.serving_network,
+                name=f"ue-{sim.now}")
+    else:
+        ca = CertificateAuthority(key=pooled_keypair(831))
+        brokerd = Brokerd(topo.broker_host, id_b="b5g",
+                          ca_public_key=ca.public_key,
+                          key=pooled_keypair(832))
+        telco_key = pooled_keypair(833)
+        cert = ca.issue("t5g", "btelco", telco_key.public_key)
+        Smf(topo.smf_host)
+        amf = CellBricksAmf(topo.amf_host, broker_ip=BROKER_ADDRESS,
+                            smf_ip=SMF_ADDRESS, id_t="t5g", key=telco_key,
+                            certificate=cert, ca_public_key=ca.public_key)
+        amf.trust_broker("b5g", brokerd.public_key)
+        Gnb(topo.gnb_host, agw_ip=AMF_ADDRESS)
+        ue_key = pooled_keypair(834)
+        brokerd.enroll_subscriber("bench5g", ue_key.public_key)
+        credentials = UeSapCredentials(
+            id_u="bench5g", id_b="b5g", ue_key=ue_key,
+            broker_public_key=brokerd.public_key)
+
+        def fresh_ue():
+            return CellBricksUe5G(topo.ue_host, GNB_ADDRESS, credentials,
+                                  target_id_t="t5g",
+                                  name=f"ue-{sim.now}")
+
+    latencies = []
+    for trial in range(trials):
+        ue = fresh_ue()
+        results = []
+        ue.on_registration_done = results.append
+        ue.register()
+        sim.run(until=sim.now + 1.0)
+        assert results and results[0].success, \
+            f"{arch}/{placement}: {results and results[0].cause}"
+        latencies.append(results[0].latency * 1000)
+        ue.socket.close()
+    return mean(latencies)
+
+
+def _sweep(trials: int):
+    table = {}
+    for placement in PLACEMENT_ORDER:
+        for arch in ("BL", "CB"):
+            table[(arch, placement)] = _register_many(arch, placement,
+                                                      trials)
+    return table
+
+
+def test_5g_registration_latency(benchmark, scale):
+    trials = max(3, int(20 * scale))
+    table = benchmark.pedantic(_sweep, args=(trials,), rounds=1,
+                               iterations=1)
+
+    print_header(f"XTRA-5G - registration latency ({trials} trials)")
+    print(f"{'placement':11s} {'5G BL':>9s} {'5G CB':>9s} {'CB gain':>9s} "
+          f"{'4G gain':>9s}")
+    for placement in PLACEMENT_ORDER:
+        bl = table[("BL", placement)]
+        cb = table[("CB", placement)]
+        gain = (bl - cb) / bl
+        fourg = FOURG_GAIN.get(placement)
+        print(f"{placement:11s} {bl:8.2f}m {cb:8.2f}m {gain * 100:8.1f}% "
+              f"{fourg * 100 if fourg else float('nan'):8.1f}%")
+
+    # Shapes: CB wins at remote placements, and by MORE than it does in
+    # 4G (two home RTTs replaced instead of two DB RTs with one cheaper).
+    for placement, fourg_gain in FOURG_GAIN.items():
+        bl = table[("BL", placement)]
+        cb = table[("CB", placement)]
+        gain = (bl - cb) / bl
+        assert gain > 0.8 * fourg_gain
+    assert abs(table[("BL", "local")] - table[("CB", "local")]) < 8.0

@@ -1,0 +1,98 @@
+"""XTRA-BILL — verifiable-billing ablation (§4.3 / Fig 5 design).
+
+The paper's prototype defers the reputation system; this bench evaluates
+the design it describes: how reliably the broker's cross-check detects a
+dishonest bTelco as a function of the over-count factor and the tolerance
+ratio epsilon, and how the reputation score responds over time.
+"""
+
+import random
+
+from conftest import print_header
+
+from repro.core.billing import (
+    BillingVerifier,
+    REPORTER_BTELCO,
+    REPORTER_UE,
+    TrafficReport,
+    make_upload,
+)
+from repro.core.qos import QosInfo
+from repro.core.sap import SapGrant
+from repro.crypto.keypool import pooled_keypair
+
+FRAUD_FACTORS = (1.0, 1.05, 1.10, 1.25, 1.5, 2.0)
+EPSILONS = (0.02, 0.05, 0.10)
+REPORTS_PER_RUN = 30
+
+
+def _detection_rate(fraud: float, epsilon: float, seed: int = 0) -> float:
+    """Fraction of report pairs flagged when the bTelco inflates DL usage
+    by ``fraud`` under honest-UE reporting with mild radio loss."""
+    rng = random.Random(seed)
+    broker_key = pooled_keypair(910)
+    ue_key = pooled_keypair(911)
+    telco_key = pooled_keypair(912)
+    verifier = BillingVerifier(broker_key=broker_key, epsilon=epsilon)
+    grant = SapGrant(id_u="u", id_u_opaque="anon", id_t="t",
+                     session_id="s", ss=b"s" * 32, qos_info=QosInfo(),
+                     granted_at=0.0, expires_at=1e9)
+    verifier.open_session(grant, ue_public_key=ue_key.public_key,
+                          btelco_public_key=telco_key.public_key)
+    for seq in range(REPORTS_PER_RUN):
+        true_dl = rng.randint(500_000, 5_000_000)
+        loss = rng.uniform(0.0, 0.02)
+        ue_report = TrafficReport(
+            session_id="s", seq=seq, interval_start=seq * 30.0,
+            interval_end=(seq + 1) * 30.0, ul_bytes=true_dl // 10,
+            dl_bytes=int(true_dl * (1 - loss)), dl_loss_rate=loss)
+        t_report = TrafficReport(
+            session_id="s", seq=seq, interval_start=seq * 30.0,
+            interval_end=(seq + 1) * 30.0, ul_bytes=true_dl // 10,
+            dl_bytes=int(true_dl * fraud))
+        verifier.ingest(make_upload(ue_report, REPORTER_UE, ue_key,
+                                    broker_key.public_key), now=seq * 30.0)
+        verifier.ingest(make_upload(t_report, REPORTER_BTELCO, telco_key,
+                                    broker_key.public_key), now=seq * 30.0)
+    ledger = verifier.sessions["s"]
+    return ledger.mismatches / ledger.checked_pairs, verifier
+
+
+def _sweep():
+    table = {}
+    for epsilon in EPSILONS:
+        for fraud in FRAUD_FACTORS:
+            rate, verifier = _detection_rate(fraud, epsilon)
+            table[(epsilon, fraud)] = (
+                rate, verifier.reputation.btelco_score("t"),
+                verifier.reputation.btelco_acceptable("t"))
+    return table
+
+
+def test_billing_fraud_detection_sweep(benchmark):
+    table = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    print_header("XTRA-BILL - over-count detection rate and reputation")
+    print(f"{'epsilon':>8s} " + "".join(f"{f:>9.2f}x" for f in FRAUD_FACTORS))
+    for epsilon in EPSILONS:
+        row = f"{epsilon:>8.2f} "
+        for fraud in FRAUD_FACTORS:
+            rate, _, _ = table[(epsilon, fraud)]
+            row += f"{rate * 100:>9.0f}%"
+        print(row)
+    print("\nreputation score / admitted after 30 reports (epsilon=0.05):")
+    for fraud in FRAUD_FACTORS:
+        _, score, ok = table[(0.05, fraud)]
+        print(f"  {fraud:4.2f}x -> score {score:.3f} "
+              f"{'ADMITTED' if ok else 'BLOCKED'}")
+
+    # Shape: honest parties never flagged; large fraud always caught and
+    # eventually blocked; detection monotone in fraud, epsilon raises the
+    # detection threshold.
+    for epsilon in EPSILONS:
+        honest_rate, _, _ = table[(epsilon, 1.0)]
+        assert honest_rate == 0.0
+        big_rate, _, admitted = table[(epsilon, 2.0)]
+        assert big_rate == 1.0
+        assert not admitted
+    assert table[(0.02, 1.05)][0] >= table[(0.10, 1.05)][0]

@@ -1,0 +1,36 @@
+"""FIG10 — T-Mobile day vs night throughput (paper Fig 10, Appendix A).
+
+Two downtown drives with iperf: the day-time run is policed to ~1 Mbps;
+the night-time run follows the (high-variance) radio.  The paper reports
+day avg 1.03 Mbps (std 0.32, peak 1.75) vs night avg 14.95 Mbps (std
+8.94, peak 52.5) — a ~14.5x bimodal gap.
+"""
+
+from conftest import print_header
+
+from repro.emulation import run_figure10
+
+
+def _run(duration: float):
+    return run_figure10(duration=duration)
+
+
+def test_fig10_day_vs_night(benchmark, scale):
+    duration = max(120.0, 500.0 * scale)
+    result = benchmark.pedantic(_run, args=(duration,), rounds=1,
+                                iterations=1)
+
+    print_header(f"FIG 10 - day vs night downtown iperf ({duration:.0f}s)")
+    print(f"{'':8s} {'avg Mbps':>9s} {'std':>7s} {'peak':>7s}   paper")
+    print(f"{'day':8s} {result.day_avg:9.2f} {result.day_std:7.2f} "
+          f"{result.day_peak:7.2f}   1.03 / 0.32 / 1.75")
+    print(f"{'night':8s} {result.night_avg:9.2f} {result.night_std:7.2f} "
+          f"{result.night_peak:7.2f}   14.95 / 8.94 / 52.5")
+    ratio = result.night_avg / result.day_avg
+    print(f"night/day ratio: {ratio:.1f}x (paper: 14.5x)")
+
+    # Shape: strongly bimodal; night variance and peaks dwarf day's.
+    assert 8.0 < ratio < 25.0
+    assert result.night_std > 10 * result.day_std
+    assert result.night_peak > 2 * result.night_avg
+    assert result.day_peak < 3.5

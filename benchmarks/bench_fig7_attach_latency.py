@@ -1,0 +1,54 @@
+"""FIG7 — attachment latency breakdown (paper Fig 7, §6.1).
+
+Regenerates the six bars: {Magma baseline, CellBricks} x {local,
+us-west-1, us-east-1}, each split into AGW+Brokerd / eNB / UE / Other,
+averaged over repeated attach trials.
+
+Paper values (total ms): BL/CB = local ~28/~28, us-west-1 36.85/31.68
+(CB 14.0% faster), us-east-1 166.48/98.62 (CB 40.8% faster).
+"""
+
+from conftest import print_header
+
+from repro.testbed import run_figure7
+
+PAPER_TOTALS = {
+    ("BL", "us-west-1"): 36.85,
+    ("CB", "us-west-1"): 31.68,
+    ("BL", "us-east-1"): 166.48,
+    ("CB", "us-east-1"): 98.62,
+}
+
+
+def _run(trials: int):
+    return run_figure7(trials=trials)
+
+
+def test_fig7_attach_latency(benchmark, scale):
+    trials = max(5, int(100 * scale))
+    results = benchmark.pedantic(_run, args=(trials,), rounds=1, iterations=1)
+
+    print_header(f"FIG 7 - attachment latency breakdown ({trials} trials)")
+    print(f"{'placement':11s} {'arch':4s} {'total':>8s} {'agw+brokerd':>12s} "
+          f"{'enb':>6s} {'ue':>6s} {'other':>8s} {'paper':>8s}")
+    by_key = {}
+    for result in results:
+        paper = PAPER_TOTALS.get((result.arch, result.placement))
+        by_key[(result.arch, result.placement)] = result.total_ms
+        print(f"{result.placement:11s} {result.arch:4s} "
+              f"{result.total_ms:8.2f} {result.agw_brokerd_ms:12.2f} "
+              f"{result.enb_ms:6.2f} {result.ue_ms:6.2f} "
+              f"{result.other_ms:8.2f} "
+              f"{paper if paper else float('nan'):8.2f}")
+
+    for placement, paper_gain in (("us-west-1", 14.0), ("us-east-1", 40.8)):
+        bl = by_key[("BL", placement)]
+        cb = by_key[("CB", placement)]
+        gain = (bl - cb) / bl * 100
+        print(f"CB vs BL at {placement}: {gain:.1f}% faster "
+              f"(paper: {paper_gain}%)")
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert by_key[("CB", "us-west-1")] < by_key[("BL", "us-west-1")]
+    assert by_key[("CB", "us-east-1")] < 0.7 * by_key[("BL", "us-east-1")]
+    assert abs(by_key[("CB", "local")] - by_key[("BL", "local")]) < 3.0

@@ -1,0 +1,45 @@
+"""FIG8 — iperf throughput around a handover (paper Fig 8).
+
+MNO (TCP, IP preserved) vs emulated CellBricks (MPTCP, IP change with the
+default 500 ms wait), day-time conditions, 1-second bins over a 50 s run
+with a handover near second 23.
+
+Paper shape: MPTCP drops near zero at the handover (the 500 ms wait),
+ramps back via slow-start, briefly overshoots the TCP flow, then both
+track each other.
+"""
+
+from conftest import print_header
+
+from repro.analysis.stats import mean
+from repro.emulation import run_figure8
+
+
+def _run():
+    return run_figure8()
+
+
+def test_fig8_handover_timeline(benchmark, scale):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("FIG 8 - throughput timeline around a handover (day)")
+    print(f"handover at t={result.handover_at:.1f}s")
+    print(f"{'bin':>9s} {'MNO Mbps':>9s} {'CB Mbps':>9s}")
+    for t, mno, cb in zip(result.timestamps, result.mno_mbps,
+                          result.cb_mbps):
+        marker = "  <- handover" if t - 1 <= result.handover_at < t else ""
+        print(f"[{t - 1:3.0f},{t:3.0f}) {mno:9.2f} {cb:9.2f}{marker}")
+
+    ho_bin = int(result.handover_at)
+    steady_cb = mean(result.cb_mbps[5:ho_bin - 1])
+    dip = result.cb_mbps[ho_bin]
+    post = max(result.cb_mbps[ho_bin + 1:ho_bin + 4])
+    tail_mno = mean(result.mno_mbps[ho_bin + 6:])
+    tail_cb = mean(result.cb_mbps[ho_bin + 6:])
+    print(f"\nsteady {steady_cb:.2f}, dip {dip:.2f}, "
+          f"post-handover peak {post:.2f}, tails mno {tail_mno:.2f} / "
+          f"cb {tail_cb:.2f}")
+
+    assert dip < 0.7 * steady_cb          # visible dip at the handover
+    assert post > 1.1 * steady_cb         # the overshoot spike
+    assert abs(tail_cb - tail_mno) < 0.35 * tail_mno  # re-convergence

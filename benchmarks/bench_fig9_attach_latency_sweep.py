@@ -1,0 +1,52 @@
+"""FIG9 — impact of attachment latency on post-handover iperf (paper Fig 9).
+
+Factor analysis: MPTCP modified to drop the 500 ms address-worker wait is
+run with attachment latency d = 32, 64, 128 ms, plus the unmodified stack,
+at night (so the rate limiter doesn't mask the effect).  Each series is the
+MPTCP/TCP throughput ratio over the n seconds after each handover,
+n = 1..9.
+
+Paper shapes: smaller d is better; the modified stack beats the
+unmodified one at small n; without the wait, CellBricks exceeds the TCP
+baseline by ~10-30% in the first seconds (slow-start) and converges
+toward ~100% by ~9 s.
+"""
+
+from conftest import print_header
+
+from repro.emulation import run_figure9
+
+
+def _run(duration: float):
+    return run_figure9(duration=duration)
+
+
+def test_fig9_attach_latency_sweep(benchmark, scale):
+    duration = max(120.0, 240.0 * scale)
+    result = benchmark.pedantic(_run, args=(duration,), rounds=1,
+                                iterations=1)
+
+    print_header(
+        f"FIG 9 - relative perf vs elapsed time since handover "
+        f"(night, {duration:.0f}s per variant)")
+    header = "elapsed(s) " + "".join(f"{name:>12s}"
+                                     for name in result.series)
+    print(header)
+    for i, window in enumerate(result.windows):
+        row = f"{window:>9d}  " + "".join(
+            f"{series[i]:>11.1f}%" for series in result.series.values())
+        print(row)
+    print("\npaper: mod-32ms ~7-8% above mod-64ms at 2s; all converge to "
+          "~100% by 9s; unmod. lowest early")
+
+    mod32 = result.series["mod. 32ms"]
+    mod128 = result.series["mod. 128ms"]
+    unmod = result.series["unmod."]
+
+    # Smaller d wins early.
+    assert mod32[1] > mod128[1]
+    # The modified stack beats the unmodified one early on.
+    assert mod32[0] > unmod[0]
+    # Everyone converges toward the TCP baseline by the last window.
+    for series in result.series.values():
+        assert 80.0 < series[-1] < 125.0

@@ -1,0 +1,142 @@
+"""XTRA-RAN — geometry-driven drives and cell-selection ablation (§4.2).
+
+Two studies on the geometric RAN model:
+
+1. **Emergent MTTHO**: drives through corridor deployments whose
+   inter-site distance / speed mirror the paper's three routes produce
+   mean-time-to-handover in the same regime Table 1 measured — i.e. the
+   calibrated stochastic schedules used elsewhere are geometrically
+   plausible.
+2. **Selection ablation**: the paper argues UE-driven handover "can
+   perform smarter cell selection based on the list of neighbor cells
+   learned from the network" and benefits from standard damping; we sweep
+   hysteresis / time-to-trigger and the neighbor-list restriction and
+   report handover counts (ping-pong suppression) and end-to-end iperf
+   throughput over the geometry-driven emulation.
+"""
+
+import random
+
+from conftest import print_header
+
+from repro.analysis.stats import mean
+from repro.emulation import ARCH_CELLBRICKS, ARCH_MNO
+from repro.emulation.geo import GeoPairedEmulation
+from repro.net import Simulator
+from repro.ran import corridor_deployment, simulate_drive, straight_drive
+
+# Route geometry mirroring the paper's three environments: denser sites,
+# slower movement, and deeper shadowing downtown; sparse fast highway;
+# open (mild-shadowing) suburb.
+ROUTE_GEOMETRY = {
+    #           length,  ISD, speed, shadow sigma, paper night MTTHO
+    "suburb": (12000, 1400, 13.0, 4.0, 65.60),
+    "downtown": (8000, 900, 9.0, 7.0, 50.60),
+    "highway": (24000, 1500, 31.0, 5.0, 25.50),
+}
+
+ABLATIONS = (
+    ("no damping", dict(hysteresis_db=0.0, time_to_trigger_s=0.0)),
+    ("A3 default", dict(hysteresis_db=3.0, time_to_trigger_s=0.64)),
+    ("A3 + neighbor list", dict(hysteresis_db=3.0, time_to_trigger_s=0.64,
+                                use_neighbor_list=True)),
+    ("heavy damping", dict(hysteresis_db=6.0, time_to_trigger_s=1.28)),
+)
+
+
+def _drive(route: str, seed: int = 21, **selection):
+    length, isd, speed, sigma, _ = ROUTE_GEOMETRY[route]
+    deployment = corridor_deployment(
+        length, isd, operators=("bt-a", "bt-b", "bt-c"),
+        shadowing_sigma_db=sigma, rng=random.Random(seed))
+    return simulate_drive(deployment, straight_drive(length, speed),
+                          seed=seed, **selection)
+
+
+MTTHO_SEEDS = (21, 22, 23, 24)
+
+
+def _mttho_study():
+    """Average the per-drive MTTHO over several drive realizations (a
+    single drive's handover count is small, so one seed is noisy)."""
+    rows = []
+    for route, (_, isd, speed, _, paper) in ROUTE_GEOMETRY.items():
+        logs = [_drive(route, seed=seed) for seed in MTTHO_SEEDS]
+        mttho = mean([log.mttho for log in logs])
+        op_switches = sum(log.operator_switches for log in logs)
+        handovers = sum(log.handover_count for log in logs)
+        rows.append((route, isd, speed, mttho, paper,
+                     op_switches, handovers))
+    return rows
+
+
+def test_ran_emergent_mttho(benchmark):
+    rows = benchmark.pedantic(_mttho_study, rounds=1, iterations=1)
+
+    print_header("XTRA-RAN (1) - emergent MTTHO from geometry")
+    print(f"{'route':9s} {'ISD(m)':>7s} {'speed':>6s} {'MTTHO':>8s} "
+          f"{'paper':>7s} {'op-switch/handover':>19s}")
+    for route, isd, speed, mttho, paper, op_switches, handovers in rows:
+        print(f"{route:9s} {isd:7.0f} {speed:6.1f} {mttho:8.1f} "
+              f"{paper:7.1f} {op_switches:9d}/{handovers:<9d}")
+
+    by_route = {r[0]: r for r in rows}
+    # Shape: highway crosses towers much faster than the suburb; every
+    # MTTHO lands within a factor ~2 of the paper's measurement for its
+    # route.  (Downtown and highway can swap under shadowing noise, as
+    # the paper's own day/night MTTHOs also overlap across routes.)
+    assert by_route["highway"][3] < by_route["suburb"][3]
+    for route, _, _, mttho, paper, op_switches, handovers in rows:
+        assert 0.4 * paper < mttho < 2.5 * paper
+        # Multi-operator corridors: most switches cross operators.
+        assert op_switches >= handovers * 0.4
+
+
+EMULATED_SECONDS = 150.0   # emulate the first 150 s of each drive
+
+
+def _ablation_study():
+    from repro.emulation import EmulationConfig
+
+    results = []
+    for name, selection in ABLATIONS:
+        log = _drive("downtown", **selection)
+        sim = Simulator()
+        config = EmulationConfig(route="downtown", time_of_day="night",
+                                 duration=EMULATED_SECONDS, seed=3,
+                                 handovers=False)
+        # Scale the clean geometric capacity down to loaded-cell levels
+        # so wall-clock stays sane and numbers are night-like.
+        emulation = GeoPairedEmulation(sim, log, config=config,
+                                       capacity_scale=0.45, seed=3)
+        duration = emulation.config.duration
+        stats = emulation.run_iperf()
+        handovers_in_window = sum(1 for h in log.handovers
+                                  if h.at < EMULATED_SECONDS)
+        results.append((
+            name, log.handover_count, handovers_in_window,
+            stats[ARCH_MNO].average_mbps(duration),
+            stats[ARCH_CELLBRICKS].average_mbps(duration)))
+    return results
+
+
+def test_ran_selection_ablation(benchmark):
+    results = benchmark.pedantic(_ablation_study, rounds=1, iterations=1)
+
+    print_header("XTRA-RAN (2) - cell-selection ablation (downtown drive)")
+    print(f"{'policy':22s} {'handovers':>9s} {'in-window':>9s} "
+          f"{'MNO Mbps':>9s} {'CB Mbps':>9s} {'CB cost':>8s}")
+    for name, handovers, in_window, mno, cb in results:
+        cost = (mno - cb) / mno * 100 if mno else 0.0
+        print(f"{name:22s} {handovers:9d} {in_window:9d} {mno:9.2f} "
+              f"{cb:9.2f} {cost:7.2f}%")
+
+    by_name = dict((r[0], r) for r in results)
+    # Damping suppresses ping-pong...
+    assert by_name["A3 default"][1] < by_name["no damping"][1]
+    assert by_name["heavy damping"][1] <= by_name["A3 default"][1]
+    # ...and since every CellBricks handover is a detach/re-attach, fewer
+    # handovers means lower mobility cost for CB.
+    undamped_cost = by_name["no damping"][3] - by_name["no damping"][4]
+    damped_cost = by_name["A3 default"][3] - by_name["A3 default"][4]
+    assert damped_cost <= undamped_cost + 0.5

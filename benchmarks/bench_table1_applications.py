@@ -1,0 +1,57 @@
+"""T1 — application performance, MNO vs CellBricks (paper Table 1).
+
+Regenerates the full table: 3 routes x day/night, with MTTHO, ping p50,
+iperf throughput, VoIP MOS, HLS video quality level, and web page load
+time for both architectures, plus the overall slowdown row.
+
+Paper shapes that must hold: overall slowdown within about -1.6%..+3.1%;
+day throughput ~1.1-1.25 Mbps vs night ~11-17 Mbps; video least
+sensitive; highway MTTHO shortest.
+"""
+
+from conftest import print_header
+
+from repro.emulation import DAY, NIGHT, render_table1, run_table1
+from repro.emulation.driver import Table1Result
+
+PAPER_SLOWDOWN_BOUNDS = (-8.0, 8.0)   # generous envelope around -1.6..3.1
+
+
+def _run(duration_scale: float) -> Table1Result:
+    return run_table1(seed=1, duration_scale=duration_scale)
+
+
+def test_table1_applications(benchmark, scale):
+    result = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+
+    print_header(f"TABLE 1 - application performance (duration x{scale})")
+    print(render_table1(result))
+    print()
+    print("Paper reference rows (MNO vs CellBricks, D/N):")
+    print("  iperf Mbps : suburb 1.25/17.27 vs 1.20/16.85 | "
+          "downtown 1.14/16.54 vs 1.11/15.41 | highway 1.10/11.38 vs 1.11/12.42")
+    print("  VoIP MOS   : ~4.3-4.4 everywhere, CB within 0.1")
+    print("  video lvl  : day ~2.0, night ~4.9")
+    print("  web load s : day ~4.8-5.2, night ~1.8-1.9")
+    print("  overall slowdown: iperf 2.06/3.06, voip 1.15/0.92, "
+          "video 0.51/-0.20, web 2.60/-1.61 (%)")
+
+    for cell in result.cells:
+        mno_day = cell.iperf_mbps["mno"]
+        if cell.time_of_day == DAY:
+            assert 0.8 < mno_day < 1.6, f"day iperf off: {cell}"
+        else:
+            assert 8.0 < mno_day < 22.0, f"night iperf off: {cell}"
+        assert 3.5 < cell.voip_mos["mno"] <= 4.5
+        assert 3.5 < cell.voip_mos["cellbricks"] <= 4.5
+
+    for metric, lower_is_better in (("iperf_mbps", False),
+                                    ("voip_mos", False),
+                                    ("video_level", False),
+                                    ("web_load_s", True)):
+        for tod in (DAY, NIGHT):
+            slowdown = result.overall_slowdown(metric, tod,
+                                               lower_is_better=lower_is_better)
+            low, high = PAPER_SLOWDOWN_BOUNDS
+            assert low < slowdown < high, \
+                f"{metric}/{tod} slowdown {slowdown:.2f}% out of envelope"

@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure from the paper and prints
+the corresponding rows/series next to the paper's published values.  Set
+``REPRO_BENCH_SCALE`` (default 1.0) to shrink or grow run durations /
+trial counts, e.g. ``REPRO_BENCH_SCALE=0.3 pytest benchmarks/
+--benchmark-only`` for a quick pass.
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    try:
+        return max(0.05, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+@pytest.fixture()
+def scale() -> float:
+    return bench_scale()
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""A business day in the CellBricks economy (§3 step 2 + §4.3).
+
+One broker, two bTelcos, one subscriber moving between them.  For each
+session: both sides meter the traffic, reports cross the wire to
+brokerd, the broker cross-checks them, and at end-of-day each bTelco
+files a signed usage claim.  The settlement engine pays exactly the
+verified amounts, bills the subscriber at retail, and the broker keeps
+the margin.  One bTelco pads its claim by 60% — and gets paid the
+verified amount anyway, plus a dispute on its record.
+
+Run:  python examples/settlement_day.py
+"""
+
+from repro.core.mobility import MobilityManager, build_cellbricks_network
+from repro.core.settlement import SettlementEngine, make_claim
+from repro.net import Simulator
+
+SITES = ("metro-cell", "harbor-cell")
+SESSIONS = (
+    # (site, MB downlink, bTelco claim inflation)
+    ("metro-cell", 120, 1.0),
+    ("harbor-cell", 80, 1.6),    # harbor-cell pads its claim
+    ("metro-cell", 200, 1.0),
+)
+
+
+def main() -> None:
+    sim = Simulator()
+    network = build_cellbricks_network(sim, site_names=SITES,
+                                       subscriber_id="alice")
+    brokerd = network.brokerd
+    engine = SettlementEngine(brokerd.billing)
+    for site in network.sites.values():
+        engine.register_btelco(site.name, site.agw.key.public_key)
+
+    manager = MobilityManager(network)
+    claims = []
+
+    print("A day of metered sessions:\n")
+    for site_name, megabytes, inflation in SESSIONS:
+        if manager.ue is None:
+            manager.start(site_name)
+        else:
+            manager.switch_to(site_name)
+        sim.run(until=sim.now + 1.0)
+        agw = network.sites[site_name].agw
+        session_id = manager.ue.session_id
+        usage = megabytes * 1_000_000
+
+        # Both meters observe the traffic; reports cross the wire.
+        bearer = agw.spgw.bearer_for(agw.sessions[session_id].id_u_opaque)
+        bearer.usage.dl_bytes = usage
+        bearer.usage.ul_bytes = usage // 10
+        agw.upload_reports()
+        manager.ue.meter.record_dl(usage)
+        manager.ue.meter.record_ul(usage // 10)
+        brokerd.billing.ingest(manager.ue.meter.emit(sim.now), now=sim.now)
+        sim.run(until=sim.now + 0.5)
+
+        claims.append(make_claim(
+            session_id, site_name, int(usage * inflation),
+            usage // 10, agw.key))
+        print(f"  {site_name:12s} session {session_id.split(':')[1]}: "
+              f"{megabytes:4d} MB used"
+              f"{'  (will claim x%.1f)' % inflation if inflation > 1 else ''}")
+
+    print("\nEnd-of-day settlement:\n")
+    for claim in claims:
+        payment = engine.process_claim(claim)
+        flag = "  <- DISPUTED, paid verified amount only" \
+            if payment.disputed else ""
+        print(f"  {claim.id_t:12s} claimed ${payment.claimed:.4f} "
+              f"-> paid ${payment.paid:.4f}{flag}")
+
+    print("\nBalances:")
+    for site_name in SITES:
+        print(f"  {site_name:12s} earned  ${engine.btelco_balance(site_name):.4f}")
+    print(f"  {'alice':12s} owes    "
+          f"${engine.subscriber_statement('alice'):.4f}")
+    print(f"  {'broker':12s} margin  ${engine.broker_margin:.4f}")
+    print(f"\ndisputes on record: {engine.disputes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""CellBricks (SIGCOMM 2021) reproduction.
+
+"Democratizing Cellular Access with CellBricks" proposes a cellular
+architecture where users consume access on-demand from untrusted operators
+of any scale, with authentication/billing refactored between the end host
+and a broker (the SAP protocol), and mobility moved entirely into the host
+(MPTCP subflow replacement).
+
+Package map:
+
+* :mod:`repro.core`      — the CellBricks contribution: SAP, brokerd, the
+  bTelco AGW, verifiable billing, reputation, host-driven mobility.
+* :mod:`repro.lte`       — the legacy LTE substrate: EPS-AKA, NAS, S6a,
+  HSS, MME/AGW, eNodeB, UE (the baseline being compared against).
+* :mod:`repro.net`       — discrete-event network simulator: links, token
+  buckets, TCP (SACK), MPTCP, topologies.
+* :mod:`repro.crypto`    — stdlib-only RSA/PKI/AEAD/KDF substrate.
+* :mod:`repro.apps`      — ping / iperf / VoIP / HLS video / web workloads.
+* :mod:`repro.testbed`   — §6.1 attachment-latency benchmark (Fig 7).
+* :mod:`repro.emulation` — §6.2 drive emulation (Table 1, Fig 8-10).
+* :mod:`repro.analysis`  — statistics and the E-model MOS.
+
+Quickstart::
+
+    from repro.net import Simulator
+    from repro.core.mobility import build_cellbricks_network, MobilityManager
+
+    sim = Simulator()
+    network = build_cellbricks_network(sim)
+    manager = MobilityManager(network)
+    manager.start("btelco-a")
+    sim.run(until=1.0)
+    assert manager.ue.state == "ATTACHED"
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

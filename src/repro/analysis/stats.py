@@ -1,0 +1,72 @@
+"""Small statistics helpers shared by the benchmarks and harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    value = ordered[low] * (1 - frac) + ordered[high] * frac
+    # Clamp interpolation round-off back inside the sample range.
+    return min(max(value, ordered[0]), ordered[-1])
+
+
+def median(values: Sequence[float]) -> float:
+    """The 50th percentile."""
+    return percentile(values, 50)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def slowdown_percent(baseline: float, measured: float) -> float:
+    """The paper's 'Overall Perf. Slowdown' row: positive means the
+    measured system is worse than the baseline.
+
+    For higher-is-better metrics (throughput, MOS, quality level) call
+    with both values directly; for lower-is-better metrics (load time)
+    swap the arguments at the call site.
+    """
+    if baseline == 0:
+        return 0.0
+    return (baseline - measured) / baseline * 100.0
+
+
+def timeseries_rates(samples: Sequence[tuple], bin_seconds: float,
+                     duration: float) -> list:
+    """Convert (timestamp, nbytes) delivery events into per-bin Mbps."""
+    if bin_seconds <= 0:
+        raise ValueError("bin size must be positive")
+    bins = [0.0] * max(1, int(math.ceil(duration / bin_seconds)))
+    for timestamp, nbytes in samples:
+        index = int(timestamp / bin_seconds)
+        if 0 <= index < len(bins):
+            bins[index] += nbytes
+    return [total * 8 / bin_seconds / 1e6 for total in bins]

@@ -1,0 +1,72 @@
+"""Application workloads: the four app classes of the paper's Table 1.
+
+* :mod:`repro.apps.ping` — network latency benchmark,
+* :mod:`repro.apps.iperf` — bulk throughput,
+* :mod:`repro.apps.voip` — RTP voice with SIP re-INVITE mobility,
+* :mod:`repro.apps.video` — HLS adaptive-bitrate streaming,
+* :mod:`repro.apps.web` — page loading,
+
+all running over :mod:`repro.apps.transport`'s uniform TCP/MPTCP facade.
+"""
+
+from .fallback import RangeDownloadServer, RangeRestartDownloader
+from .iperf import IperfClient, IperfServer, IperfStats, IPERF_PORT
+from .ping import PingClient, PingServer, PingStats, PING_PORT
+from .transport import (
+    KIND_MPTCP,
+    KIND_QUIC,
+    KIND_TCP,
+    StreamClient,
+    StreamPeer,
+    StreamServer,
+)
+from .video import (
+    HlsPlayer,
+    HlsServer,
+    LEVEL_BITRATES,
+    PlaybackStats,
+    SEGMENT_SECONDS,
+    VIDEO_PORT,
+    segment_bytes,
+)
+from .voip import RtpStats, VoipCallee, VoipCaller, make_call
+from .web import (
+    PageLoadResult,
+    WEB_PORT,
+    WebClient,
+    WebServer,
+)
+
+__all__ = [
+    "HlsPlayer",
+    "HlsServer",
+    "IPERF_PORT",
+    "IperfClient",
+    "IperfServer",
+    "IperfStats",
+    "KIND_MPTCP",
+    "KIND_QUIC",
+    "KIND_TCP",
+    "LEVEL_BITRATES",
+    "PING_PORT",
+    "PageLoadResult",
+    "PingClient",
+    "PingServer",
+    "PingStats",
+    "PlaybackStats",
+    "RangeDownloadServer",
+    "RangeRestartDownloader",
+    "RtpStats",
+    "SEGMENT_SECONDS",
+    "StreamClient",
+    "StreamPeer",
+    "StreamServer",
+    "VIDEO_PORT",
+    "VoipCallee",
+    "VoipCaller",
+    "WEB_PORT",
+    "WebClient",
+    "WebServer",
+    "make_call",
+    "segment_bytes",
+]

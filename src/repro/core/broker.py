@@ -1,0 +1,107 @@
+"""brokerd — the broker service (deployed in Orc8r on AWS in the paper).
+
+A :class:`SignalingNode` wrapping :class:`~repro.core.sap.BrokerSap` with
+its SubscriberDB, plus the billing-verification pipeline of §4.3 (traffic
+report collection, cross-checking, reputation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto import PrivateKey, PublicKey, generate_keypair
+from repro.lte.signaling import SignalingNode
+from repro.net import Host
+
+from .billing import BillingVerifier, TrafficReportUpload
+from .messages import BrokerAuthRequest, BrokerAuthResponse
+from .qos import QosInfo
+from .reputation import ReputationSystem
+from .sap import BrokerSap, BrokerSubscriber, SapError
+
+# brokerd processing per authentication request (seconds): decrypt,
+# two verifies, two seals, two signs — the "Brokerd" share of Fig 7.
+AUTH_REQUEST_PROCESSING = 0.0046
+REPORT_PROCESSING = 0.0003
+
+
+class Brokerd(SignalingNode):
+    """The broker's network-facing daemon."""
+
+    processing_costs = {
+        BrokerAuthRequest: AUTH_REQUEST_PROCESSING,
+        TrafficReportUpload: REPORT_PROCESSING,
+    }
+
+    def __init__(self, host: Host, id_b: str, ca_public_key: PublicKey,
+                 key: Optional[PrivateKey] = None,
+                 name: str = "brokerd", session_ttl: float = 3600.0):
+        super().__init__(host, name)
+        self.id_b = id_b
+        self.key = key or generate_keypair()
+        self.sap = BrokerSap(id_b=id_b, key=self.key,
+                             ca_public_key=ca_public_key,
+                             session_ttl=session_ttl)
+        self.reputation = ReputationSystem()
+        self.billing = BillingVerifier(broker_key=self.key,
+                                       reputation=self.reputation)
+        self.sap.authorize_btelco = self._btelco_policy
+        self.requests_approved = 0
+        self.requests_denied = 0
+        self.on(BrokerAuthRequest, self._handle_auth_request)
+        self.on(TrafficReportUpload, self._handle_report)
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.key.public_key
+
+    # -- subscriber management ------------------------------------------------
+    def enroll_subscriber(self, id_u: str, public_key: PublicKey,
+                          qos_plan: Optional[QosInfo] = None) -> None:
+        self.sap.enroll(BrokerSubscriber(
+            id_u=id_u, public_key=public_key,
+            qos_plan=qos_plan or QosInfo()))
+
+    def revoke_subscriber(self, id_u: str) -> None:
+        self.sap.revoke(id_u)
+
+    def mandate_intercept(self, id_u: str) -> None:
+        """Place a subscriber under lawful intercept (legal process at
+        the broker — the bTelco only ever sees the session pseudonym)."""
+        self.sap.li_targets.add(id_u)
+
+    def lift_intercept(self, id_u: str) -> None:
+        self.sap.li_targets.discard(id_u)
+
+    # -- policy -------------------------------------------------------------------
+    def _btelco_policy(self, id_t: str) -> Optional[str]:
+        """Deny bTelcos whose reputation fell below threshold (§4.3)."""
+        if not self.reputation.btelco_acceptable(id_t):
+            return "reputation below threshold"
+        return None
+
+    # -- handlers --------------------------------------------------------------------
+    def _handle_auth_request(self, src_ip: str,
+                             request: BrokerAuthRequest) -> None:
+        try:
+            sealed_t, sealed_u, grant = self.sap.process_request(
+                request.auth_req_t, now=self.sim.now)
+        except SapError as exc:
+            self.requests_denied += 1
+            self.send(src_ip, BrokerAuthResponse(
+                approved=False, cause=str(exc),
+                reply_token=request.reply_token), size=96)
+            return
+        self.requests_approved += 1
+        self.billing.open_session(
+            grant,
+            ue_public_key=self.sap.subscribers[grant.id_u].public_key,
+            btelco_public_key=request.auth_req_t.t_certificate.public_key)
+        self.send(src_ip, BrokerAuthResponse(
+            approved=True, auth_resp_t=sealed_t, auth_resp_u=sealed_u,
+            reply_token=request.reply_token),
+            size=sealed_t.wire_size + sealed_u.wire_size + 64)
+
+    def _handle_report(self, src_ip: str,
+                       upload: TrafficReportUpload) -> None:
+        self.billing.ingest(upload, now=self.sim.now)

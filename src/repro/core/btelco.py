@@ -1,0 +1,252 @@
+"""The bTelco: a CellBricks-enabled access gateway.
+
+:class:`CellBricksAgw` subclasses the baseline :class:`repro.lte.Agw`
+exactly the way the prototype extends Magma's AGW (§5): new NAS messages
+and handlers for SAP, while the SMC / session-establishment machinery is
+inherited unmodified.  Key behavioural differences:
+
+* authentication goes UE -> bTelco -> broker -> bTelco -> UE in **one**
+  round-trip to the cloud (the baseline pays two: AIR + ULR);
+* there is **no** subscriber database lookup — the bTelco serves users it
+  has never seen, holding only the broker-signed authorization;
+* the UE is identified by an opaque per-session pseudonym, never an IMSI;
+* QoS parameters arrive from the broker (qosInfo) instead of a local
+  subscription profile.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.crypto import Certificate, PrivateKey, PublicKey
+from repro.lte import s6a
+from repro.lte.agw import Agw, UeContext
+from repro.lte.nas import (
+    NasMessage,
+    SapAttachChallenge,
+    SapAttachReject,
+    SapAttachRequest,
+)
+from repro.lte.security import SecurityContext
+from repro.net import Host
+
+from .billing import Meter, REPORTER_BTELCO
+from .intercept import LawfulInterceptFunction
+from .messages import BrokerAuthRequest, BrokerAuthResponse
+from .qos import QosCapabilities
+from .sap import AuthorizedSession, BtelcoSap, BtelcoSapConfig, SapError
+
+# CellBricks AGW processing costs (seconds).  The deltas vs the baseline
+# table come from SAP's crypto (sign authReqT; verify + decrypt authRespT)
+# replacing vector handling + the ULR leg; the sums reproduce Fig 7's
+# "AGW + Brokerd" bars.
+CELLBRICKS_COSTS = {
+    "sap_attach_request": 0.0053,
+    "broker_auth_response": 0.0055,
+    "smc_complete": 0.0046,     # includes immediate session establishment
+    "attach_complete": 0.0015,
+}
+
+
+class CellBricksAgw(Agw):
+    """A bTelco site: AGW with SAP in place of EPS-AKA + S6a."""
+
+    def __init__(self, host: Host, broker_ip: str, id_t: str,
+                 key: PrivateKey, certificate: Certificate,
+                 ca_public_key: PublicKey,
+                 qos_capabilities: Optional[QosCapabilities] = None,
+                 name: str = "btelco-agw",
+                 ue_pool_prefix: str = "10.128.0"):
+        # No SubscriberDB: the broker replaces it (hence the empty ip).
+        super().__init__(host, subscriber_db_ip="0.0.0.0", name=name,
+                         ue_pool_prefix=ue_pool_prefix)
+        self.broker_ip = broker_ip
+        #: multi-tenancy: requests route to the broker the UE names in
+        #: authReqU.idB ("a single bTelco cell site can support multiple
+        #: brokers", §3.1).  ``broker_ip`` is the single-broker fallback.
+        self.broker_endpoints: dict[str, str] = {}
+        self.sap = BtelcoSap(BtelcoSapConfig(
+            id_t=id_t, key=key, certificate=certificate,
+            qos_capabilities=qos_capabilities or QosCapabilities(),
+            ca_public_key=ca_public_key))
+        self.id_t = id_t
+        self.key = key
+        self.broker_public_keys: dict[str, PublicKey] = {}
+        self.sessions: dict[str, AuthorizedSession] = {}
+        self.session_brokers: dict[str, str] = {}   # session -> id_b
+        self.meters: dict[str, Meter] = {}
+        self.li = LawfulInterceptFunction(operator=id_t)
+        self._pending: dict[int, UeContext] = {}  # reply_token -> context
+        self._tokens = itertools.count(1)
+        self.expired_sessions = 0
+        self.sap_costs = dict(CELLBRICKS_COSTS)
+        self.on(BrokerAuthResponse, self._handle_broker_response)
+
+    # -- cost model overrides -------------------------------------------------
+    def nas_processing_cost(self, nas: NasMessage) -> float:
+        if isinstance(nas, SapAttachRequest):
+            return self.sap_costs["sap_attach_request"]
+        return super().nas_processing_cost(nas)
+
+    def processing_cost(self, message: object) -> float:
+        if isinstance(message, BrokerAuthResponse):
+            return self.sap_costs["broker_auth_response"]
+        from repro.lte.enodeb import S1UplinkNas
+        from repro.lte.nas import AttachComplete, SecurityModeComplete
+        if isinstance(message, S1UplinkNas):
+            if isinstance(message.nas, SecurityModeComplete):
+                return self.sap_costs["smc_complete"]
+            if isinstance(message.nas, AttachComplete):
+                return self.sap_costs["attach_complete"]
+        return super().processing_cost(message)
+
+    # -- broker trust bootstrap ---------------------------------------------------
+    def trust_broker(self, id_b: str, public_key: PublicKey,
+                     endpoint_ip: Optional[str] = None) -> None:
+        """Record a broker's public key (normally learned from its
+        CA-signed certificate on first contact) and, optionally, the
+        address its brokerd answers on."""
+        self.broker_public_keys[id_b] = public_key
+        if endpoint_ip is not None:
+            self.broker_endpoints[id_b] = endpoint_ip
+
+    def broker_endpoint(self, id_b: str) -> str:
+        """Where to send SAP requests for broker ``id_b``."""
+        return self.broker_endpoints.get(id_b, self.broker_ip)
+
+    # -- SAP flow --------------------------------------------------------------------
+    def handle_extension_nas(self, context: UeContext,
+                             nas: NasMessage) -> None:
+        if isinstance(nas, SapAttachRequest):
+            self._on_sap_attach_request(context, nas)
+
+    def _on_sap_attach_request(self, context: UeContext,
+                               request: SapAttachRequest) -> None:
+        context.state = "WAIT_BROKER"
+        context.attach_started_at = self.sim.now
+        context.broker_id = request.auth_req_u.id_b
+        auth_req_t = self.sap.augment_request(request.auth_req_u)
+        token = next(self._tokens)
+        self._pending[token] = context
+        wire = BrokerAuthRequest(auth_req_t=auth_req_t, reply_token=token)
+        self.send(self.broker_endpoint(request.auth_req_u.id_b), wire,
+                  size=auth_req_t.wire_size + 32)
+
+    def _handle_broker_response(self, src_ip: str,
+                                response: BrokerAuthResponse) -> None:
+        context = self._pending.pop(response.reply_token, None)
+        if context is None or context.state != "WAIT_BROKER":
+            return
+        if not response.approved:
+            self.attaches_rejected += 1
+            context.state = "REJECTED"
+            self.downlink(context, SapAttachReject(cause=response.cause))
+            return
+        broker_key = self.broker_public_keys.get(
+            getattr(context, "broker_id", ""))
+        if broker_key is None:
+            self.attaches_rejected += 1
+            context.state = "REJECTED"
+            self.downlink(context, SapAttachReject(cause="unknown broker"))
+            return
+        try:
+            session = self.sap.process_authorization(
+                response.auth_resp_t, broker_key,
+                broker_certificate=None, now=self.sim.now)
+        except SapError as exc:
+            self.attaches_rejected += 1
+            context.state = "REJECTED"
+            self.downlink(context, SapAttachReject(cause=str(exc)))
+            return
+        # The broker-issued ss becomes KASME; SMC proceeds as today.
+        context.subscriber_id = session.id_u_opaque
+        context.security = SecurityContext(kasme=session.ss)
+        context.subscription = s6a.SubscriptionData(
+            qci=session.qos_info.qci,
+            ambr_dl_bps=session.qos_info.ambr_dl_bps,
+            ambr_ul_bps=session.qos_info.ambr_ul_bps)
+        self.sessions[session.session_id] = session
+        self.session_brokers[session.session_id] = \
+            getattr(context, "broker_id", "")
+        context.sap_session = session
+        # Step 4: forward authRespU, then activate security.
+        self.downlink(context, SapAttachChallenge(
+            auth_resp_u=response.auth_resp_u))
+        context.state = "WAIT_SMC_COMPLETE"
+        self.send_smc(context)
+
+    def after_security_established(self, context: UeContext) -> None:
+        """No ULR: straight to session establishment (the Fig 7 win)."""
+        self.establish_session(context)
+        session = context.sap_session
+        if session is not None:
+            # The broker's authorization has a lifetime; serving past it
+            # would be unauthorized service.  Schedule enforcement.
+            delay = max(0.0, session.expires_at - self.sim.now)
+            self.sim.schedule(delay, self._expire_session,
+                              session.session_id, context.enb_ue_id)
+
+    def _expire_session(self, session_id: str, enb_ue_id: int) -> None:
+        """Authorization lifetime reached: network-initiated detach."""
+        context = self.contexts.get(enb_ue_id)
+        session = self.sessions.get(session_id)
+        if context is None or session is None:
+            return
+        if getattr(context.sap_session, "session_id", None) != session_id:
+            return  # the UE re-attached under a newer authorization
+        if context.state != "ATTACHED":
+            return
+        self.expired_sessions += 1
+        self.li.deactivate(session_id, self.sim.now)
+        self.meters.pop(session_id, None)
+        self.sessions.pop(session_id, None)
+        from repro.lte.enodeb import S1UeContextRelease
+        from repro.lte.nas import DetachRequest
+        self.downlink_protected(context, DetachRequest())
+        if context.bearer is not None and context.bearer.active:
+            self.spgw.delete_bearer(context.bearer.ebi)
+        context.state = "DETACHED"
+        self.send(context.enb_ip,
+                  S1UeContextRelease(enb_ue_id=context.enb_ue_id), size=32)
+        self.contexts.pop(context.enb_ue_id, None)
+
+    def _on_attach_complete(self, context: UeContext) -> None:
+        super()._on_attach_complete(context)
+        session = getattr(context, "sap_session", None)
+        if context.state == "ATTACHED" and session is not None:
+            broker_key = self.broker_public_keys.get(
+                getattr(context, "broker_id", ""))
+            if broker_key is not None:
+                self.meters[session.session_id] = Meter(
+                    session_id=session.session_id,
+                    reporter=REPORTER_BTELCO, key=self.key,
+                    broker_public_key=broker_key,
+                    session_started_at=self.sim.now)
+            if session.lawful_intercept:
+                # The broker mandated interception for this session; we
+                # advertised the capability, so activate it now.
+                self.li.activate(session.session_id, self.sim.now,
+                                 session.id_u_opaque)
+
+    # -- billing ------------------------------------------------------------------------
+    def upload_reports(self) -> int:
+        """Emit one traffic report per active session to the broker."""
+        sent = 0
+        for session_id, meter in self.meters.items():
+            bearer = self.spgw.bearer_for(
+                self.sessions[session_id].id_u_opaque)
+            if bearer is not None:
+                # Sync the meter with the PGW usage counters.
+                meter.dl_bytes = bearer.usage.dl_bytes
+                meter.ul_bytes = bearer.usage.ul_bytes
+                bearer.usage.dl_bytes = 0
+                bearer.usage.ul_bytes = 0
+            self.li.record_usage(session_id, self.sim.now,
+                                 meter.dl_bytes, meter.ul_bytes)
+            upload = meter.emit(self.sim.now)
+            destination = self.broker_endpoint(
+                self.session_brokers.get(session_id, ""))
+            self.send(destination, upload, size=upload.wire_size)
+            sent += 1
+        return sent

@@ -1,0 +1,160 @@
+"""CellBricks over 5G: SAP replacing 5G-AKA in the AMF and UE.
+
+The paper's architecture is generation-agnostic ("the cellular core —
+called EPC in LTE, or 5GC in 5G"); this module applies the identical SAP
+refactoring to the 5G control plane.  The baseline 5G registration pays
+*two* visited↔home round trips (AUSF/UDM authenticate + the RES*
+confirmation); SAP replaces both with one broker round trip, so the
+Fig 7-style win grows under 5G — quantified in the XTRA-5G benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.crypto import Certificate, PrivateKey, PublicKey
+from repro.fivegc import nas5g
+from repro.fivegc.nf import AMF_COSTS, Amf, UeContext5G
+from repro.fivegc.ue5g import Ue5G
+from repro.lte.agw import smc_mac
+from repro.lte.nas import NasMessage
+from repro.lte.security import SecurityContext
+from repro.net import Host
+
+from .messages import BrokerAuthRequest, BrokerAuthResponse
+from .qos import QosCapabilities
+from .sap import BtelcoSap, BtelcoSapConfig, SapError, UeSap, UeSapCredentials
+
+CB_AMF_COSTS = {
+    "sap_registration": 0.0055,
+    "broker_auth_response": 0.0057,
+}
+
+
+class CellBricksAmf(Amf):
+    """A 5G bTelco site: AMF with SAP, no AUSF/UDM dependency."""
+
+    def __init__(self, host: Host, broker_ip: str, smf_ip: str, id_t: str,
+                 key: PrivateKey, certificate: Certificate,
+                 ca_public_key: PublicKey,
+                 qos_capabilities: Optional[QosCapabilities] = None,
+                 name: str = "cb-amf"):
+        super().__init__(host, ausf_ip="0.0.0.0", smf_ip=smf_ip, name=name)
+        self.broker_ip = broker_ip
+        self.id_t = id_t
+        self.sap = BtelcoSap(BtelcoSapConfig(
+            id_t=id_t, key=key, certificate=certificate,
+            qos_capabilities=qos_capabilities or QosCapabilities(),
+            ca_public_key=ca_public_key))
+        self.broker_public_keys: dict[str, PublicKey] = {}
+        self._pending_sap: dict[int, UeContext5G] = {}
+        self._tokens = itertools.count(1)
+        self.on(BrokerAuthResponse, self._handle_broker_response)
+
+    def trust_broker(self, id_b: str, public_key: PublicKey) -> None:
+        self.broker_public_keys[id_b] = public_key
+
+    # -- cost model -------------------------------------------------------------
+    def nas_processing_cost(self, nas: NasMessage) -> float:
+        if isinstance(nas, nas5g.SapRegistrationRequest):
+            return CB_AMF_COSTS["sap_registration"]
+        return super().nas_processing_cost(nas)
+
+    def processing_cost(self, message: object) -> float:
+        if isinstance(message, BrokerAuthResponse):
+            return CB_AMF_COSTS["broker_auth_response"]
+        return super().processing_cost(message)
+
+    # -- SAP flow ------------------------------------------------------------------
+    def handle_extension_nas(self, context: UeContext5G,
+                             nas: NasMessage) -> None:
+        if isinstance(nas, nas5g.SapRegistrationRequest):
+            self._on_sap_registration(context, nas)
+
+    def _on_sap_registration(self, context: UeContext5G,
+                             request: nas5g.SapRegistrationRequest) -> None:
+        context.state = "WAIT_BROKER"
+        context.registration_started_at = self.sim.now
+        context.broker_id = request.auth_req_u.id_b
+        # Allocate the correlation id the inherited SMF plumbing keys on.
+        context.correlation = next(self._correlations)
+        self._by_correlation[context.correlation] = context.ran_ue_id
+        auth_req_t = self.sap.augment_request(request.auth_req_u)
+        token = next(self._tokens)
+        self._pending_sap[token] = context
+        self.send(self.broker_ip, BrokerAuthRequest(
+            auth_req_t=auth_req_t, reply_token=token),
+            size=auth_req_t.wire_size + 32)
+
+    def _handle_broker_response(self, src_ip: str,
+                                response: BrokerAuthResponse) -> None:
+        context = self._pending_sap.pop(response.reply_token, None)
+        if context is None or context.state != "WAIT_BROKER":
+            return
+        if not response.approved:
+            self.reject(context, response.cause)
+            return
+        broker_key = self.broker_public_keys.get(
+            getattr(context, "broker_id", ""))
+        if broker_key is None:
+            self.reject(context, "unknown broker")
+            return
+        try:
+            session = self.sap.process_authorization(
+                response.auth_resp_t, broker_key, None, now=self.sim.now)
+        except SapError as exc:
+            self.reject(context, str(exc))
+            return
+        context.supi = session.id_u_opaque   # pseudonym, never the SUPI
+        context.security = SecurityContext(kasme=session.ss)
+        context.sap_session = session
+        self.downlink(context, nas5g.SapRegistrationChallenge(
+            auth_resp_u=response.auth_resp_u))
+        context.state = "WAIT_SMC_COMPLETE"
+        security = context.security
+        self.downlink(context, nas5g.SecurityModeCommand5G(
+            enc_alg=security.enc_alg, int_alg=security.int_alg,
+            mac=smc_mac(security.k_nas_int, security.enc_alg,
+                        security.int_alg)))
+
+
+class CellBricksUe5G(Ue5G):
+    """5G UE running SAP instead of 5G-AKA."""
+
+    def __init__(self, host: Host, gnb_ip: str,
+                 credentials: UeSapCredentials, target_id_t: str,
+                 name: str = "cb-ue5g"):
+        super().__init__(host, gnb_ip, supi=None, usim=None,
+                         home_network_key=None,
+                         serving_network=target_id_t, name=name)
+        self.credentials = credentials
+        self.sap = UeSap(credentials)
+        self.target_id_t = target_id_t
+        self.session_id: Optional[str] = None
+        self.processing_costs = dict(Ue5G.processing_costs)
+        self.processing_costs[nas5g.SapRegistrationChallenge] = 0.0006
+        self.on(nas5g.SapRegistrationChallenge, self._on_sap_challenge)
+
+    def register(self) -> None:
+        if self.state not in ("DEREGISTERED", "REJECTED"):
+            raise RuntimeError(f"register() in state {self.state}")
+        self.state = "REGISTERING"
+        self._registration_started = self.sim.now
+        craft = 0.0016  # authReqU crafting: hybrid encrypt + sign
+        self.charge(craft)
+        self.sim.schedule(craft, self._send_registration)
+
+    def initial_request(self):
+        auth_req_u = self.sap.craft_request(self.target_id_t)
+        return nas5g.SapRegistrationRequest(auth_req_u=auth_req_u)
+
+    def _on_sap_challenge(self, src_ip: str,
+                          challenge: nas5g.SapRegistrationChallenge) -> None:
+        try:
+            response = self.sap.process_response(challenge.auth_resp_u)
+        except SapError as exc:
+            self._fail(str(exc))
+            return
+        self.session_id = response.session_id
+        self.security = SecurityContext(kasme=response.ss)

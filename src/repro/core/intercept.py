@@ -1,0 +1,86 @@
+"""Lawful intercept (§3 step 1, §4.1): negotiated in SAP, enforced at the
+bTelco.
+
+CellBricks decouples LI *policy* (the broker, under legal process, flags
+a subscriber) from *mechanism* (the serving bTelco mirrors session
+records to the authority's collection function).  SAP carries the
+negotiation: the bTelco advertises capability in ``qosCap``; the broker's
+``authRespT`` mandates interception for the session; a capable bTelco
+activates its :class:`LawfulInterceptFunction` — all without the bTelco
+ever learning the subscriber's real identity (the warrant is against the
+broker-side identity; the bTelco sees only the session pseudonym).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+EVENT_SESSION_START = "session-start"
+EVENT_SESSION_END = "session-end"
+EVENT_USAGE = "usage"
+
+
+@dataclass(frozen=True)
+class InterceptRecord:
+    """One X2-style intercept-related record."""
+
+    session_id: str
+    at: float
+    event: str
+    detail: dict
+
+
+@dataclass
+class LawfulInterceptFunction:
+    """The bTelco's LI delivery function.
+
+    Records are buffered per session and handed over to the authority's
+    collector via :meth:`deliver` (modeling the LEMF handover interface).
+    """
+
+    operator: str
+    _active: dict = field(default_factory=dict)    # session_id -> True
+    _buffers: dict = field(default_factory=dict)   # session_id -> [records]
+    delivered: list = field(default_factory=list)
+
+    def activate(self, session_id: str, at: float,
+                 id_u_opaque: str) -> None:
+        self._active[session_id] = True
+        self._buffers.setdefault(session_id, []).append(InterceptRecord(
+            session_id=session_id, at=at, event=EVENT_SESSION_START,
+            detail={"pseudonym": id_u_opaque, "operator": self.operator}))
+
+    def is_active(self, session_id: str) -> bool:
+        return self._active.get(session_id, False)
+
+    def record_usage(self, session_id: str, at: float,
+                     dl_bytes: int, ul_bytes: int) -> None:
+        if not self.is_active(session_id):
+            return
+        self._buffers[session_id].append(InterceptRecord(
+            session_id=session_id, at=at, event=EVENT_USAGE,
+            detail={"dl_bytes": dl_bytes, "ul_bytes": ul_bytes}))
+
+    def deactivate(self, session_id: str, at: float) -> None:
+        if not self.is_active(session_id):
+            return
+        self._buffers[session_id].append(InterceptRecord(
+            session_id=session_id, at=at, event=EVENT_SESSION_END,
+            detail={}))
+        self._active[session_id] = False
+
+    def deliver(self, session_id: Optional[str] = None) -> list:
+        """Hand buffered records to the authority (and clear them)."""
+        if session_id is not None:
+            records = self._buffers.pop(session_id, [])
+        else:
+            records = [record for buffer in self._buffers.values()
+                       for record in buffer]
+            self._buffers.clear()
+        self.delivered.extend(records)
+        return records
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for active in self._active.values() if active)

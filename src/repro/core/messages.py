@@ -1,0 +1,241 @@
+"""SAP wire messages (Fig 2 / Fig 3 of the paper).
+
+All payloads that cross trust boundaries are canonically serialized
+(sorted-key JSON over hex-encoded byte fields) so signatures are
+well-defined, then encrypted to the recipient's public key and signed by
+the sender.  Field names follow the paper: ``authVec``, ``authReqU``,
+``authReqT``, ``authRespT``, ``authRespU``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.crypto import Certificate, PrivateKey, PublicKey
+
+from .qos import QosCapabilities, QosInfo
+
+NONCE_SIZE = 16
+
+
+class MessageError(Exception):
+    """Raised when a SAP message fails to parse or validate."""
+
+
+def _canonical(obj: dict) -> bytes:
+    return json.dumps(obj, sort_keys=True).encode()
+
+
+def _parse(raw: bytes) -> dict:
+    try:
+        return json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MessageError(f"malformed SAP payload: {exc}") from exc
+
+
+# -- authVec -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AuthVec:
+    """The plaintext authentication vector (idU, idB, idT, n).
+
+    Only the broker can read it — the UE encrypts it under pkB, so the
+    bTelco never sees idU (no IMSI catching).
+    """
+
+    id_u: str
+    id_b: str
+    id_t: str
+    nonce: bytes
+
+    def to_bytes(self) -> bytes:
+        return _canonical({"idU": self.id_u, "idB": self.id_b,
+                           "idT": self.id_t, "n": self.nonce.hex()})
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "AuthVec":
+        data = _parse(raw)
+        try:
+            return cls(id_u=data["idU"], id_b=data["idB"], id_t=data["idT"],
+                       nonce=bytes.fromhex(data["n"]))
+        except (KeyError, ValueError) as exc:
+            raise MessageError(f"bad authVec: {exc}") from exc
+
+
+# -- authReqU ------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AuthReqU:
+    """UE -> bTelco: (sig_authvec, authVec*, idB)."""
+
+    sig_authvec: bytes        # Sign_skU(authVec*)
+    auth_vec_encrypted: bytes  # Enc_pkB(authVec)
+    id_b: str                 # routable broker identifier
+
+    @property
+    def wire_size(self) -> int:
+        return (len(self.sig_authvec) + len(self.auth_vec_encrypted)
+                + len(self.id_b) + 16)
+
+
+# -- authReqT -------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AuthReqT:
+    """bTelco -> broker: the UE request augmented with the bTelco's
+    identity, certificate, service parameters, and signature."""
+
+    auth_req_u: AuthReqU
+    id_t: str
+    qos_cap: QosCapabilities
+    t_certificate: Certificate
+    sig_t: bytes               # Sign_skT over the augmented request
+    lawful_intercept: bool = False
+
+    def signed_bytes(self) -> bytes:
+        return signed_bytes_for_auth_req_t(
+            self.auth_req_u, self.id_t, self.qos_cap, self.lawful_intercept)
+
+    @property
+    def wire_size(self) -> int:
+        return self.auth_req_u.wire_size + len(self.sig_t) + 420
+
+
+def signed_bytes_for_auth_req_t(auth_req_u: AuthReqU, id_t: str,
+                                qos_cap: QosCapabilities,
+                                lawful_intercept: bool) -> bytes:
+    return _canonical({
+        "authReqU.sig": auth_req_u.sig_authvec.hex(),
+        "authReqU.vec": auth_req_u.auth_vec_encrypted.hex(),
+        "authReqU.idB": auth_req_u.id_b,
+        "idT": id_t,
+        "qosCap": {
+            "qcis": list(qos_cap.supported_qcis),
+            "dl": qos_cap.max_ambr_dl_bps,
+            "ul": qos_cap.max_ambr_ul_bps,
+            "li": qos_cap.supports_lawful_intercept,
+        },
+        "li": lawful_intercept,
+    })
+
+
+# -- broker responses -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class AuthRespT:
+    """Broker -> bTelco plaintext: (idU_opaque, idT, ss, qosInfo).
+
+    ``id_u_opaque`` is a broker-scoped pseudonym, *not* the IMSI — the
+    bTelco gets a stable billing handle without learning the subscriber
+    identity.
+    """
+
+    id_u_opaque: str
+    id_t: str
+    ss: bytes                  # the shared secret -> KASME
+    qos_info: QosInfo
+    session_id: str
+    expires_at: float
+    #: broker-mandated lawful intercept for this session (negotiated via
+    #: qosCap.supports_lawful_intercept; see [4, 8, 36] in the paper).
+    lawful_intercept: bool = False
+
+    def to_bytes(self) -> bytes:
+        return _canonical({
+            "idU": self.id_u_opaque, "idT": self.id_t, "ss": self.ss.hex(),
+            "qos": {"qci": self.qos_info.qci,
+                    "dl": self.qos_info.ambr_dl_bps,
+                    "ul": self.qos_info.ambr_ul_bps,
+                    "arp": self.qos_info.arp_priority},
+            "sid": self.session_id, "exp": self.expires_at,
+            "li": self.lawful_intercept})
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "AuthRespT":
+        data = _parse(raw)
+        try:
+            qos = QosInfo(qci=data["qos"]["qci"],
+                          ambr_dl_bps=data["qos"]["dl"],
+                          ambr_ul_bps=data["qos"]["ul"],
+                          arp_priority=data["qos"]["arp"])
+            return cls(id_u_opaque=data["idU"], id_t=data["idT"],
+                       ss=bytes.fromhex(data["ss"]), qos_info=qos,
+                       session_id=data["sid"], expires_at=data["exp"],
+                       lawful_intercept=data.get("li", False))
+        except (KeyError, ValueError) as exc:
+            raise MessageError(f"bad authRespT: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class AuthRespU:
+    """Broker -> UE plaintext: (idU, idT, ss, n).
+
+    The echoed nonce proves freshness; the signature over the sealed blob
+    proves it came from the broker.
+    """
+
+    id_u: str
+    id_t: str
+    ss: bytes
+    nonce: bytes
+    session_id: str
+
+    def to_bytes(self) -> bytes:
+        return _canonical({"idU": self.id_u, "idT": self.id_t,
+                           "ss": self.ss.hex(), "n": self.nonce.hex(),
+                           "sid": self.session_id})
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "AuthRespU":
+        data = _parse(raw)
+        try:
+            return cls(id_u=data["idU"], id_t=data["idT"],
+                       ss=bytes.fromhex(data["ss"]),
+                       nonce=bytes.fromhex(data["n"]), session_id=data["sid"])
+        except (KeyError, ValueError) as exc:
+            raise MessageError(f"bad authRespU: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SealedResponse:
+    """A (ciphertext, signature) pair: Enc_pk_recipient(payload) signed by
+    the broker so the recipient can authenticate the source."""
+
+    blob: bytes
+    sig_b: bytes
+
+    def verify(self, broker_key: PublicKey) -> bool:
+        return broker_key.verify(self.blob, self.sig_b)
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.blob) + len(self.sig_b)
+
+
+def seal_and_sign(payload: bytes, recipient: PublicKey,
+                  broker_key: PrivateKey) -> SealedResponse:
+    """Encrypt ``payload`` to the recipient and sign the ciphertext."""
+    blob = recipient.encrypt(payload)
+    return SealedResponse(blob=blob, sig_b=broker_key.sign(blob))
+
+
+# -- signaling-plane envelopes (bTelco <-> broker transport) ----------------------
+
+@dataclass(frozen=True)
+class BrokerAuthRequest:
+    """bTelco -> brokerd transport message carrying authReqT."""
+
+    auth_req_t: AuthReqT
+    reply_token: int = 0
+
+
+@dataclass(frozen=True)
+class BrokerAuthResponse:
+    """brokerd -> bTelco: both sealed sub-responses, or a denial."""
+
+    approved: bool
+    auth_resp_t: object = None   # SealedResponse for the bTelco
+    auth_resp_u: object = None   # SealedResponse forwarded verbatim to the UE
+    cause: str = ""
+    reply_token: int = 0

@@ -1,0 +1,209 @@
+"""Host-driven mobility orchestration (§4.2) and full-network scenarios.
+
+CellBricks "essentially eliminates the concept of a handover: a user
+simply detaches from one cell tower and independently attaches to a new
+tower via the SAP protocol".  :class:`MobilityManager` implements that
+loop end to end:
+
+1. detach from the current bTelco (radio bearer torn down, IP
+   invalidated — which wakes the MPTCP path manager),
+2. run SAP against the new bTelco's AGW through its eNodeB,
+3. install the PGW-assigned address on the data plane (MPTCP then opens
+   the replacement subflow).
+
+:func:`build_cellbricks_network` assembles a complete multi-bTelco
+network — CA, broker, N bTelco sites, one UE — used by the integration
+tests and the marketplace example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.crypto import CertificateAuthority
+from repro.crypto.keypool import pooled_keypair
+from repro.lte import ENodeB
+from repro.net import CellularPath, Host, Link, Simulator
+
+from .broker import Brokerd
+from .btelco import CellBricksAgw
+from .qos import QosCapabilities
+from .sap import UeSapCredentials
+from .ue_agent import CellBricksUe
+
+SIGNALING_BANDWIDTH = 1e9
+
+
+@dataclass
+class BtelcoSite:
+    """One bTelco deployment: eNodeB + AGW (+ their hosts and prefix)."""
+
+    name: str
+    enb_host: Host
+    agw_host: Host
+    enb: ENodeB
+    agw: CellBricksAgw
+    pool_prefix: str
+
+    @property
+    def enb_address(self) -> str:
+        return self.enb_host.address
+
+
+@dataclass
+class CellBricksNetwork:
+    """Everything :func:`build_cellbricks_network` wires together."""
+
+    sim: Simulator
+    ca: CertificateAuthority
+    broker_host: Host
+    brokerd: Brokerd
+    sites: dict[str, BtelcoSite]
+    ue_host: Host
+    credentials: UeSapCredentials
+    data_path: Optional[CellularPath] = None
+
+
+def build_cellbricks_network(
+        sim: Simulator, site_names: tuple = ("btelco-a", "btelco-b"),
+        subscriber_id: str = "alice",
+        broker_id: str = "brokerd.example",
+        with_data_path: bool = False,
+        broker_link_delay: float = 0.0025,
+        seed: int = 7) -> CellBricksNetwork:
+    """Assemble a CA, a broker, N bTelco sites, and one enrolled UE.
+
+    Every bTelco gets a CA-signed certificate and its own UE address pool
+    (``10.<128+i>.0/24``); none of them knows the subscriber — only the
+    broker does.  The UE host is connected to every site's eNodeB (as if
+    all towers were in radio range) so tests can switch at will.
+    """
+    rng = random.Random(seed)
+    ca = CertificateAuthority(key=pooled_keypair(seed * 100))
+
+    broker_host = Host(sim, "broker-host", address="52.20.0.1")
+    brokerd = Brokerd(broker_host, id_b=broker_id,
+                      ca_public_key=ca.public_key,
+                      key=pooled_keypair(seed * 100 + 1))
+
+    ue_key = pooled_keypair(seed * 100 + 2)
+    credentials = UeSapCredentials(
+        id_u=subscriber_id, id_b=broker_id, ue_key=ue_key,
+        broker_public_key=brokerd.public_key)
+    brokerd.enroll_subscriber(subscriber_id, ue_key.public_key)
+
+    ue_host = Host(sim, "ue-host", address="10.250.0.2")
+
+    sites: dict[str, BtelcoSite] = {}
+    for index, name in enumerate(site_names):
+        enb_host = Host(sim, f"{name}-enb",
+                        address=f"10.25{index}.0.1")
+        agw_host = Host(sim, f"{name}-agw",
+                        address=f"10.24{index}.0.1")
+        key = pooled_keypair(seed * 100 + 3 + index)
+        certificate = ca.issue(name, "btelco", key.public_key)
+        agw = CellBricksAgw(
+            agw_host, broker_ip=broker_host.address, id_t=name,
+            key=key, certificate=certificate, ca_public_key=ca.public_key,
+            qos_capabilities=QosCapabilities(supported_qcis=(1, 8, 9)),
+            name=f"{name}-agw", ue_pool_prefix=f"10.{128 + index}.0")
+        agw.trust_broker(broker_id, brokerd.public_key)
+        enb = ENodeB(enb_host, agw_ip=agw_host.address, name=f"{name}-enb")
+
+        # Signaling links: UE <-> eNB, eNB <-> AGW, AGW <-> broker.
+        radio = Link(sim, f"{name}-sig-radio", ue_host, enb_host,
+                     bandwidth_bps=SIGNALING_BANDWIDTH, delay_s=0.0001)
+        backhaul = Link(sim, f"{name}-backhaul", enb_host, agw_host,
+                        bandwidth_bps=SIGNALING_BANDWIDTH, delay_s=0.00015)
+        broker_link = Link(sim, f"{name}-broker", agw_host, broker_host,
+                           bandwidth_bps=SIGNALING_BANDWIDTH,
+                           delay_s=broker_link_delay)
+        ue_host.add_route(enb_host.address.rsplit(".", 1)[0], radio)
+        enb_host.add_route(agw_host.address.rsplit(".", 1)[0], backhaul)
+        enb_host.add_route(ue_host.address.rsplit(".", 1)[0], radio)
+        agw_host.add_route(enb_host.address.rsplit(".", 1)[0], backhaul)
+        agw_host.add_route(broker_host.address.rsplit(".", 1)[0], broker_link)
+        broker_host.add_route(agw_host.address.rsplit(".", 1)[0], broker_link)
+
+        sites[name] = BtelcoSite(name=name, enb_host=enb_host,
+                                 agw_host=agw_host, enb=enb, agw=agw,
+                                 pool_prefix=f"10.{128 + index}.0")
+
+    data_path = None
+    if with_data_path:
+        data_path = CellularPath(sim, name="data", seed=seed)
+
+    return CellBricksNetwork(sim=sim, ca=ca, broker_host=broker_host,
+                             brokerd=brokerd, sites=sites, ue_host=ue_host,
+                             credentials=credentials, data_path=data_path)
+
+
+class MobilityManager:
+    """Drives the detach -> SAP attach -> address install loop for one UE.
+
+    The signaling UE host and the data-plane UE host may be the same host
+    or distinct ones (the paper's emulation separates them: real control
+    plane measured on the testbed, data plane emulated over T-Mobile).
+    """
+
+    def __init__(self, network: CellBricksNetwork,
+                 data_path: Optional[CellularPath] = None,
+                 detach_interruption: float = 0.05,
+                 enforce_qos: bool = False):
+        self.network = network
+        self.sim = network.sim
+        self.data_path = data_path or network.data_path
+        self.detach_interruption = detach_interruption
+        #: when True, the serving bTelco's PGW polices the UE's downlink
+        #: to the broker-assigned AMBR (the qosInfo enforcement of §4.1).
+        self.enforce_qos = enforce_qos
+        self.current_site: Optional[BtelcoSite] = None
+        self.ue: Optional[CellBricksUe] = None
+        self.attach_latencies: list[float] = []
+        self.switches = 0
+        #: fired with (site, result) after each successful attach
+        self.on_attached: Optional[Callable] = None
+
+    def start(self, site_name: str) -> None:
+        """Initial attach (no prior detach)."""
+        site = self.network.sites[site_name]
+        self.ue = CellBricksUe(self.network.ue_host, site.enb_address,
+                               self.network.credentials, target_id_t=site.name)
+        self.ue.on_attach_done = self._attach_done
+        self.current_site = site
+        self.ue.attach()
+
+    def switch_to(self, site_name: str) -> None:
+        """Host-driven 'handover': detach, SAP-attach to the new bTelco."""
+        if self.ue is None:
+            raise RuntimeError("call start() first")
+        site = self.network.sites[site_name]
+        self.switches += 1
+        if self.data_path is not None:
+            self.data_path.detach(interruption_s=self.detach_interruption)
+        # Courtesy switch-off detach towards the old bTelco (it frees the
+        # bearer immediately instead of waiting for session expiry).
+        self.ue.detach_and_forget()
+        self.ue.retarget(site.enb_address, site.name)
+        self.current_site = site
+        self.ue.attach()
+
+    def _attach_done(self, result) -> None:
+        if result.success:
+            self.attach_latencies.append(result.latency)
+            if self.data_path is not None:
+                self.data_path.install_ue_address(result.ue_ip)
+                if self.enforce_qos:
+                    self._apply_ambr(result.ue_ip)
+            if self.on_attached is not None:
+                self.on_attached(self.current_site, result)
+
+    def _apply_ambr(self, ue_ip: str) -> None:
+        """Install the bearer's AMBR as a PGW policer on the data plane."""
+        spgw = self.current_site.agw.spgw
+        for bearer in spgw.bearers.values():
+            if bearer.ue_ip == ue_ip and bearer.active:
+                self.data_path.set_shaper_rate(bearer.ambr_dl_bps)
+                return

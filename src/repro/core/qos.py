@@ -1,0 +1,75 @@
+"""QoS parameter negotiation (§4.1).
+
+CellBricks decouples QoS *policy* from *mechanism*: the bTelco advertises
+what it can enforce (:class:`QosCapabilities`, the ``qosCap`` field of
+authReqT) and the broker responds with the parameter values to apply
+(:class:`QosInfo`, carried in authRespT).  Parameters follow the 3GPP
+definitions (QCI classes, AMBR, ARP) so both sides speak a standardized
+vocabulary, as the paper proposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Standardized QCI characteristics (TS 23.203 Table 6.1.7): resource
+#: type, priority, packet delay budget (ms), packet error loss rate.
+QCI_TABLE = {
+    1: ("GBR", 2, 100, 1e-2),      # conversational voice
+    2: ("GBR", 4, 150, 1e-3),      # conversational video
+    5: ("Non-GBR", 1, 100, 1e-6),  # IMS signalling
+    6: ("Non-GBR", 6, 300, 1e-6),  # buffered video
+    7: ("Non-GBR", 7, 100, 1e-3),  # voice/video/interactive gaming
+    8: ("Non-GBR", 8, 300, 1e-6),  # TCP bulk (premium)
+    9: ("Non-GBR", 9, 300, 1e-6),  # TCP bulk (default)
+}
+
+
+class QosError(Exception):
+    """Raised when requested QoS cannot be satisfied by a capability set."""
+
+
+@dataclass(frozen=True)
+class QosCapabilities:
+    """What a bTelco can enforce — the ``qosCap`` SAP field."""
+
+    supported_qcis: tuple = (9,)
+    max_ambr_dl_bps: float = 100e6
+    max_ambr_ul_bps: float = 50e6
+    supports_lawful_intercept: bool = False
+
+    def can_satisfy(self, info: "QosInfo") -> bool:
+        return (info.qci in self.supported_qcis
+                and info.ambr_dl_bps <= self.max_ambr_dl_bps
+                and info.ambr_ul_bps <= self.max_ambr_ul_bps)
+
+
+@dataclass(frozen=True)
+class QosInfo:
+    """What the broker asks the bTelco to enforce — ``qosInfo``."""
+
+    qci: int = 9
+    ambr_dl_bps: float = 20e6
+    ambr_ul_bps: float = 10e6
+    arp_priority: int = 9
+
+    def __post_init__(self):
+        if self.qci not in QCI_TABLE:
+            raise QosError(f"unknown QCI {self.qci}")
+        if self.ambr_dl_bps <= 0 or self.ambr_ul_bps <= 0:
+            raise QosError("AMBR must be positive")
+        if not 1 <= self.arp_priority <= 15:
+            raise QosError("ARP priority must be 1..15")
+
+
+def select_qos(capabilities: QosCapabilities, desired: QosInfo) -> QosInfo:
+    """Broker-side selection: fit the subscriber's plan into the bTelco's
+    advertised capabilities (clamping AMBR, falling back to QCI 9)."""
+    qci = desired.qci if desired.qci in capabilities.supported_qcis else 9
+    if qci not in capabilities.supported_qcis:
+        raise QosError("bTelco supports none of the acceptable QCIs")
+    return QosInfo(
+        qci=qci,
+        ambr_dl_bps=min(desired.ambr_dl_bps, capabilities.max_ambr_dl_bps),
+        ambr_ul_bps=min(desired.ambr_ul_bps, capabilities.max_ambr_ul_bps),
+        arp_priority=desired.arp_priority)

@@ -1,0 +1,330 @@
+"""SAP — the Secure Attachment Protocol (§4.1, Fig 2 & Fig 3).
+
+Pure protocol logic, independent of the signaling transport: the
+procedures run at the UE (:class:`UeSap`), the bTelco
+(:class:`BtelcoSap`), and the broker (:class:`BrokerSap`).  The LTE-side
+components (:mod:`repro.core.ue_agent`, :mod:`repro.core.btelco`,
+:mod:`repro.core.broker`) drive these over NAS / the bTelco-broker
+channel.
+
+Security goals realized here (paper's requirements i-iii):
+
+* mutual authentication UE <-> broker — the UE proves itself via the
+  signature over the encrypted authVec; the broker proves itself via its
+  signature over authRespU carrying the UE's fresh nonce;
+* mutual authentication bTelco <-> broker — certificate-based, both ways;
+* authorization — authRespT, signed by the broker, is the bTelco's
+  irrefutable proof that serving this (pseudonymous) UE was authorized.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto import (
+    Certificate,
+    CertificateError,
+    CryptoError,
+    PrivateKey,
+    PublicKey,
+    validate_certificate,
+)
+
+from .messages import (
+    AuthReqT,
+    AuthReqU,
+    AuthRespT,
+    AuthRespU,
+    AuthVec,
+    MessageError,
+    NONCE_SIZE,
+    SealedResponse,
+    seal_and_sign,
+    signed_bytes_for_auth_req_t,
+)
+from .qos import QosCapabilities, QosInfo, select_qos
+
+SS_SIZE = 32  # shared secret = KASME master key
+
+
+class SapError(Exception):
+    """Raised when a SAP check fails (authentication, freshness, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# UE side (Fig 2)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class UeSapCredentials:
+    """What the SIM card stores: U's keypair and B's public key (§4.1:
+    "U only requires a small set of static parameters...  embedded in the
+    U's SIM card")."""
+
+    id_u: str
+    id_b: str
+    ue_key: PrivateKey
+    broker_public_key: PublicKey
+
+
+class UeSap:
+    """UE-side SAP procedures."""
+
+    def __init__(self, credentials: UeSapCredentials,
+                 rng_nonce: Optional[Callable[[], bytes]] = None):
+        self.credentials = credentials
+        self._nonce_source = rng_nonce or (lambda: secrets.token_bytes(NONCE_SIZE))
+        self._outstanding_nonce: Optional[bytes] = None
+        self._target_id_t: Optional[str] = None
+
+    def craft_request(self, id_t: str) -> AuthReqU:
+        """Steps 1-4 of Fig 2: build authReqU for bTelco ``id_t``."""
+        creds = self.credentials
+        nonce = self._nonce_source()
+        self._outstanding_nonce = nonce
+        self._target_id_t = id_t
+        auth_vec = AuthVec(id_u=creds.id_u, id_b=creds.id_b, id_t=id_t,
+                           nonce=nonce)
+        encrypted = creds.broker_public_key.encrypt(auth_vec.to_bytes())
+        signature = creds.ue_key.sign(encrypted)
+        return AuthReqU(sig_authvec=signature, auth_vec_encrypted=encrypted,
+                        id_b=creds.id_b)
+
+    def process_response(self, sealed: SealedResponse) -> AuthRespU:
+        """Steps 5-6 of Fig 2: authenticate B, recover ss, check freshness.
+
+        Raises :class:`SapError` on any failure.
+        """
+        creds = self.credentials
+        if not sealed.verify(creds.broker_public_key):
+            raise SapError("authRespU: broker signature invalid")
+        try:
+            payload = creds.ue_key.decrypt(sealed.blob)
+            response = AuthRespU.from_bytes(payload)
+        except (CryptoError, MessageError) as exc:
+            raise SapError(f"authRespU: {exc}") from exc
+        if self._outstanding_nonce is None \
+                or response.nonce != self._outstanding_nonce:
+            raise SapError("authRespU: nonce mismatch (replay?)")
+        if response.id_u != creds.id_u:
+            raise SapError("authRespU: wrong UE identity")
+        if response.id_t != self._target_id_t:
+            raise SapError("authRespU: wrong bTelco identity")
+        self._outstanding_nonce = None
+        return response
+
+
+# ---------------------------------------------------------------------------
+# bTelco side (Fig 3, top)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BtelcoSapConfig:
+    id_t: str
+    key: PrivateKey
+    certificate: Certificate
+    qos_capabilities: QosCapabilities = field(default_factory=QosCapabilities)
+    ca_public_key: Optional[PublicKey] = None  # to validate broker certs
+
+
+@dataclass
+class AuthorizedSession:
+    """What the bTelco retains after a successful SAP run."""
+
+    id_u_opaque: str
+    ss: bytes
+    qos_info: QosInfo
+    session_id: str
+    expires_at: float
+    authorization: SealedResponse  # irrefutable broker-signed proof
+    lawful_intercept: bool = False
+
+
+class BtelcoSap:
+    """bTelco-side SAP procedures."""
+
+    def __init__(self, config: BtelcoSapConfig):
+        self.config = config
+
+    def augment_request(self, auth_req_u: AuthReqU,
+                        lawful_intercept: bool = False) -> AuthReqT:
+        """Build authReqT: add identity, cert, qosCap; sign the result."""
+        cfg = self.config
+        to_sign = signed_bytes_for_auth_req_t(
+            auth_req_u, cfg.id_t, cfg.qos_capabilities, lawful_intercept)
+        return AuthReqT(auth_req_u=auth_req_u, id_t=cfg.id_t,
+                        qos_cap=cfg.qos_capabilities,
+                        t_certificate=cfg.certificate,
+                        sig_t=cfg.key.sign(to_sign),
+                        lawful_intercept=lawful_intercept)
+
+    def process_authorization(self, sealed: SealedResponse,
+                              broker_public_key: PublicKey,
+                              broker_certificate: Optional[Certificate],
+                              now: float) -> AuthorizedSession:
+        """Validate authRespT: authenticate B and extract (ss, qosInfo)."""
+        if broker_certificate is not None:
+            if self.config.ca_public_key is None:
+                raise SapError("no CA key configured to validate broker cert")
+            try:
+                validate_certificate(broker_certificate,
+                                     self.config.ca_public_key, now,
+                                     expected_role="broker")
+            except CertificateError as exc:
+                raise SapError(f"broker certificate invalid: {exc}") from exc
+            broker_public_key = broker_certificate.public_key
+        if not sealed.verify(broker_public_key):
+            raise SapError("authRespT: broker signature invalid")
+        try:
+            payload = self.config.key.decrypt(sealed.blob)
+            response = AuthRespT.from_bytes(payload)
+        except (CryptoError, MessageError) as exc:
+            raise SapError(f"authRespT: {exc}") from exc
+        if response.id_t != self.config.id_t:
+            raise SapError("authRespT: authorization is for a different bTelco")
+        if response.expires_at < now:
+            raise SapError("authRespT: authorization expired")
+        if not self.config.qos_capabilities.can_satisfy(response.qos_info):
+            raise SapError("authRespT: qosInfo exceeds advertised capability")
+        return AuthorizedSession(
+            id_u_opaque=response.id_u_opaque, ss=response.ss,
+            qos_info=response.qos_info, session_id=response.session_id,
+            expires_at=response.expires_at, authorization=sealed,
+            lawful_intercept=response.lawful_intercept)
+
+
+# ---------------------------------------------------------------------------
+# Broker side (Fig 3, bottom)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BrokerSubscriber:
+    """A subscriber record in the broker's SubscriberDB."""
+
+    id_u: str
+    public_key: PublicKey
+    qos_plan: QosInfo = field(default_factory=QosInfo)
+    suspended: bool = False
+
+
+@dataclass
+class SapGrant:
+    """The broker's bookkeeping for one approved attachment."""
+
+    id_u: str
+    id_u_opaque: str
+    id_t: str
+    session_id: str
+    ss: bytes
+    qos_info: QosInfo
+    granted_at: float
+    expires_at: float
+
+
+class BrokerSap:
+    """Broker-side SAP procedures: authenticate U and T, authorize, and
+    mint the two sealed responses."""
+
+    def __init__(self, id_b: str, key: PrivateKey,
+                 ca_public_key: PublicKey,
+                 session_ttl: float = 3600.0):
+        self.id_b = id_b
+        self.key = key
+        self.ca_public_key = ca_public_key
+        self.session_ttl = session_ttl
+        self.subscribers: dict[str, BrokerSubscriber] = {}
+        self.grants: dict[str, SapGrant] = {}   # session_id -> grant
+        #: subscribers under a lawful-intercept mandate (court orders).
+        self.li_targets: set[str] = set()
+        self._session_counter = 0
+        self._seen_nonces: set[bytes] = set()
+        #: policy hook: returns None to approve or a denial cause string.
+        self.authorize_btelco: Callable[[str], Optional[str]] = lambda id_t: None
+
+    # -- provisioning -----------------------------------------------------------
+    def enroll(self, subscriber: BrokerSubscriber) -> None:
+        self.subscribers[subscriber.id_u] = subscriber
+
+    def revoke(self, id_u: str) -> None:
+        """Revoke a UE's key by invalidating it in the database (§4.1)."""
+        if id_u in self.subscribers:
+            self.subscribers[id_u].suspended = True
+
+    # -- the handler of Fig 3 (bottom) --------------------------------------------
+    def process_request(self, request: AuthReqT, now: float
+                        ) -> tuple[SealedResponse, SealedResponse, SapGrant]:
+        """Authenticate U and T; authorize; return (authRespT, authRespU).
+
+        Raises :class:`SapError` with a denial cause on any failure.
+        """
+        # 1. Authenticate T: certificate chain + signature over the request.
+        try:
+            validate_certificate(request.t_certificate, self.ca_public_key,
+                                 now, expected_role="btelco")
+        except CertificateError as exc:
+            raise SapError(f"bTelco certificate invalid: {exc}") from exc
+        if request.t_certificate.subject != request.id_t:
+            raise SapError("bTelco identity does not match certificate")
+        if not request.t_certificate.public_key.verify(
+                request.signed_bytes(), request.sig_t):
+            raise SapError("authReqT: bTelco signature invalid")
+
+        # 2. Decrypt authVec and authenticate U.
+        try:
+            auth_vec = AuthVec.from_bytes(
+                self.key.decrypt(request.auth_req_u.auth_vec_encrypted))
+        except (CryptoError, MessageError) as exc:
+            raise SapError(f"authVec: {exc}") from exc
+        if auth_vec.id_b != self.id_b:
+            raise SapError("authVec addressed to a different broker")
+        if auth_vec.id_t != request.id_t:
+            raise SapError("authVec bTelco mismatch (relay attack?)")
+        subscriber = self.subscribers.get(auth_vec.id_u)
+        if subscriber is None:
+            raise SapError("unknown subscriber")
+        if subscriber.suspended:
+            raise SapError("subscriber suspended")
+        if not subscriber.public_key.verify(
+                request.auth_req_u.auth_vec_encrypted,
+                request.auth_req_u.sig_authvec):
+            raise SapError("authReqU: UE signature invalid")
+        if auth_vec.nonce in self._seen_nonces:
+            raise SapError("replayed nonce")
+        self._seen_nonces.add(auth_vec.nonce)
+
+        # 3. Authorization policy (profiles, reputation, ...).
+        cause = self.authorize_btelco(request.id_t)
+        if cause is not None:
+            raise SapError(f"bTelco not authorized: {cause}")
+        # 3b. Lawful intercept: a mandated subscriber may only be served
+        # by bTelcos that advertise LI capability (negotiated in SAP).
+        li_required = auth_vec.id_u in self.li_targets
+        if li_required and not request.qos_cap.supports_lawful_intercept:
+            raise SapError("lawful intercept required but unsupported")
+
+        # 4. Mint the session: shared secret, pseudonym, QoS selection.
+        ss = secrets.token_bytes(SS_SIZE)
+        self._session_counter += 1
+        session_id = f"{self.id_b}:{self._session_counter:08d}"
+        id_u_opaque = f"anon-{self.id_b}-{self._session_counter:08d}"
+        qos_info = select_qos(request.qos_cap, subscriber.qos_plan)
+        expires_at = now + self.session_ttl
+
+        resp_t = AuthRespT(id_u_opaque=id_u_opaque, id_t=request.id_t,
+                           ss=ss, qos_info=qos_info, session_id=session_id,
+                           expires_at=expires_at,
+                           lawful_intercept=li_required)
+        resp_u = AuthRespU(id_u=auth_vec.id_u, id_t=request.id_t, ss=ss,
+                           nonce=auth_vec.nonce, session_id=session_id)
+        sealed_t = seal_and_sign(resp_t.to_bytes(),
+                                 request.t_certificate.public_key, self.key)
+        sealed_u = seal_and_sign(resp_u.to_bytes(), subscriber.public_key,
+                                 self.key)
+        grant = SapGrant(id_u=auth_vec.id_u, id_u_opaque=id_u_opaque,
+                         id_t=request.id_t, session_id=session_id, ss=ss,
+                         qos_info=qos_info, granted_at=now,
+                         expires_at=expires_at)
+        self.grants[session_id] = grant
+        return sealed_t, sealed_u, grant

@@ -1,0 +1,96 @@
+"""The CellBricks UE: SAP instead of EPS-AKA (the srsUE extension).
+
+:class:`CellBricksUe` subclasses the baseline NAS stack; its initial
+message is a :class:`SapAttachRequest` carrying ``authReqU``, and the
+broker's ``authRespU`` (relayed by the bTelco) yields the shared secret
+that seeds the standard security context.  From the SMC onward the
+inherited baseline code runs unchanged — exactly the reuse story of §4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lte.nas import (
+    SapAttachChallenge,
+    SapAttachReject,
+    SapAttachRequest,
+)
+from repro.lte.security import SecurityContext
+from repro.lte.ue import UeNas
+from repro.net import Host
+
+from .billing import Meter, REPORTER_UE
+from .sap import SapError, UeSap, UeSapCredentials
+
+# CellBricks UE processing costs (seconds): crafting authReqU costs more
+# than a plain AttachRequest (hybrid encrypt + sign); the response check
+# is a verify + decrypt.  Sum ≈ 3.5 ms (Fig 7 "UE Proc." CB bars).
+CB_UE_COSTS = {
+    "craft_sap_request": 0.0015,
+    SapAttachChallenge: 0.0005,
+}
+
+
+class CellBricksUe(UeNas):
+    """UE attaching on-demand to untrusted bTelcos via its broker."""
+
+    def __init__(self, host: Host, enb_ip: str,
+                 credentials: UeSapCredentials, target_id_t: str,
+                 name: str = "cb-ue"):
+        super().__init__(host, enb_ip, imsi=credentials.id_u,
+                         usim=None, serving_network=target_id_t, name=name)
+        self.credentials = credentials
+        self.sap = UeSap(credentials)
+        self.target_id_t = target_id_t
+        self.session_id: Optional[str] = None
+        self.meter: Optional[Meter] = None
+        self.processing_costs = dict(UeNas.processing_costs)
+        self.processing_costs[SapAttachChallenge] = \
+            CB_UE_COSTS[SapAttachChallenge]
+        self.on(SapAttachChallenge, self._on_sap_challenge)
+        self.on(SapAttachReject, self._on_reject)
+
+    # -- attach ------------------------------------------------------------------
+    def attach(self) -> None:
+        """SAP attach: the latency clock starts here, as in §6.1."""
+        if self.state not in ("DEREGISTERED", "REJECTED"):
+            raise RuntimeError(f"attach() in state {self.state}")
+        self.state = "ATTACHING"
+        self.attach_started_at = self.sim.now
+        craft = CB_UE_COSTS["craft_sap_request"]
+        self.charge(craft)
+        self.sim.schedule(craft, self._send_attach_request)
+
+    def initial_request(self) -> SapAttachRequest:
+        auth_req_u = self.sap.craft_request(self.target_id_t)
+        return SapAttachRequest(auth_req_u=auth_req_u)
+
+    def retarget(self, enb_ip: str, id_t: str) -> None:
+        """Point the UE at a different bTelco (host-driven mobility)."""
+        self.enb_ip = enb_ip
+        self.target_id_t = id_t
+        self.serving_network = id_t
+
+    # -- SAP response -----------------------------------------------------------------
+    def _on_sap_challenge(self, src_ip: str,
+                          challenge: SapAttachChallenge) -> None:
+        try:
+            response = self.sap.process_response(challenge.auth_resp_u)
+        except SapError as exc:
+            self._fail(str(exc))
+            return
+        self.session_id = response.session_id
+        # ss becomes KASME (§4.1); the inherited SMC handler validates the
+        # bTelco's Security Mode Command against it.
+        self.security = SecurityContext(kasme=response.ss)
+
+    def _on_attach_accept(self, src_ip: str, accept) -> None:
+        super()._on_attach_accept(src_ip, accept)
+        if self.state == "ATTACHED" and self.session_id is not None:
+            # Baseband-embedded meter for verifiable billing (§4.3).
+            self.meter = Meter(
+                session_id=self.session_id, reporter=REPORTER_UE,
+                key=self.credentials.ue_key,
+                broker_public_key=self.credentials.broker_public_key,
+                session_started_at=self.sim.now)

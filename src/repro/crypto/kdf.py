@@ -1,0 +1,60 @@
+"""Key derivation functions.
+
+Two flavours are provided:
+
+* :func:`hkdf` — RFC 5869 HKDF over SHA-256, used by the SAP protocol to
+  derive session keys from the broker-issued shared secret ``ss``.
+* :func:`kdf_3gpp` — a 3GPP TS 33.401-style KDF (HMAC keyed by the parent
+  key over an FC-tagged parameter string), used by the LTE substrate to
+  derive the NAS/AS key hierarchy from KASME.
+"""
+
+from __future__ import annotations
+
+from .hashes import DIGEST_SIZE, hmac_sha256
+
+
+def hkdf_extract(salt: bytes, input_key_material: bytes) -> bytes:
+    """HKDF-Extract (RFC 5869 §2.2)."""
+    if not salt:
+        salt = b"\x00" * DIGEST_SIZE
+    return hmac_sha256(salt, input_key_material)
+
+
+def hkdf_expand(pseudo_random_key: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand (RFC 5869 §2.3)."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if length > 255 * DIGEST_SIZE:
+        raise ValueError("HKDF output too long")
+    blocks = bytearray()
+    previous = b""
+    counter = 1
+    while len(blocks) < length:
+        previous = hmac_sha256(pseudo_random_key, previous + info + bytes([counter]))
+        blocks += previous
+        counter += 1
+    return bytes(blocks[:length])
+
+
+def hkdf(input_key_material: bytes, salt: bytes = b"", info: bytes = b"",
+         length: int = DIGEST_SIZE) -> bytes:
+    """One-shot HKDF (extract-then-expand)."""
+    return hkdf_expand(hkdf_extract(salt, input_key_material), info, length)
+
+
+def kdf_3gpp(parent_key: bytes, fc: int, *parameters: bytes) -> bytes:
+    """3GPP TS 33.401 Annex A style key derivation.
+
+    The derivation string is ``FC || P0 || L0 || P1 || L1 || ...`` and the
+    output is ``HMAC-SHA256(parent_key, S)``, exactly the construction used
+    to derive K_NASenc, K_NASint, K_eNB, ... from KASME.
+    """
+    if not 0 <= fc <= 0xFF:
+        raise ValueError("FC must fit in one byte")
+    s = bytes([fc])
+    for param in parameters:
+        if len(param) > 0xFFFF:
+            raise ValueError("parameter too long")
+        s += param + len(param).to_bytes(2, "big")
+    return hmac_sha256(parent_key, s)

@@ -1,0 +1,32 @@
+"""A process-wide pool of pre-generated RSA keypairs.
+
+RSA key generation is by far the slowest operation in the reproduction
+(~0.5 s per 1024-bit key).  Simulated entities do not need *secret* keys —
+they need *distinct, functioning* keys — so scenario builders draw from
+this deterministic pool instead of generating fresh primes per entity.
+Every pool slot is generated once per process and reused.
+
+Never use this for anything outside a simulation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .rsa import PrivateKey, generate_keypair
+
+_POOL: dict[int, PrivateKey] = {}
+_POOL_SEED = 0x9E37_79B9
+
+
+def pooled_keypair(slot: int, bits: int = 1024) -> PrivateKey:
+    """Return the pool's keypair for ``slot`` (created on first use).
+
+    Distinct slots yield distinct keys; the same slot always yields the
+    same key within and across processes (seeded deterministically).
+    """
+    key = (slot, bits) if bits != 1024 else slot
+    if key not in _POOL:
+        _POOL[key] = generate_keypair(
+            bits=bits, rng=random.Random(_POOL_SEED + slot * 7919))
+    return _POOL[key]

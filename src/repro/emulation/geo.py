@@ -1,0 +1,57 @@
+"""Geometry-driven emulation: feed a RAN drive into the paired harness.
+
+Instead of the calibrated stochastic processes of
+:mod:`repro.emulation.radio`, handover times and the capacity trace come
+from an actual simulated drive through a cell deployment
+(:func:`repro.ran.simulate_drive`) — MTTHO and radio quality *emerge*
+from inter-site distance, speed, shadowing, and the UE's A3 selection.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.net import Simulator
+from repro.ran.selection import DriveLog
+
+from .radio import HANDOVER_GAP_RANGE, HandoverEvent
+from .scenario import EmulationConfig, PairedEmulation
+
+
+class GeoPairedEmulation(PairedEmulation):
+    """A paired MNO/CellBricks run whose radio follows a DriveLog."""
+
+    def __init__(self, sim: Simulator, drive: DriveLog,
+                 config: Optional[EmulationConfig] = None,
+                 capacity_scale: float = 1.0, seed: int = 1):
+        config = config or EmulationConfig(
+            route="downtown", time_of_day="night",
+            duration=drive.duration, seed=seed, handovers=False)
+        config.handovers = False
+        config.duration = min(config.duration, drive.duration)
+        super().__init__(sim, config)
+        self.drive = drive
+        self.capacity_scale = capacity_scale
+        rng = random.Random(seed)
+        self.handover_events = [
+            HandoverEvent(at=record.at, gap_s=rng.uniform(*HANDOVER_GAP_RANGE))
+            for record in drive.handovers
+            if record.at < config.duration]
+        self._trace = drive.capacity_trace(interval=1.0)
+
+    def start(self) -> None:
+        # Drive capacity from the geometric trace instead of the AR(1)
+        # process; handovers were installed from the drive log.
+        for second, capacity in enumerate(self._trace):
+            if second >= self.config.duration:
+                break
+            scaled = max(capacity * self.capacity_scale, 1.5e6)
+            self.sim.schedule_at(float(second) + 1e-9,
+                                 self._set_capacity, scaled)
+        for event in self.handover_events:
+            self.sim.schedule_at(event.at, self._apply_handover, event.gap_s)
+
+    def _set_capacity(self, capacity: float) -> None:
+        self.mno.set_radio_bandwidth(capacity)
+        self.cb.set_radio_bandwidth(capacity)

@@ -1,0 +1,64 @@
+"""5G standalone core substrate: SUCI, 5G-AKA, AMF/SMF/AUSF/UDM, gNB, UE.
+
+The same paper architecture over the 5G control plane: the baseline uses
+5G-AKA with home-network control (two visited-home round trips); the
+CellBricks variant (:mod:`repro.core.btelco5g`) swaps in SAP.  The gNB is
+the unmodified RAN relay (:class:`repro.lte.ENodeB`) — CellBricks touches
+no RAN in either generation.
+"""
+
+from . import nas5g
+from .aka5g import (
+    AuthVector5G,
+    derive_kamf,
+    derive_kausf,
+    derive_kseaf,
+    derive_res_star,
+    generate_5g_vector,
+    hres_star,
+    usim_authenticate_5g,
+)
+from .identifiers5g import (
+    Guti5G,
+    Suci,
+    SuciError,
+    Supi,
+    conceal,
+    deconceal,
+    make_supi,
+)
+from .nf import Amf, Ausf, Smf, Subscriber5G, Udm, UeContext5G
+from .ue5g import RegistrationResult, SessionResult, Ue5G
+
+#: the gNB is literally the same relay component — re-exported under its
+#: 5G name to make call sites read naturally.
+from repro.lte.enodeb import ENodeB as Gnb
+
+__all__ = [
+    "Amf",
+    "Ausf",
+    "AuthVector5G",
+    "Gnb",
+    "Guti5G",
+    "RegistrationResult",
+    "SessionResult",
+    "Smf",
+    "Subscriber5G",
+    "Suci",
+    "SuciError",
+    "Supi",
+    "Udm",
+    "Ue5G",
+    "UeContext5G",
+    "conceal",
+    "deconceal",
+    "derive_kamf",
+    "derive_kausf",
+    "derive_kseaf",
+    "derive_res_star",
+    "generate_5g_vector",
+    "hres_star",
+    "make_supi",
+    "nas5g",
+    "usim_authenticate_5g",
+]

@@ -1,0 +1,196 @@
+"""5G NAS messages (TS 24.501 subset) and SBI service messages.
+
+The 5G NAS types subclass the LTE :class:`~repro.lte.nas.NasMessage`
+marker so the same RAN relay (gNB = the eNodeB relay, unmodified — the
+CellBricks property) carries them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.lte.nas import MESSAGE_SIZES, NasMessage
+
+from .identifiers5g import Guti5G, Suci
+
+
+# -- NAS: registration ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class RegistrationRequest(NasMessage):
+    suci: Suci
+    requested_slice: str = "eMBB"
+
+
+@dataclass(frozen=True)
+class AuthenticationRequest5G(NasMessage):
+    rand: bytes
+    autn: bytes
+
+
+@dataclass(frozen=True)
+class AuthenticationResponse5G(NasMessage):
+    res_star: bytes
+
+
+@dataclass(frozen=True)
+class SecurityModeCommand5G(NasMessage):
+    enc_alg: int
+    int_alg: int
+    mac: bytes
+
+
+@dataclass(frozen=True)
+class SecurityModeComplete5G(NasMessage):
+    mac: bytes
+
+
+@dataclass(frozen=True)
+class RegistrationAccept(NasMessage):
+    guti: Guti5G
+
+
+@dataclass(frozen=True)
+class RegistrationComplete(NasMessage):
+    pass
+
+
+@dataclass(frozen=True)
+class RegistrationReject(NasMessage):
+    cause: str
+
+
+# -- NAS: PDU session -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class PduSessionEstablishmentRequest(NasMessage):
+    dnn: str = "internet"
+    session_id: int = 1
+
+
+@dataclass(frozen=True)
+class PduSessionEstablishmentAccept(NasMessage):
+    session_id: int
+    ue_ip: str
+    qfi: int                 # QoS flow identifier (5G's QCI analogue)
+    ambr_dl_bps: float
+    ambr_ul_bps: float
+
+
+@dataclass(frozen=True)
+class PduSessionEstablishmentReject(NasMessage):
+    session_id: int
+    cause: str
+
+
+# -- CellBricks extension NAS (SAP over 5G) -----------------------------------------
+
+@dataclass(frozen=True)
+class SapRegistrationRequest(NasMessage):
+    """SAP's authReqU carried in a 5G registration."""
+
+    auth_req_u: object
+    requested_slice: str = "eMBB"
+
+
+@dataclass(frozen=True)
+class SapRegistrationChallenge(NasMessage):
+    auth_resp_u: object
+
+
+# -- SBI (service-based interface) messages ------------------------------------------
+
+@dataclass(frozen=True)
+class SbiMessage:
+    """Marker for NF-to-NF service invocations."""
+
+
+@dataclass(frozen=True)
+class AusfAuthenticateRequest(SbiMessage):
+    """Namf -> Nausf: start UE authentication."""
+
+    suci: Suci
+    serving_network: str
+    correlation: int
+
+
+@dataclass(frozen=True)
+class AusfAuthenticateResponse(SbiMessage):
+    correlation: int
+    success: bool
+    rand: bytes = b""
+    autn: bytes = b""
+    hxres_star: bytes = b""
+    cause: str = ""
+
+
+@dataclass(frozen=True)
+class AusfConfirmRequest(SbiMessage):
+    """Namf -> Nausf: forward RES* for home-network confirmation."""
+
+    correlation: int
+    res_star: bytes
+
+
+@dataclass(frozen=True)
+class AusfConfirmResponse(SbiMessage):
+    correlation: int
+    success: bool
+    supi: str = ""
+    kseaf: bytes = b""
+    cause: str = ""
+
+
+@dataclass(frozen=True)
+class UdmAuthDataRequest(SbiMessage):
+    """Nausf -> Nudm: deconceal SUCI, produce a 5G vector."""
+
+    suci: Suci
+    serving_network: str
+    correlation: int
+
+
+@dataclass(frozen=True)
+class UdmAuthDataResponse(SbiMessage):
+    correlation: int
+    success: bool
+    supi: str = ""
+    vector: object = None
+    cause: str = ""
+
+
+@dataclass(frozen=True)
+class SmfCreateSessionRequest(SbiMessage):
+    subscriber: str
+    dnn: str
+    session_id: int
+    correlation: int
+
+
+@dataclass(frozen=True)
+class SmfCreateSessionResponse(SbiMessage):
+    correlation: int
+    success: bool
+    session_id: int = 0
+    ue_ip: str = ""
+    qfi: int = 9
+    ambr_dl_bps: float = 100e6
+    ambr_ul_bps: float = 50e6
+    cause: str = ""
+
+
+# Wire sizes for transport accounting.
+MESSAGE_SIZES.update({
+    RegistrationRequest: 420,          # SUCI ciphertext dominates
+    AuthenticationRequest5G: 72,
+    AuthenticationResponse5G: 36,
+    SecurityModeCommand5G: 28,
+    SecurityModeComplete5G: 20,
+    RegistrationAccept: 96,
+    RegistrationComplete: 16,
+    RegistrationReject: 24,
+    PduSessionEstablishmentRequest: 48,
+    PduSessionEstablishmentAccept: 120,
+    PduSessionEstablishmentReject: 32,
+    SapRegistrationRequest: 700,
+    SapRegistrationChallenge: 560,
+})

@@ -1,0 +1,415 @@
+"""5G core network functions: UDM, AUSF, SMF/UPF, AMF.
+
+The baseline 5G registration costs the visited network **two** round
+trips to the home side (authenticate via AUSF→UDM, then the RES*
+confirmation at the AUSF) before the local SMC and PDU-session steps —
+one more than 4G's AIR leg plus home-control semantics.  The CellBricks
+variant (:mod:`repro.core.btelco5g`) replaces all of it with one SAP
+round trip to the broker, so its relative win *grows* under 5G.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.crypto import PrivateKey
+from repro.lte.agw import smc_mac
+from repro.lte.bearer import SgwPgw
+from repro.lte.enodeb import S1DownlinkNas, S1UplinkNas
+from repro.lte.identifiers import Plmn, TEST_PLMN
+from repro.lte.nas import NasMessage, message_size
+from repro.lte.security import SecurityContext
+from repro.lte.signaling import SignalingNode
+from repro.net import Host
+
+from . import nas5g
+from .aka5g import derive_kamf, derive_kseaf, generate_5g_vector, hres_star
+from .identifiers5g import Guti5G, Suci, SuciError, Supi, deconceal
+
+# Processing-cost calibration (seconds).  The 5G control plane does more
+# per message than the 4G one (SBI serialization, token checks); totals
+# are chosen so the local registration latency lands in the mid-30s ms,
+# consistent with published open-source 5GC measurements.
+UDM_AUTH_PROCESSING = 0.0022
+AUSF_PROCESSING = 0.0016
+AUSF_CONFIRM_PROCESSING = 0.0012
+SMF_PROCESSING = 0.0028
+AMF_COSTS = {
+    "registration_request": 0.0036,
+    "auth_response": 0.0034,
+    "ausf_response": 0.0026,
+    "ausf_confirm": 0.0024,
+    "smc_complete": 0.0024,
+    "smf_response": 0.0020,
+    "pdu_request": 0.0022,
+    "registration_complete": 0.0015,
+}
+
+
+@dataclass
+class Subscriber5G:
+    supi: str
+    k: bytes
+    sqn: int = 0
+    barred: bool = False
+
+
+class Udm(SignalingNode):
+    """Unified Data Management (+ARPF): subscriber store, SUCI
+    deconcealment, 5G vector generation."""
+
+    processing_costs = {nas5g.UdmAuthDataRequest: UDM_AUTH_PROCESSING}
+
+    def __init__(self, host: Host, home_network_key: PrivateKey,
+                 name: str = "udm"):
+        super().__init__(host, name)
+        self.home_network_key = home_network_key
+        self.subscribers: dict[str, Subscriber5G] = {}
+        self.on(nas5g.UdmAuthDataRequest, self._handle_auth_data)
+
+    def provision(self, supi: Supi, k: bytes) -> Subscriber5G:
+        record = Subscriber5G(supi=str(supi), k=k)
+        self.subscribers[str(supi)] = record
+        return record
+
+    def _handle_auth_data(self, src_ip: str,
+                          request: nas5g.UdmAuthDataRequest) -> None:
+        try:
+            supi = deconceal(request.suci, self.home_network_key)
+        except SuciError as exc:
+            self.send(src_ip, nas5g.UdmAuthDataResponse(
+                correlation=request.correlation, success=False,
+                cause=str(exc)), size=96)
+            return
+        record = self.subscribers.get(str(supi))
+        if record is None or record.barred:
+            self.send(src_ip, nas5g.UdmAuthDataResponse(
+                correlation=request.correlation, success=False,
+                cause="unknown or barred SUPI"), size=96)
+            return
+        record.sqn += 1
+        vector = generate_5g_vector(record.k, record.sqn,
+                                    request.serving_network)
+        self.send(src_ip, nas5g.UdmAuthDataResponse(
+            correlation=request.correlation, success=True,
+            supi=str(supi), vector=vector), size=360)
+
+
+class Ausf(SignalingNode):
+    """Authentication Server Function: the home network's gatekeeper."""
+
+    processing_costs = {
+        nas5g.AusfAuthenticateRequest: AUSF_PROCESSING,
+        nas5g.UdmAuthDataResponse: AUSF_PROCESSING,
+        nas5g.AusfConfirmRequest: AUSF_CONFIRM_PROCESSING,
+    }
+
+    def __init__(self, host: Host, udm_ip: str, name: str = "ausf"):
+        super().__init__(host, name)
+        self.udm_ip = udm_ip
+        self._pending: dict[int, dict] = {}
+        self.on(nas5g.AusfAuthenticateRequest, self._handle_authenticate)
+        self.on(nas5g.UdmAuthDataResponse, self._handle_udm_response)
+        self.on(nas5g.AusfConfirmRequest, self._handle_confirm)
+
+    def _handle_authenticate(self, src_ip: str,
+                             request: nas5g.AusfAuthenticateRequest) -> None:
+        self._pending[request.correlation] = {
+            "amf_ip": src_ip,
+            "serving_network": request.serving_network,
+        }
+        self.send(self.udm_ip, nas5g.UdmAuthDataRequest(
+            suci=request.suci, serving_network=request.serving_network,
+            correlation=request.correlation), size=460)
+
+    def _handle_udm_response(self, src_ip: str,
+                             response: nas5g.UdmAuthDataResponse) -> None:
+        state = self._pending.get(response.correlation)
+        if state is None:
+            return
+        if not response.success:
+            self.send(state["amf_ip"], nas5g.AusfAuthenticateResponse(
+                correlation=response.correlation, success=False,
+                cause=response.cause), size=96)
+            del self._pending[response.correlation]
+            return
+        vector = response.vector
+        state["vector"] = vector
+        state["supi"] = response.supi
+        self.send(state["amf_ip"], nas5g.AusfAuthenticateResponse(
+            correlation=response.correlation, success=True,
+            rand=vector.rand, autn=vector.autn,
+            hxres_star=hres_star(vector.xres_star, vector.rand)), size=200)
+
+    def _handle_confirm(self, src_ip: str,
+                        request: nas5g.AusfConfirmRequest) -> None:
+        state = self._pending.pop(request.correlation, None)
+        if state is None or "vector" not in state:
+            self.send(src_ip, nas5g.AusfConfirmResponse(
+                correlation=request.correlation, success=False,
+                cause="unknown authentication context"), size=96)
+            return
+        vector = state["vector"]
+        if request.res_star != vector.xres_star:
+            self.send(src_ip, nas5g.AusfConfirmResponse(
+                correlation=request.correlation, success=False,
+                cause="RES* mismatch"), size=96)
+            return
+        kseaf = derive_kseaf(vector.kausf, state["serving_network"])
+        self.send(src_ip, nas5g.AusfConfirmResponse(
+            correlation=request.correlation, success=True,
+            supi=state["supi"], kseaf=kseaf), size=160)
+
+
+class Smf(SignalingNode):
+    """Session Management Function with an integrated UPF address pool."""
+
+    processing_costs = {nas5g.SmfCreateSessionRequest: SMF_PROCESSING}
+
+    def __init__(self, host: Host, name: str = "smf",
+                 ue_pool_prefix: str = "10.128.0"):
+        super().__init__(host, name)
+        self.upf = SgwPgw(pool_prefix=ue_pool_prefix)
+        self.on(nas5g.SmfCreateSessionRequest, self._handle_create)
+
+    def _handle_create(self, src_ip: str,
+                       request: nas5g.SmfCreateSessionRequest) -> None:
+        bearer = self.upf.create_default_bearer(
+            subscriber_id=request.subscriber, qci=9,
+            ambr_dl_bps=100e6, ambr_ul_bps=50e6, apn=request.dnn)
+        self.send(src_ip, nas5g.SmfCreateSessionResponse(
+            correlation=request.correlation, success=True,
+            session_id=request.session_id, ue_ip=bearer.ue_ip,
+            qfi=bearer.qci, ambr_dl_bps=bearer.ambr_dl_bps,
+            ambr_ul_bps=bearer.ambr_ul_bps), size=220)
+
+
+@dataclass
+class UeContext5G:
+    """Per-UE AMF registration state."""
+
+    ran_ue_id: int
+    ran_ip: str
+    state: str = "INITIAL"
+    suci: object = None
+    supi: Optional[str] = None
+    correlation: int = 0
+    rand: bytes = b""
+    hxres_star: bytes = b""
+    kseaf: bytes = b""
+    res_star: bytes = b""
+    pdu_session_id: int = 0
+    security: Optional[SecurityContext] = None
+    guti: Optional[Guti5G] = None
+    ue_ip: Optional[str] = None
+    registration_started_at: float = 0.0
+    broker_id: str = ""         # CellBricks: which broker authorized us
+    sap_session: object = None  # CellBricks: the authorized session
+
+
+class Amf(SignalingNode):
+    """Access and Mobility Function (+SEAF): the visited-network anchor.
+
+    Registration: SUCI in, AUSF/UDM round trip, challenge, HRES* local
+    check, AUSF confirmation round trip, SMC, accept.  Then PDU session
+    establishment against the (local) SMF.
+    """
+
+    def __init__(self, host: Host, ausf_ip: str, smf_ip: str,
+                 name: str = "amf", plmn: Plmn = TEST_PLMN):
+        super().__init__(host, name)
+        self.ausf_ip = ausf_ip
+        self.smf_ip = smf_ip
+        self.plmn = plmn
+        self.serving_network = f"5G:{plmn}"
+        self.contexts: dict[int, UeContext5G] = {}
+        self._by_correlation: dict[int, int] = {}
+        self._correlations = itertools.count(1)
+        self._tmsi = itertools.count(0x5000)
+        self.registrations_completed = 0
+        self.registrations_rejected = 0
+        self.costs = dict(AMF_COSTS)
+        self.on_registered: Optional[Callable[[UeContext5G], None]] = None
+        self.on_session: Optional[Callable[[UeContext5G], None]] = None
+
+        self.on(S1UplinkNas, self._handle_uplink)
+        self.on(nas5g.AusfAuthenticateResponse, self._handle_ausf_response)
+        self.on(nas5g.AusfConfirmResponse, self._handle_ausf_confirm)
+        self.on(nas5g.SmfCreateSessionResponse, self._handle_smf_response)
+
+    # -- cost model -----------------------------------------------------------
+    def processing_cost(self, message: object) -> float:
+        if isinstance(message, S1UplinkNas):
+            nas = message.nas
+            if isinstance(nas, nas5g.RegistrationRequest):
+                return self.costs["registration_request"]
+            if isinstance(nas, nas5g.AuthenticationResponse5G):
+                return self.costs["auth_response"]
+            if isinstance(nas, nas5g.SecurityModeComplete5G):
+                return self.costs["smc_complete"]
+            if isinstance(nas, nas5g.PduSessionEstablishmentRequest):
+                return self.costs["pdu_request"]
+            if isinstance(nas, nas5g.RegistrationComplete):
+                return self.costs["registration_complete"]
+            return self.nas_processing_cost(nas)
+        if isinstance(message, nas5g.AusfAuthenticateResponse):
+            return self.costs["ausf_response"]
+        if isinstance(message, nas5g.AusfConfirmResponse):
+            return self.costs["ausf_confirm"]
+        if isinstance(message, nas5g.SmfCreateSessionResponse):
+            return self.costs["smf_response"]
+        return self.default_processing_cost
+
+    def nas_processing_cost(self, nas: NasMessage) -> float:
+        return self.default_processing_cost
+
+    # -- RAN plumbing ------------------------------------------------------------
+    def downlink(self, context: UeContext5G, nas: NasMessage) -> None:
+        self.send(context.ran_ip,
+                  S1DownlinkNas(enb_ue_id=context.ran_ue_id, nas=nas),
+                  size=message_size(nas) + 24)
+
+    def reject(self, context: UeContext5G, cause: str) -> None:
+        self.registrations_rejected += 1
+        context.state = "REJECTED"
+        self.downlink(context, nas5g.RegistrationReject(cause=cause))
+
+    def _handle_uplink(self, ran_ip: str, wrapped: S1UplinkNas) -> None:
+        context = self.contexts.get(wrapped.enb_ue_id)
+        if context is None:
+            context = UeContext5G(ran_ue_id=wrapped.enb_ue_id,
+                                  ran_ip=ran_ip,
+                                  registration_started_at=self.sim.now)
+            self.contexts[wrapped.enb_ue_id] = context
+        nas = wrapped.nas
+        if isinstance(nas, nas5g.RegistrationRequest):
+            self._on_registration_request(context, nas)
+        elif isinstance(nas, nas5g.AuthenticationResponse5G):
+            self._on_auth_response(context, nas)
+        elif isinstance(nas, nas5g.SecurityModeComplete5G):
+            self._on_smc_complete(context, nas)
+        elif isinstance(nas, nas5g.RegistrationComplete):
+            self._on_registration_complete(context)
+        elif isinstance(nas, nas5g.PduSessionEstablishmentRequest):
+            self._on_pdu_request(context, nas)
+        else:
+            self.handle_extension_nas(context, nas)
+
+    def handle_extension_nas(self, context: UeContext5G,
+                             nas: NasMessage) -> None:
+        """Hook for SAP-over-5G (see repro.core.btelco5g)."""
+
+    # -- registration state machine --------------------------------------------------
+    def _on_registration_request(self, context: UeContext5G,
+                                 request: nas5g.RegistrationRequest) -> None:
+        context.suci = request.suci
+        context.state = "WAIT_AUSF"
+        context.correlation = next(self._correlations)
+        context.registration_started_at = self.sim.now
+        self._by_correlation[context.correlation] = context.ran_ue_id
+        self.send(self.ausf_ip, nas5g.AusfAuthenticateRequest(
+            suci=request.suci, serving_network=self.serving_network,
+            correlation=context.correlation), size=500)
+
+    def _context_for(self, correlation: int) -> Optional[UeContext5G]:
+        ue_id = self._by_correlation.get(correlation)
+        return self.contexts.get(ue_id) if ue_id is not None else None
+
+    def _handle_ausf_response(self, src_ip: str,
+                              response: nas5g.AusfAuthenticateResponse
+                              ) -> None:
+        context = self._context_for(response.correlation)
+        if context is None or context.state != "WAIT_AUSF":
+            return
+        if not response.success:
+            self.reject(context, f"authentication failed: {response.cause}")
+            return
+        context.hxres_star = response.hxres_star
+        context.state = "WAIT_AUTH_RESPONSE"
+        self.downlink(context, nas5g.AuthenticationRequest5G(
+            rand=response.rand, autn=response.autn))
+        context.rand = response.rand
+
+    def _on_auth_response(self, context: UeContext5G,
+                          response: nas5g.AuthenticationResponse5G) -> None:
+        if context.state != "WAIT_AUTH_RESPONSE":
+            return
+        # SEAF-local check: HRES* must match before bothering the home NW.
+        if hres_star(response.res_star, context.rand) != context.hxres_star:
+            self.reject(context, "HRES* mismatch")
+            return
+        context.res_star = response.res_star
+        context.state = "WAIT_AUSF_CONFIRM"
+        self.send(self.ausf_ip, nas5g.AusfConfirmRequest(
+            correlation=context.correlation,
+            res_star=response.res_star), size=120)
+
+    def _handle_ausf_confirm(self, src_ip: str,
+                             response: nas5g.AusfConfirmResponse) -> None:
+        context = self._context_for(response.correlation)
+        if context is None or context.state != "WAIT_AUSF_CONFIRM":
+            return
+        if not response.success:
+            self.reject(context, f"home network refused: {response.cause}")
+            return
+        context.supi = response.supi
+        kamf = derive_kamf(response.kseaf, response.supi)
+        context.security = SecurityContext(kasme=kamf)
+        context.state = "WAIT_SMC_COMPLETE"
+        security = context.security
+        self.downlink(context, nas5g.SecurityModeCommand5G(
+            enc_alg=security.enc_alg, int_alg=security.int_alg,
+            mac=smc_mac(security.k_nas_int, security.enc_alg,
+                        security.int_alg)))
+
+    def _on_smc_complete(self, context: UeContext5G,
+                         complete: nas5g.SecurityModeComplete5G) -> None:
+        if context.state != "WAIT_SMC_COMPLETE":
+            return
+        if complete.mac != smc_mac(context.security.k_nas_int, 0xFF, 0xFF):
+            self.reject(context, "SMC integrity failure")
+            return
+        context.guti = Guti5G(self.plmn, amf_region=1, amf_set=1,
+                              tmsi=next(self._tmsi))
+        context.state = "WAIT_REGISTRATION_COMPLETE"
+        self.downlink(context, nas5g.RegistrationAccept(guti=context.guti))
+
+    def _on_registration_complete(self, context: UeContext5G) -> None:
+        if context.state != "WAIT_REGISTRATION_COMPLETE":
+            return
+        context.state = "REGISTERED"
+        self.registrations_completed += 1
+        if self.on_registered is not None:
+            self.on_registered(context)
+
+    # -- PDU session -------------------------------------------------------------------
+    def _on_pdu_request(self, context: UeContext5G,
+                        request: nas5g.PduSessionEstablishmentRequest
+                        ) -> None:
+        if context.state != "REGISTERED":
+            self.downlink(context, nas5g.PduSessionEstablishmentReject(
+                session_id=request.session_id, cause="not registered"))
+            return
+        context.state = "WAIT_SMF"
+        context.pdu_session_id = request.session_id
+        self.send(self.smf_ip, nas5g.SmfCreateSessionRequest(
+            subscriber=context.supi or "anonymous", dnn=request.dnn,
+            session_id=request.session_id,
+            correlation=context.correlation), size=260)
+
+    def _handle_smf_response(self, src_ip: str,
+                             response: nas5g.SmfCreateSessionResponse
+                             ) -> None:
+        context = self._context_for(response.correlation)
+        if context is None or context.state != "WAIT_SMF":
+            return
+        context.state = "REGISTERED"
+        context.ue_ip = response.ue_ip
+        self.downlink(context, nas5g.PduSessionEstablishmentAccept(
+            session_id=response.session_id, ue_ip=response.ue_ip,
+            qfi=response.qfi, ambr_dl_bps=response.ambr_dl_bps,
+            ambr_ul_bps=response.ambr_ul_bps))
+        if self.on_session is not None:
+            self.on_session(context)

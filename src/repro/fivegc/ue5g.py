@@ -1,0 +1,177 @@
+"""The 5G UE: registration + PDU session, baseline (5G-AKA) flavor.
+
+The CellBricks 5G UE subclasses this in :mod:`repro.core.btelco5g`,
+replacing 5G-AKA with SAP exactly as the 4G UE does — the layering that
+lets the same SIM-resident credentials serve both generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.crypto import PublicKey
+from repro.lte.agw import smc_mac
+from repro.lte.aka import AkaError, UsimState
+from repro.lte.nas import message_size
+from repro.lte.security import SecurityContext
+from repro.lte.signaling import SignalingNode
+from repro.net import Host
+
+from . import nas5g
+from .aka5g import derive_kamf, derive_kseaf, usim_authenticate_5g
+from .identifiers5g import Supi, conceal
+
+UE5G_COSTS = {
+    "craft_registration": 0.0012,     # SUCI concealment (hybrid encrypt)
+    nas5g.AuthenticationRequest5G: 0.0012,
+    nas5g.SecurityModeCommand5G: 0.00075,
+    nas5g.RegistrationAccept: 0.00075,
+    nas5g.PduSessionEstablishmentAccept: 0.0006,
+}
+
+
+@dataclass
+class RegistrationResult:
+    success: bool
+    latency: float
+    cause: Optional[str] = None
+
+
+@dataclass
+class SessionResult:
+    success: bool
+    ue_ip: Optional[str]
+    latency: float
+    cause: Optional[str] = None
+
+
+class Ue5G(SignalingNode):
+    """Baseline 5G UE."""
+
+    processing_costs = {
+        nas5g.AuthenticationRequest5G:
+            UE5G_COSTS[nas5g.AuthenticationRequest5G],
+        nas5g.SecurityModeCommand5G:
+            UE5G_COSTS[nas5g.SecurityModeCommand5G],
+        nas5g.RegistrationAccept: UE5G_COSTS[nas5g.RegistrationAccept],
+        nas5g.PduSessionEstablishmentAccept:
+            UE5G_COSTS[nas5g.PduSessionEstablishmentAccept],
+    }
+
+    def __init__(self, host: Host, gnb_ip: str, supi: Supi,
+                 usim: Optional[UsimState],
+                 home_network_key: Optional[PublicKey],
+                 serving_network: str, name: str = "ue5g"):
+        super().__init__(host, name)
+        self.gnb_ip = gnb_ip
+        self.supi = supi
+        self.usim = usim
+        self.home_network_key = home_network_key
+        self.serving_network = serving_network
+        self.state = "DEREGISTERED"
+        self.security: Optional[SecurityContext] = None
+        self.kausf: Optional[bytes] = None
+        self.ue_ip: Optional[str] = None
+        self._registration_started: Optional[float] = None
+        self._session_started: Optional[float] = None
+        self.on_registration_done: Optional[Callable] = None
+        self.on_session_done: Optional[Callable] = None
+
+        self.on(nas5g.AuthenticationRequest5G, self._on_auth_request)
+        self.on(nas5g.SecurityModeCommand5G, self._on_smc)
+        self.on(nas5g.RegistrationAccept, self._on_accept)
+        self.on(nas5g.RegistrationReject, self._on_reject)
+        self.on(nas5g.PduSessionEstablishmentAccept, self._on_pdu_accept)
+        self.on(nas5g.PduSessionEstablishmentReject, self._on_pdu_reject)
+
+    # -- registration ------------------------------------------------------------
+    def register(self) -> None:
+        if self.state not in ("DEREGISTERED", "REJECTED"):
+            raise RuntimeError(f"register() in state {self.state}")
+        self.state = "REGISTERING"
+        self._registration_started = self.sim.now
+        craft = UE5G_COSTS["craft_registration"]
+        self.charge(craft)
+        self.sim.schedule(craft, self._send_registration)
+
+    def _send_registration(self) -> None:
+        request = self.initial_request()
+        self.send(self.gnb_ip, request, size=message_size(request))
+
+    def initial_request(self):
+        suci = conceal(self.supi, self.home_network_key)
+        return nas5g.RegistrationRequest(suci=suci)
+
+    def _on_auth_request(self, src_ip: str,
+                         request: nas5g.AuthenticationRequest5G) -> None:
+        try:
+            res_star, kausf = usim_authenticate_5g(
+                self.usim, request.rand, request.autn, self.serving_network)
+        except AkaError as exc:
+            self._fail(str(exc))
+            return
+        self.kausf = kausf
+        kseaf = derive_kseaf(kausf, self.serving_network)
+        kamf = derive_kamf(kseaf, str(self.supi))
+        self.security = SecurityContext(kasme=kamf)
+        reply = nas5g.AuthenticationResponse5G(res_star=res_star)
+        self.send(self.gnb_ip, reply, size=message_size(reply))
+
+    def _on_smc(self, src_ip: str,
+                command: nas5g.SecurityModeCommand5G) -> None:
+        if self.security is None:
+            self._fail("SMC before key agreement")
+            return
+        expected = smc_mac(self.security.k_nas_int, command.enc_alg,
+                           command.int_alg)
+        if command.mac != expected:
+            self._fail("SMC MAC verification failed")
+            return
+        reply = nas5g.SecurityModeComplete5G(
+            mac=smc_mac(self.security.k_nas_int, 0xFF, 0xFF))
+        self.send(self.gnb_ip, reply, size=message_size(reply))
+
+    def _on_accept(self, src_ip: str,
+                   accept: nas5g.RegistrationAccept) -> None:
+        self.state = "REGISTERED"
+        complete = nas5g.RegistrationComplete()
+        self.send(self.gnb_ip, complete, size=message_size(complete))
+        if self.on_registration_done is not None:
+            self.on_registration_done(RegistrationResult(
+                success=True,
+                latency=self.sim.now - self._registration_started))
+
+    def _on_reject(self, src_ip: str, reject) -> None:
+        self._fail(reject.cause)
+
+    def _fail(self, cause: str) -> None:
+        self.state = "REJECTED"
+        latency = (self.sim.now - self._registration_started
+                   if self._registration_started else 0.0)
+        if self.on_registration_done is not None:
+            self.on_registration_done(RegistrationResult(
+                success=False, latency=latency, cause=cause))
+
+    # -- PDU session --------------------------------------------------------------
+    def establish_session(self, dnn: str = "internet") -> None:
+        if self.state != "REGISTERED":
+            raise RuntimeError("establish_session() before registration")
+        self._session_started = self.sim.now
+        request = nas5g.PduSessionEstablishmentRequest(dnn=dnn)
+        self.send(self.gnb_ip, request, size=message_size(request))
+
+    def _on_pdu_accept(self, src_ip: str,
+                       accept: nas5g.PduSessionEstablishmentAccept) -> None:
+        self.ue_ip = accept.ue_ip
+        if self.on_session_done is not None:
+            self.on_session_done(SessionResult(
+                success=True, ue_ip=accept.ue_ip,
+                latency=self.sim.now - self._session_started))
+
+    def _on_pdu_reject(self, src_ip: str, reject) -> None:
+        if self.on_session_done is not None:
+            self.on_session_done(SessionResult(
+                success=False, ue_ip=None,
+                latency=self.sim.now - (self._session_started or self.sim.now),
+                cause=reject.cause))

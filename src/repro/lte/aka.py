@@ -1,0 +1,142 @@
+"""EPS-AKA: the legacy shared-secret authentication CellBricks replaces.
+
+This implements the authentication-and-key-agreement procedure of TS
+33.401 with MILENAGE-style f1..f5 functions realized over HMAC-SHA256
+(the standard's functions are AES-based; only their *interface* matters
+here: same inputs, same derived-key structure, same failure modes).
+
+The baseline attach (Fig 7 "BL") runs this: the HSS generates an
+authentication vector from the UE's pre-shared key K; the MME challenges
+the UE with (RAND, AUTN); the USIM checks AUTN (network authentication),
+returns RES (subscriber authentication), and both sides derive KASME.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.crypto import hmac_sha256, kdf_3gpp
+
+KEY_SIZE = 16        # 128-bit subscriber key K
+RAND_SIZE = 16
+SQN_SIZE = 6
+AMF = b"\x80\x00"    # "separation bit" set, per TS 33.401
+MAC_SIZE = 8
+RES_SIZE = 8
+AK_SIZE = 6
+
+FC_KASME = 0x10      # KDF function code for KASME derivation
+
+
+class AkaError(Exception):
+    """Raised when an AKA check (MAC, SQN, RES) fails."""
+
+
+def _f(key: bytes, tag: bytes, *parts: bytes) -> bytes:
+    """One MILENAGE-family function: domain-separated HMAC."""
+    data = tag + b"".join(parts)
+    return hmac_sha256(key, data)
+
+
+def f1(k: bytes, rand: bytes, sqn: bytes, amf: bytes) -> bytes:
+    """Network authentication code MAC-A."""
+    return _f(k, b"f1", rand, sqn, amf)[:MAC_SIZE]
+
+
+def f2(k: bytes, rand: bytes) -> bytes:
+    """Subscriber response RES / XRES."""
+    return _f(k, b"f2", rand)[:RES_SIZE]
+
+
+def f3(k: bytes, rand: bytes) -> bytes:
+    """Cipher key CK."""
+    return _f(k, b"f3", rand)[:16]
+
+
+def f4(k: bytes, rand: bytes) -> bytes:
+    """Integrity key IK."""
+    return _f(k, b"f4", rand)[:16]
+
+
+def f5(k: bytes, rand: bytes) -> bytes:
+    """Anonymity key AK (conceals SQN on the air interface)."""
+    return _f(k, b"f5", rand)[:AK_SIZE]
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def derive_kasme(ck: bytes, ik: bytes, serving_network: str,
+                 sqn_xor_ak: bytes) -> bytes:
+    """KASME = KDF(CK || IK, FC=0x10, SN id, SQN xor AK) per TS 33.401 A.2."""
+    return kdf_3gpp(ck + ik, FC_KASME, serving_network.encode(), sqn_xor_ak)
+
+
+@dataclass(frozen=True)
+class AuthVector:
+    """An EPS authentication vector (RAND, AUTN, XRES, KASME)."""
+
+    rand: bytes
+    autn: bytes
+    xres: bytes
+    kasme: bytes
+
+
+def generate_auth_vector(k: bytes, sqn: int, serving_network: str,
+                         rand: bytes | None = None) -> AuthVector:
+    """HSS side: build one authentication vector for a subscriber."""
+    if len(k) != KEY_SIZE:
+        raise ValueError(f"K must be {KEY_SIZE} bytes")
+    if rand is None:
+        rand = secrets.token_bytes(RAND_SIZE)
+    sqn_bytes = sqn.to_bytes(SQN_SIZE, "big")
+    mac_a = f1(k, rand, sqn_bytes, AMF)
+    xres = f2(k, rand)
+    ck = f3(k, rand)
+    ik = f4(k, rand)
+    ak = f5(k, rand)
+    sqn_xor_ak = _xor(sqn_bytes, ak)
+    autn = sqn_xor_ak + AMF + mac_a
+    kasme = derive_kasme(ck, ik, serving_network, sqn_xor_ak)
+    return AuthVector(rand=rand, autn=autn, xres=xres, kasme=kasme)
+
+
+@dataclass
+class UsimState:
+    """UE-side (USIM) AKA state: the shared key and the SQN window."""
+
+    k: bytes
+    highest_sqn: int = 0
+    sqn_window: int = 32  # accept SQN in (highest, highest + window]
+
+
+def usim_authenticate(usim: UsimState, rand: bytes, autn: bytes,
+                      serving_network: str) -> tuple[bytes, bytes]:
+    """UE side: verify the network and derive (RES, KASME).
+
+    Raises :class:`AkaError` on MAC failure (network not authentic) or SQN
+    out of range (replay).
+    """
+    if len(autn) != SQN_SIZE + len(AMF) + MAC_SIZE:
+        raise AkaError("malformed AUTN")
+    sqn_xor_ak = autn[:SQN_SIZE]
+    amf = autn[SQN_SIZE:SQN_SIZE + len(AMF)]
+    mac_a = autn[SQN_SIZE + len(AMF):]
+    ak = f5(usim.k, rand)
+    sqn_bytes = _xor(sqn_xor_ak, ak)
+    expected_mac = f1(usim.k, rand, sqn_bytes, amf)
+    if expected_mac != mac_a:
+        raise AkaError("AUTN MAC check failed: network not authentic")
+    sqn = int.from_bytes(sqn_bytes, "big")
+    if not usim.highest_sqn < sqn <= usim.highest_sqn + usim.sqn_window:
+        raise AkaError(f"SQN {sqn} outside acceptance window "
+                       f"({usim.highest_sqn}, "
+                       f"{usim.highest_sqn + usim.sqn_window}]")
+    usim.highest_sqn = sqn
+    res = f2(usim.k, rand)
+    ck = f3(usim.k, rand)
+    ik = f4(usim.k, rand)
+    kasme = derive_kasme(ck, ik, serving_network, sqn_xor_ak)
+    return res, kasme

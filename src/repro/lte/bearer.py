@@ -1,0 +1,100 @@
+"""EPS bearers and the SGW/PGW user-plane anchor.
+
+The packet gateway is where a UE's IP address lives in LTE — the mobility
+anchor CellBricks deliberately does *not* try to preserve across bTelcos.
+:class:`SgwPgw` allocates addresses from the bTelco's pool, creates
+default bearers with the subscription's QoS, and tracks per-bearer usage
+counters (the same counters today's billing reads, and the ones the bTelco
+side of the §4.3 accounting protocol reports from).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net import AddressPool
+
+
+@dataclass
+class UsageCounters:
+    """Byte/packet counters maintained per bearer (PGW accounting)."""
+
+    dl_bytes: int = 0
+    ul_bytes: int = 0
+    dl_packets: int = 0
+    ul_packets: int = 0
+
+    def record_dl(self, nbytes: int) -> None:
+        self.dl_bytes += nbytes
+        self.dl_packets += 1
+
+    def record_ul(self, nbytes: int) -> None:
+        self.ul_bytes += nbytes
+        self.ul_packets += 1
+
+
+@dataclass
+class EpsBearer:
+    """A default EPS bearer: identity, QoS, tunnel ids, usage."""
+
+    ebi: int                      # EPS bearer identity (5..15)
+    imsi_or_id: str               # subscriber identity (opaque id in SAP)
+    ue_ip: str
+    qci: int
+    ambr_dl_bps: float
+    ambr_ul_bps: float
+    s1_teid_ul: int
+    s1_teid_dl: int
+    apn: str = "internet"
+    usage: UsageCounters = field(default_factory=UsageCounters)
+    active: bool = True
+
+
+class BearerError(Exception):
+    """Raised on bearer management failures (exhausted pool, bad id)."""
+
+
+class SgwPgw:
+    """Combined serving/packet gateway (as Magma's AGW integrates them)."""
+
+    def __init__(self, pool_prefix: str = "10.128.0"):
+        self.pool = AddressPool(pool_prefix)
+        self.bearers: dict[int, EpsBearer] = {}      # ebi -> bearer
+        self.by_subscriber: dict[str, int] = {}      # subscriber -> ebi
+        self._ebi_counter = itertools.count(5)
+        self._teid_counter = itertools.count(0x1000)
+
+    def create_default_bearer(self, subscriber_id: str, qci: int,
+                              ambr_dl_bps: float, ambr_ul_bps: float,
+                              apn: str = "internet") -> EpsBearer:
+        """Allocate an IP and set up the default bearer for a subscriber."""
+        if subscriber_id in self.by_subscriber:
+            # Re-attach: tear down the stale bearer first.
+            self.delete_bearer(self.by_subscriber[subscriber_id])
+        ue_ip = self.pool.allocate()
+        bearer = EpsBearer(
+            ebi=next(self._ebi_counter), imsi_or_id=subscriber_id,
+            ue_ip=ue_ip, qci=qci, ambr_dl_bps=ambr_dl_bps,
+            ambr_ul_bps=ambr_ul_bps, s1_teid_ul=next(self._teid_counter),
+            s1_teid_dl=next(self._teid_counter), apn=apn)
+        self.bearers[bearer.ebi] = bearer
+        self.by_subscriber[subscriber_id] = bearer.ebi
+        return bearer
+
+    def delete_bearer(self, ebi: int) -> None:
+        bearer = self.bearers.pop(ebi, None)
+        if bearer is None:
+            raise BearerError(f"no bearer with EBI {ebi}")
+        bearer.active = False
+        self.pool.release(bearer.ue_ip)
+        self.by_subscriber.pop(bearer.imsi_or_id, None)
+
+    def bearer_for(self, subscriber_id: str) -> Optional[EpsBearer]:
+        ebi = self.by_subscriber.get(subscriber_id)
+        return self.bearers.get(ebi) if ebi is not None else None
+
+    @property
+    def active_count(self) -> int:
+        return len(self.bearers)

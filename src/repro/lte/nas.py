@@ -1,0 +1,163 @@
+"""NAS message definitions (TS 24.301 subset + CellBricks extensions).
+
+The baseline attach uses the standard message sequence::
+
+    UE -> MME : AttachRequest(imsi)
+    MME-> HSS : AIR            (S6a round-trip #1)
+    MME-> UE  : AuthenticationRequest(rand, autn)
+    UE -> MME : AuthenticationResponse(res)
+    MME-> UE  : SecurityModeCommand           } SMC, reused by CellBricks
+    UE -> MME : SecurityModeComplete          }
+    MME-> HSS : ULR            (S6a round-trip #2 - skipped by CellBricks)
+    MME-> UE  : AttachAccept(guti, ip, bearer)
+    UE -> MME : AttachComplete
+
+CellBricks replaces the first four lines with the SAP exchange ("we define
+new NAS messages and handlers" — §5): :class:`SapAttachRequest` carries the
+opaque ``authReqU`` blob, and :class:`SapAttachChallenge` returns
+``authRespU``; everything from SMC onward is reused unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .identifiers import Guti
+
+
+@dataclass(frozen=True)
+class NasMessage:
+    """Marker base class for NAS messages."""
+
+
+# -- legacy attach ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttachRequest(NasMessage):
+    imsi: str
+    ue_network_capability: tuple = ("EEA2", "EIA2")
+
+
+@dataclass(frozen=True)
+class AuthenticationRequest(NasMessage):
+    rand: bytes
+    autn: bytes
+
+
+@dataclass(frozen=True)
+class AuthenticationResponse(NasMessage):
+    res: bytes
+
+
+@dataclass(frozen=True)
+class AuthenticationReject(NasMessage):
+    cause: str = "authentication failure"
+
+
+@dataclass(frozen=True)
+class SecurityModeCommand(NasMessage):
+    """Integrity-protected algorithm selection (TS 33.401 SMC)."""
+
+    enc_alg: int
+    int_alg: int
+    mac: bytes  # over (enc_alg, int_alg) with the new K_NASint
+
+
+@dataclass(frozen=True)
+class SecurityModeComplete(NasMessage):
+    mac: bytes
+
+
+@dataclass(frozen=True)
+class SecurityModeReject(NasMessage):
+    cause: str = "security mode failure"
+
+
+@dataclass(frozen=True)
+class AttachAccept(NasMessage):
+    guti: Optional[Guti]
+    ue_ip: str
+    bearer_id: int
+    qci: int
+    ambr_dl_bps: float
+    ambr_ul_bps: float
+    apn: str = "internet"
+
+
+@dataclass(frozen=True)
+class AttachComplete(NasMessage):
+    pass
+
+
+@dataclass(frozen=True)
+class AttachReject(NasMessage):
+    cause: str
+
+
+@dataclass(frozen=True)
+class DetachRequest(NasMessage):
+    switch_off: bool = False
+
+
+@dataclass(frozen=True)
+class DetachAccept(NasMessage):
+    pass
+
+
+# -- CellBricks SAP extensions (new NAS messages, §5) -------------------------
+
+@dataclass(frozen=True)
+class SapAttachRequest(NasMessage):
+    """Carries the UE's opaque authReqU: (sig, authVec*, idB).
+
+    The bTelco cannot read the encrypted authentication vector — it only
+    learns the broker identity it must forward to.
+    """
+
+    auth_req_u: object  # repro.core.messages.AuthReqU
+    ue_network_capability: tuple = ("EEA2", "EIA2")
+
+
+@dataclass(frozen=True)
+class SapAttachChallenge(NasMessage):
+    """Returns the broker's authRespU blob to the UE (step 4 of SAP)."""
+
+    auth_resp_u: object  # repro.core.messages.SealedResponse
+
+
+@dataclass(frozen=True)
+class SapAttachReject(NasMessage):
+    cause: str
+
+
+# Wire-size estimates (bytes) used for transport accounting.
+MESSAGE_SIZES = {
+    AttachRequest: 120,
+    AuthenticationRequest: 68,
+    AuthenticationResponse: 24,
+    AuthenticationReject: 16,
+    SecurityModeCommand: 28,
+    SecurityModeComplete: 20,
+    SecurityModeReject: 16,
+    AttachAccept: 180,
+    AttachComplete: 16,
+    AttachReject: 24,
+    DetachRequest: 20,
+    DetachAccept: 12,
+    SapAttachRequest: 680,    # RSA-hybrid authReqU dominates
+    SapAttachChallenge: 560,  # sealed authRespU
+    SapAttachReject: 24,
+}
+
+
+def message_size(message: NasMessage) -> int:
+    """Wire size of a NAS message (default 64 B for unknown types).
+
+    Messages with a dynamic ``wire_size`` (protected envelopes, SAP
+    blobs) report their own size.
+    """
+    dynamic = getattr(message, "wire_size", None)
+    if dynamic is not None:
+        return dynamic
+    return MESSAGE_SIZES.get(type(message), 64)

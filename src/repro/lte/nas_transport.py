@@ -1,0 +1,135 @@
+"""Protected NAS transport: ciphering + integrity after the SMC.
+
+Once the security mode procedure completes, real networks carry every NAS
+message ciphered and integrity-protected under the context's keys with
+anti-replay counters (TS 33.401 §8).  This module applies that to the
+simulator's message objects:
+
+* :func:`protect` seals a NAS message into a :class:`ProtectedNas`
+  envelope — the payload is the canonically-serialized message encrypted
+  and MAC'd by :class:`~repro.lte.security.SecurityContext` (which also
+  advances the NAS COUNT);
+* :func:`unprotect` verifies and recovers the message, raising
+  :class:`~repro.lte.security.SecurityError` on tampering, replay of a
+  stale count, or a wrong-direction/wrong-key envelope.
+
+Serialization note: message objects are flattened via a registry of
+field encoders (bytes/str/numbers/nested GUTIs), so the MAC covers the
+actual field values, not Python object identity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, is_dataclass
+
+from .identifiers import Guti
+from .nas import NasMessage
+from .security import SecurityContext, SecurityError
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_protected_type(message_type: type) -> None:
+    """Make a NAS message type carryable inside ProtectedNas."""
+    _REGISTRY[message_type.__name__] = message_type
+
+
+def _encode_value(value):
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, Guti):
+        return {"__guti__": [str(value.plmn.mcc), str(value.plmn.mnc),
+                             value.mme_group, value.mme_code, value.m_tmsi]}
+    if isinstance(value, (list, tuple)):
+        return list(_encode_value(item) for item in value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise SecurityError(
+        f"field of type {type(value).__name__} is not NAS-serializable")
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__bytes__" in value:
+        return bytes.fromhex(value["__bytes__"])
+    if isinstance(value, dict) and "__guti__" in value:
+        from .identifiers import Plmn
+        mcc, mnc, group, code, tmsi = value["__guti__"]
+        return Guti(Plmn(mcc, mnc), group, code, tmsi)
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def serialize_nas(message: NasMessage) -> bytes:
+    """Canonical byte form of a (registered, flat-dataclass) NAS message."""
+    if not is_dataclass(message):
+        raise SecurityError("only dataclass NAS messages are serializable")
+    name = type(message).__name__
+    if name not in _REGISTRY:
+        raise SecurityError(f"{name} is not registered for protection")
+    payload = {"__type__": name}
+    for field_info in fields(message):
+        payload[field_info.name] = _encode_value(
+            getattr(message, field_info.name))
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def deserialize_nas(raw: bytes) -> NasMessage:
+    try:
+        payload = json.loads(raw.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SecurityError(f"malformed NAS payload: {exc}") from exc
+    name = payload.pop("__type__", None)
+    message_type = _REGISTRY.get(name)
+    if message_type is None:
+        raise SecurityError(f"unknown protected NAS type {name!r}")
+    kwargs = {key: _decode_value(value) for key, value in payload.items()}
+    return message_type(**kwargs)
+
+
+@dataclass(frozen=True)
+class ProtectedNas(NasMessage):
+    """The over-the-air envelope: an opaque protected blob."""
+
+    blob: bytes
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.blob) + 8
+
+
+def protect(context: SecurityContext, message: NasMessage,
+            downlink: bool) -> ProtectedNas:
+    """Seal ``message`` under the security context (advances NAS COUNT)."""
+    raw = serialize_nas(message)
+    if downlink:
+        blob = context.protect_downlink(raw)
+    else:
+        blob = context.protect_uplink(raw)
+    return ProtectedNas(blob=blob)
+
+
+def unprotect(context: SecurityContext, envelope: ProtectedNas,
+              downlink: bool) -> NasMessage:
+    """Verify and open a protected envelope.
+
+    Raises :class:`SecurityError` on MAC failure or direction mismatch.
+    """
+    if downlink:
+        raw = context.unprotect_downlink(envelope.blob)
+    else:
+        raw = context.unprotect_uplink(envelope.blob)
+    return deserialize_nas(raw)
+
+
+# Register the post-SMC messages of both attach flows.
+def _register_defaults() -> None:
+    from . import nas
+
+    for message_type in (nas.AttachAccept, nas.AttachComplete,
+                         nas.DetachRequest, nas.DetachAccept):
+        register_protected_type(message_type)
+
+
+_register_defaults()

@@ -1,0 +1,68 @@
+"""S6a interface messages (Diameter AIR/AIA, ULR/ULA — TS 29.272 subset).
+
+The baseline attach costs **two** round-trips on this interface
+(Authentication Information then Update Location); the paper's Fig 7
+analysis attributes CellBricks' cloud-placement win to eliminating the
+second one ("a bTelco does not send the second (ULR) request").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aka import AuthVector
+
+
+@dataclass(frozen=True)
+class S6aMessage:
+    """Marker base class for S6a messages."""
+
+
+@dataclass(frozen=True)
+class AuthenticationInformationRequest(S6aMessage):
+    imsi: str
+    visited_plmn: str
+    num_vectors: int = 1
+
+
+@dataclass(frozen=True)
+class AuthenticationInformationAnswer(S6aMessage):
+    imsi: str
+    result: str                      # "SUCCESS" or an error cause
+    vectors: tuple = ()              # tuple[AuthVector, ...]
+
+
+@dataclass(frozen=True)
+class UpdateLocationRequest(S6aMessage):
+    imsi: str
+    mme_identity: str
+    visited_plmn: str
+
+
+@dataclass(frozen=True)
+class SubscriptionData:
+    """The slice of the HSS profile the MME needs to admit a UE."""
+
+    apn: str = "internet"
+    qci: int = 9
+    ambr_dl_bps: float = 100e6
+    ambr_ul_bps: float = 50e6
+
+
+@dataclass(frozen=True)
+class UpdateLocationAnswer(S6aMessage):
+    imsi: str
+    result: str
+    subscription: SubscriptionData = field(default_factory=SubscriptionData)
+
+
+MESSAGE_SIZES = {
+    AuthenticationInformationRequest: 180,
+    AuthenticationInformationAnswer: 320,
+    UpdateLocationRequest: 200,
+    UpdateLocationAnswer: 400,
+}
+
+
+def message_size(message: S6aMessage) -> int:
+    return MESSAGE_SIZES.get(type(message), 128)

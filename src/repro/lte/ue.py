@@ -1,0 +1,220 @@
+"""UE NAS stack: the baseline (srsUE-like) attach procedure.
+
+The CellBricks UE extension (running SAP instead of EPS-AKA) subclasses
+this in :class:`repro.core.ue_agent.CellBricksUe`, mirroring how the
+prototype "adds 940 LoC to the srsUE".
+
+Attach latency is measured exactly as in §6.1: from when the UE issues the
+attachment request to when attachment completes, with RRC/lower-layer time
+excluded (the radio link here carries signaling with negligible delay; all
+measured time is NAS processing + backhaul/cloud transport).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net import Host
+
+from .aka import AkaError, UsimState, usim_authenticate
+from .agw import smc_mac
+from .identifiers import Imsi
+from .nas import (
+    AttachAccept,
+    AttachComplete,
+    AttachReject,
+    AttachRequest,
+    AuthenticationReject,
+    AuthenticationRequest,
+    AuthenticationResponse,
+    DetachAccept,
+    DetachRequest,
+    SecurityModeCommand,
+    SecurityModeComplete,
+    message_size,
+)
+from .nas_transport import ProtectedNas
+from .nas_transport import protect as protect_nas
+from .nas_transport import unprotect as unprotect_nas
+from .security import SecurityContext, SecurityError
+from .signaling import SignalingNode
+
+# UE-side processing costs (seconds); sum ≈ 3.0 ms per baseline attach.
+UE_COSTS = {
+    "craft_attach_request": 0.0005,
+    AuthenticationRequest: 0.0010,
+    SecurityModeCommand: 0.00075,
+    AttachAccept: 0.00075,
+}
+
+
+@dataclass
+class AttachResult:
+    """Outcome of one attach attempt."""
+
+    success: bool
+    ue_ip: Optional[str]
+    latency: float
+    cause: Optional[str] = None
+
+
+class UeNas(SignalingNode):
+    """Baseline UE: EPS-AKA + SMC + attach, via the eNodeB."""
+
+    processing_costs = {
+        AuthenticationRequest: UE_COSTS[AuthenticationRequest],
+        SecurityModeCommand: UE_COSTS[SecurityModeCommand],
+        AttachAccept: UE_COSTS[AttachAccept],
+        # Protected envelopes post-SMC carry the accept/detach messages;
+        # charged like an accept (deciphering included).
+        ProtectedNas: UE_COSTS[AttachAccept],
+    }
+
+    def __init__(self, host: Host, enb_ip: str, imsi: Imsi | str,
+                 usim: UsimState, serving_network: str,
+                 name: str = "ue-nas"):
+        super().__init__(host, name)
+        self.enb_ip = enb_ip
+        self.imsi = str(imsi)
+        self.usim = usim
+        self.serving_network = serving_network
+        self.state = "DEREGISTERED"
+        self.security: Optional[SecurityContext] = None
+        self.ue_ip: Optional[str] = None
+        self.attach_started_at: Optional[float] = None
+        self.on_attach_done: Optional[Callable[[AttachResult], None]] = None
+        self.on_detached: Optional[Callable[[], None]] = None
+
+        self.on(AuthenticationRequest, self._on_auth_request)
+        self.on(SecurityModeCommand, self._on_smc)
+        self.on(AttachAccept, self._on_attach_accept)
+        self.on(AttachReject, self._on_reject)
+        self.on(AuthenticationReject, self._on_reject)
+        self.on(DetachAccept, self._on_detach_accept)
+        self.on(DetachRequest, self._on_network_detach)
+        self.on(ProtectedNas, self._on_protected)
+
+    # -- attach ---------------------------------------------------------------
+    def attach(self) -> None:
+        """Start the attach procedure (the §6.1 latency clock starts now)."""
+        if self.state not in ("DEREGISTERED", "REJECTED"):
+            raise RuntimeError(f"attach() in state {self.state}")
+        self.state = "ATTACHING"
+        self.attach_started_at = self.sim.now
+        craft = UE_COSTS["craft_attach_request"]
+        self.charge(craft)
+        self.sim.schedule(craft, self._send_attach_request)
+
+    def _send_attach_request(self) -> None:
+        request = self.initial_request()
+        self.send(self.enb_ip, request, size=message_size(request))
+
+    def initial_request(self):
+        """The first NAS message (overridden by the CellBricks UE)."""
+        return AttachRequest(imsi=self.imsi)
+
+    # -- EPS-AKA ------------------------------------------------------------------
+    def _on_auth_request(self, src_ip: str,
+                         request: AuthenticationRequest) -> None:
+        try:
+            res, kasme = usim_authenticate(
+                self.usim, request.rand, request.autn, self.serving_network)
+        except AkaError as exc:
+            self._fail(f"network authentication failed: {exc}")
+            return
+        self.security = SecurityContext(kasme=kasme)
+        self.send(self.enb_ip, AuthenticationResponse(res=res),
+                  size=message_size(AuthenticationResponse(res=res)))
+
+    # -- SMC (shared by baseline and CellBricks) -----------------------------------
+    def _on_smc(self, src_ip: str, command: SecurityModeCommand) -> None:
+        if self.security is None:
+            self._fail("SMC before key agreement")
+            return
+        expected = smc_mac(self.security.k_nas_int,
+                           command.enc_alg, command.int_alg)
+        if command.mac != expected:
+            self._fail("SMC MAC verification failed")
+            return
+        reply = SecurityModeComplete(
+            mac=smc_mac(self.security.k_nas_int, 0xFF, 0xFF))
+        self.send(self.enb_ip, reply, size=message_size(reply))
+
+    # -- protected transport ---------------------------------------------------------
+    def _on_protected(self, src_ip: str, envelope: ProtectedNas) -> None:
+        """Open a post-SMC envelope and dispatch the inner message."""
+        if self.security is None:
+            return
+        try:
+            inner = unprotect_nas(self.security, envelope, downlink=True)
+        except SecurityError:
+            return  # tampered/replayed: drop silently
+        handler = self._handlers.get(type(inner))
+        if handler is not None:
+            handler(src_ip, inner)
+
+    def send_protected(self, nas) -> None:
+        """Send an uplink NAS message, protected when keys exist."""
+        if self.security is not None:
+            nas = protect_nas(self.security, nas, downlink=False)
+        self.send(self.enb_ip, nas, size=message_size(nas))
+
+    # -- completion -------------------------------------------------------------------
+    def _on_attach_accept(self, src_ip: str, accept: AttachAccept) -> None:
+        self.ue_ip = accept.ue_ip
+        self.state = "ATTACHED"
+        self.send_protected(AttachComplete())
+        latency = self.sim.now - self.attach_started_at
+        if self.on_attach_done is not None:
+            self.on_attach_done(AttachResult(
+                success=True, ue_ip=accept.ue_ip, latency=latency))
+
+    def _on_reject(self, src_ip: str, reject) -> None:
+        self._fail(getattr(reject, "cause", "rejected"))
+
+    def _fail(self, cause: str) -> None:
+        self.state = "REJECTED"
+        latency = (self.sim.now - self.attach_started_at
+                   if self.attach_started_at is not None else 0.0)
+        if self.on_attach_done is not None:
+            self.on_attach_done(AttachResult(
+                success=False, ue_ip=None, latency=latency, cause=cause))
+
+    # -- detach ------------------------------------------------------------------------
+    def detach(self) -> None:
+        if self.state != "ATTACHED":
+            raise RuntimeError(f"detach() in state {self.state}")
+        self.state = "DETACHING"
+        self.send_protected(DetachRequest())
+
+    def detach_and_forget(self) -> None:
+        """Switch-off style detach (TS 24.301): tell the network we are
+        leaving and deregister locally without waiting for an accept —
+        what a CellBricks UE does the instant it decides to move."""
+        if self.state == "ATTACHED":
+            self.send_protected(DetachRequest(switch_off=True))
+        self.state = "DEREGISTERED"
+        self.ue_ip = None
+        self.security = None
+
+    def _on_detach_accept(self, src_ip: str, accept: DetachAccept) -> None:
+        if self.state != "DETACHING":
+            return
+        self.state = "DEREGISTERED"
+        self.ue_ip = None
+        self.security = None
+        if self.on_detached is not None:
+            self.on_detached()
+
+    def _on_network_detach(self, src_ip: str,
+                           request: DetachRequest) -> None:
+        """Network-initiated detach (e.g. the SAP authorization expired)."""
+        if self.state != "ATTACHED" or src_ip != self.enb_ip:
+            return  # not attached, or a stale network we already left
+        self.send_protected(DetachAccept())
+        self.state = "DEREGISTERED"
+        self.ue_ip = None
+        self.security = None
+        if self.on_detached is not None:
+            self.on_detached()

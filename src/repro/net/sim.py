@@ -1,0 +1,147 @@
+"""Discrete-event simulation engine.
+
+Every substrate in this reproduction (LTE signaling, SAP, TCP/MPTCP, the
+drive-test emulation) runs on this engine: a single virtual clock and a
+binary-heap event queue.  Using virtual time makes every experiment
+deterministic and hardware-independent — protocol processing costs are
+explicit, calibrated parameters rather than wall-clock artifacts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} {name}{flag}>"
+
+
+class Simulator:
+    """A deterministic event loop with a virtual clock (seconds)."""
+
+    def __init__(self):
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now is {self._now})")
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have run.  Returns the number of events processed.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drained earlier, so back-to-back ``run`` calls
+        compose naturally.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if max_events is not None and processed >= max_events:
+                    heapq.heappush(self._queue, event)
+                    break
+                self._now = event.time
+                event.callback(*event.args)
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return processed
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def clear(self) -> None:
+        """Drop all queued events (used between experiment repetitions)."""
+        for event in self._queue:
+            event.cancel()
+        self._queue.clear()
+
+
+class Timer:
+    """A restartable one-shot timer (e.g. a TCP retransmission timer)."""
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire after ``delay`` seconds."""
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

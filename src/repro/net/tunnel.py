@@ -1,0 +1,90 @@
+"""GRE tunneling — the paper's emulation transport (§6.2(iii)).
+
+The drive-test methodology carries packets bearing *emulated* UE
+addresses across the real carrier network by tunneling them between an
+OVS switch at the client and one at the server: "the client-side OVS
+switch tunnels the packet to the OVS switch at the server, which strips
+off the packet's outer header such that the server sees packets with the
+UE's new IP address.  Tunneling is used only for emulating IP changes in
+today's infrastructure, and will not be needed in a real CellBricks
+deployment."
+
+:class:`GreEndpoint` reproduces that mechanism: it encapsulates inner
+packets (whatever their addresses) into GRE packets between the two
+endpoints' *real* addresses, and decapsulates on arrival — so a transport
+stack can converse using addresses the underlying network cannot route.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .node import Host
+from .packet import GRE_HEADER, IP_HEADER, PROTO_GRE, Packet
+
+
+class GreEndpoint:
+    """One side of a GRE tunnel, attached to a host.
+
+    ``on_inner_packet`` receives decapsulated inner packets.  The
+    endpoint registers itself for protocol 47 on its host; exactly one
+    GRE endpoint per host.
+    """
+
+    def __init__(self, host: Host, peer_address: str):
+        self.host = host
+        self.peer_address = peer_address
+        self.on_inner_packet: Optional[Callable[[Packet], None]] = None
+        self.encapsulated = 0
+        self.decapsulated = 0
+        host.register_listener(PROTO_GRE, 0, self)
+        self._closed = False
+
+    def encapsulate(self, inner: Packet) -> bool:
+        """Wrap ``inner`` and send it to the peer endpoint."""
+        if self._closed:
+            return False
+        outer = Packet(src=self.host.address, dst=self.peer_address,
+                       protocol=PROTO_GRE,
+                       size=inner.size + IP_HEADER + GRE_HEADER,
+                       payload=inner)
+        self.encapsulated += 1
+        return self.host.send_packet(outer)
+
+    def handle_packet(self, outer: Packet) -> None:
+        if self._closed:
+            return
+        inner = outer.payload
+        if not isinstance(inner, Packet):
+            return
+        self.decapsulated += 1
+        if self.on_inner_packet is not None:
+            self.on_inner_packet(inner)
+
+    def close(self) -> None:
+        if not self._closed:
+            self.host.unregister_listener(PROTO_GRE, 0)
+            self._closed = True
+
+
+class TunneledHost(Host):
+    """A host whose traffic rides a GRE tunnel instead of its links.
+
+    This is the emulation container of §6.2: applications bind to the
+    *emulated* address; every packet they emit is encapsulated by the
+    attached carrier host's GRE endpoint, and packets decapsulated at
+    this side are delivered up the normal demux path.
+    """
+
+    def __init__(self, sim, name: str, emulated_address: str,
+                 carrier: GreEndpoint):
+        super().__init__(sim, name, address=emulated_address)
+        self.carrier = carrier
+        carrier.on_inner_packet = self._deliver_inner
+
+    def send_packet(self, packet: Packet) -> bool:
+        packet.created_at = self.sim.now
+        return self.carrier.encapsulate(packet)
+
+    def _deliver_inner(self, packet: Packet) -> None:
+        self.receive(packet, link=None)

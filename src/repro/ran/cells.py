@@ -1,0 +1,126 @@
+"""Cell deployments: towers on a plane, owned by bTelcos of any scale."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .geometry import Point
+from .propagation import (
+    DEFAULT_TX_POWER_DBM,
+    ShadowingField,
+    rsrp_dbm,
+)
+
+_cell_ids = itertools.count(1)
+
+
+@dataclass
+class Cell:
+    """One cell site.
+
+    ``operator`` is the owning bTelco's identity — in CellBricks adjacent
+    cells routinely belong to *different* operators, which is what makes
+    "switching towers often implies switching bTelcos" (§4.2).
+    """
+
+    position: Point
+    operator: str
+    pci: int = field(default_factory=lambda: next(_cell_ids))
+    tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+    path_loss_exponent: float = 3.7
+    #: terrain-dependent shadowing depth: ~4 dB open suburban, ~8 dB
+    #: dense urban canyons.
+    shadowing_sigma_db: float = 7.0
+
+    def __post_init__(self):
+        self._shadowing: dict[int, ShadowingField] = {}
+
+    def _identity_salt(self) -> int:
+        """A seed salt stable across processes and allocation order.
+
+        Derived from the cell's position (PCIs come from a global counter
+        and would make results depend on how many cells were ever
+        created — a determinism bug caught by test_determinism.py).
+        """
+        x = int(self.position.x * 1000)
+        y = int(self.position.y * 1000)
+        return ((x * 2654435761) ^ (y * 40503)) & 0xFFFFFFFF
+
+    def shadowing_for(self, ue_id: int, seed: int = 0) -> ShadowingField:
+        if ue_id not in self._shadowing:
+            self._shadowing[ue_id] = ShadowingField(
+                sigma_db=self.shadowing_sigma_db,
+                seed=seed ^ self._identity_salt() ^ ue_id)
+        return self._shadowing[ue_id]
+
+    def rsrp_at(self, position: Point, ue_id: int = 0,
+                seed: int = 0) -> float:
+        shadow = self.shadowing_for(ue_id, seed).sample(position)
+        return rsrp_dbm(self.tx_power_dbm,
+                        self.position.distance_to(position), shadow,
+                        self.path_loss_exponent)
+
+
+@dataclass
+class Deployment:
+    """A set of cells covering an area."""
+
+    cells: list = field(default_factory=list)
+
+    def add(self, cell: Cell) -> Cell:
+        self.cells.append(cell)
+        return cell
+
+    def measure(self, position: Point, ue_id: int = 0,
+                seed: int = 0) -> dict:
+        """RSRP of every cell at ``position`` (the UE's measurement
+        report)."""
+        return {cell.pci: cell.rsrp_at(position, ue_id, seed)
+                for cell in self.cells}
+
+    def cell(self, pci: int) -> Optional[Cell]:
+        for cell in self.cells:
+            if cell.pci == pci:
+                return cell
+        return None
+
+    def neighbors_of(self, pci: int, count: int = 6) -> list:
+        """The network-provided neighbor list (§4.2's 'network-assisted'
+        hint): the geographically closest cells."""
+        serving = self.cell(pci)
+        if serving is None:
+            return []
+        others = [cell for cell in self.cells if cell.pci != pci]
+        others.sort(key=lambda cell:
+                    cell.position.distance_to(serving.position))
+        return others[:count]
+
+
+def corridor_deployment(length_m: float, inter_site_distance_m: float,
+                        operators: tuple = ("op-a", "op-b"),
+                        offset_m: float = 40.0,
+                        shadowing_sigma_db: float = 7.0,
+                        rng: Optional[random.Random] = None) -> Deployment:
+    """Cells along a road corridor, alternating (or randomly drawn)
+    between operators — the many-small-bTelcos world.
+
+    Sites sit ``offset_m`` off the road, alternating sides, with mild
+    placement jitter so handover points are not perfectly periodic.
+    """
+    rng = rng or random.Random(0)
+    deployment = Deployment()
+    x = inter_site_distance_m / 2
+    index = 0
+    while x < length_m + inter_site_distance_m:
+        jitter = rng.uniform(-0.15, 0.15) * inter_site_distance_m
+        side = offset_m if index % 2 == 0 else -offset_m
+        operator = operators[rng.randrange(len(operators))]
+        deployment.add(Cell(position=Point(x + jitter, side),
+                            operator=operator,
+                            shadowing_sigma_db=shadowing_sigma_db))
+        x += inter_site_distance_m
+        index += 1
+    return deployment

@@ -1,0 +1,184 @@
+"""UE-driven cell selection and handover decisions (§4.2).
+
+Implements the standard A3-style trigger the paper's "UE-driven,
+network-assisted handover" builds on: the UE samples RSRP periodically,
+and switches when a candidate cell is better than the serving cell by a
+hysteresis margin for a time-to-trigger window.  Candidates can be
+restricted to the network-provided neighbor list ("smarter cell selection
+based on the list of neighbor cells learned from the network").
+
+:func:`simulate_drive` walks a trajectory through a deployment and
+returns the full handover log — which cells served the UE, when each
+switch happened, whether it crossed an operator boundary, and the
+capacity trace — ready to feed the emulation harness in place of the
+stochastic processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cells import Cell, Deployment
+from .geometry import Trajectory
+from .propagation import capacity_bps
+
+DEFAULT_HYSTERESIS_DB = 3.0
+DEFAULT_TIME_TO_TRIGGER_S = 0.64   # a standard LTE TTT value
+DEFAULT_SAMPLE_INTERVAL_S = 0.2
+MIN_SERVABLE_RSRP_DBM = -120.0
+
+
+@dataclass(frozen=True)
+class HandoverRecord:
+    at: float
+    from_pci: Optional[int]
+    to_pci: int
+    from_operator: Optional[str]
+    to_operator: str
+
+    @property
+    def crosses_operator(self) -> bool:
+        return (self.from_operator is not None
+                and self.from_operator != self.to_operator)
+
+
+@dataclass
+class DriveLog:
+    """Everything a simulated drive produced."""
+
+    handovers: list = field(default_factory=list)
+    #: (t, serving_pci, rsrp_dbm, capacity_bps) per sample
+    samples: list = field(default_factory=list)
+    duration: float = 0.0
+
+    @property
+    def handover_count(self) -> int:
+        return len(self.handovers)
+
+    @property
+    def operator_switches(self) -> int:
+        return sum(1 for h in self.handovers if h.crosses_operator)
+
+    @property
+    def mttho(self) -> float:
+        """Mean time between handovers (the paper's MTTHO)."""
+        if len(self.handovers) < 2:
+            return self.duration
+        gaps = [self.handovers[i].at - self.handovers[i - 1].at
+                for i in range(1, len(self.handovers))]
+        return sum(gaps) / len(gaps)
+
+    def capacity_trace(self, interval: float = 1.0) -> list:
+        """Per-``interval`` serving-cell capacity (for the emulation)."""
+        if not self.samples:
+            return []
+        trace = []
+        bucket = []
+        next_edge = interval
+        for t, _, _, capacity in self.samples:
+            while t >= next_edge:
+                trace.append(sum(bucket) / len(bucket) if bucket else 0.0)
+                bucket = []
+                next_edge += interval
+            bucket.append(capacity)
+        if bucket:
+            trace.append(sum(bucket) / len(bucket))
+        return trace
+
+
+class CellSelector:
+    """The UE's measurement + A3 decision state machine."""
+
+    def __init__(self, deployment: Deployment,
+                 hysteresis_db: float = DEFAULT_HYSTERESIS_DB,
+                 time_to_trigger_s: float = DEFAULT_TIME_TO_TRIGGER_S,
+                 use_neighbor_list: bool = False,
+                 ue_id: int = 0, seed: int = 0):
+        self.deployment = deployment
+        self.hysteresis_db = hysteresis_db
+        self.time_to_trigger_s = time_to_trigger_s
+        self.use_neighbor_list = use_neighbor_list
+        self.ue_id = ue_id
+        self.seed = seed
+        self.serving: Optional[Cell] = None
+        self._candidate_pci: Optional[int] = None
+        self._candidate_since: Optional[float] = None
+
+    def _candidates(self) -> list:
+        if self.use_neighbor_list and self.serving is not None:
+            return self.deployment.neighbors_of(self.serving.pci)
+        return self.deployment.cells
+
+    def step(self, t: float, position) -> tuple:
+        """One measurement cycle.
+
+        Returns ``(serving_rsrp, handover_to)``: the serving RSRP after
+        this cycle, and the Cell switched to (or None).
+        """
+        measurements = self.deployment.measure(position, self.ue_id,
+                                               self.seed)
+        if self.serving is None:
+            best_pci = max(measurements, key=measurements.get)
+            self.serving = self.deployment.cell(best_pci)
+            return measurements[best_pci], self.serving
+
+        serving_rsrp = measurements[self.serving.pci]
+        best_candidate = None
+        best_rsrp = serving_rsrp + self.hysteresis_db
+        for cell in self._candidates():
+            rsrp = measurements.get(cell.pci)
+            if rsrp is not None and rsrp > best_rsrp:
+                best_candidate, best_rsrp = cell, rsrp
+
+        if best_candidate is None:
+            self._candidate_pci = None
+            self._candidate_since = None
+            return serving_rsrp, None
+
+        if self._candidate_pci != best_candidate.pci:
+            # A3 entered for a (new) candidate: start the TTT clock.
+            self._candidate_pci = best_candidate.pci
+            self._candidate_since = t
+            return serving_rsrp, None
+
+        if t - self._candidate_since >= self.time_to_trigger_s:
+            self.serving = best_candidate
+            self._candidate_pci = None
+            self._candidate_since = None
+            return best_rsrp, best_candidate
+        return serving_rsrp, None
+
+
+def simulate_drive(deployment: Deployment, trajectory: Trajectory,
+                   duration: Optional[float] = None,
+                   hysteresis_db: float = DEFAULT_HYSTERESIS_DB,
+                   time_to_trigger_s: float = DEFAULT_TIME_TO_TRIGGER_S,
+                   use_neighbor_list: bool = False,
+                   sample_interval: float = DEFAULT_SAMPLE_INTERVAL_S,
+                   ue_id: int = 0, seed: int = 0) -> DriveLog:
+    """Drive the trajectory, logging handovers and the capacity trace."""
+    duration = duration if duration is not None \
+        else trajectory.total_duration
+    selector = CellSelector(deployment, hysteresis_db, time_to_trigger_s,
+                            use_neighbor_list, ue_id=ue_id, seed=seed)
+    log = DriveLog(duration=duration)
+    t = 0.0
+    while t <= duration:
+        position = trajectory.position_at(t)
+        previous = selector.serving
+        rsrp, switched_to = selector.step(t, position)
+        if switched_to is not None and previous is not switched_to:
+            log.handovers.append(HandoverRecord(
+                at=t,
+                from_pci=previous.pci if previous else None,
+                to_pci=switched_to.pci,
+                from_operator=previous.operator if previous else None,
+                to_operator=switched_to.operator))
+        log.samples.append((t, selector.serving.pci, rsrp,
+                            capacity_bps(rsrp)))
+        t += sample_interval
+    # The initial camping on a cell is not a handover.
+    if log.handovers and log.handovers[0].from_pci is None:
+        log.handovers.pop(0)
+    return log

@@ -1,0 +1,22 @@
+"""§6.1 prototype-benchmark harness (testbed topology + attach latency)."""
+
+from .attach_bench import (
+    ARCH_BASELINE,
+    ARCH_CELLBRICKS,
+    AttachBenchmarkResult,
+    AttachSample,
+    run_attach_benchmark,
+    run_figure7,
+)
+from .placement import PLACEMENTS, TestbedTopology
+
+__all__ = [
+    "ARCH_BASELINE",
+    "ARCH_CELLBRICKS",
+    "AttachBenchmarkResult",
+    "AttachSample",
+    "PLACEMENTS",
+    "TestbedTopology",
+    "run_attach_benchmark",
+    "run_figure7",
+]

@@ -1,0 +1,191 @@
+"""§6.1 attachment-latency benchmark (reproduces Fig 7).
+
+Runs repeated attach requests through the full signaling stack — baseline
+(unmodified-Magma-style EPS-AKA + S6a) vs CellBricks (SAP) — with the
+SubscriberDB / brokerd placed locally or in an emulated EC2 region, and
+reports the per-module latency breakdown exactly as the figure plots it:
+"AGW + Brokerd Proc." / "eNB Proc." / "UE Proc." / "Other" (network).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from statistics import mean
+from repro.core import Brokerd, CellBricksAgw, CellBricksUe, UeSapCredentials
+from repro.core.qos import QosCapabilities
+from repro.crypto import CertificateAuthority
+from repro.crypto.keypool import pooled_keypair
+from repro.lte import (
+    Agw,
+    ENodeB,
+    ImsiGenerator,
+    SubscriberDb,
+    TEST_PLMN,
+    UeNas,
+    UsimState,
+)
+from repro.net import Simulator
+
+from .placement import (
+    AGW_ADDRESS,
+    CLOUD_DB_ADDRESS,
+    ENB_ADDRESS,
+    PLACEMENTS,
+    TestbedTopology,
+)
+
+ARCH_BASELINE = "BL"
+ARCH_CELLBRICKS = "CB"
+
+@dataclass
+class AttachSample:
+    """One attach trial's measurements (milliseconds)."""
+
+    total_ms: float
+    agw_brokerd_ms: float
+    enb_ms: float
+    ue_ms: float
+
+    @property
+    def other_ms(self) -> float:
+        return max(0.0,
+                   self.total_ms - self.agw_brokerd_ms - self.enb_ms
+                   - self.ue_ms)
+
+
+@dataclass
+class AttachBenchmarkResult:
+    """Aggregated Fig 7 cell: one (architecture, placement) pair."""
+
+    arch: str
+    placement: str
+    samples: list = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return mean(s.total_ms for s in self.samples)
+
+    @property
+    def agw_brokerd_ms(self) -> float:
+        return mean(s.agw_brokerd_ms for s in self.samples)
+
+    @property
+    def enb_ms(self) -> float:
+        return mean(s.enb_ms for s in self.samples)
+
+    @property
+    def ue_ms(self) -> float:
+        return mean(s.ue_ms for s in self.samples)
+
+    @property
+    def other_ms(self) -> float:
+        return mean(s.other_ms for s in self.samples)
+
+
+class _BenchHarness:
+    """One simulator instance running repeated attach/detach cycles."""
+
+    def __init__(self, arch: str, placement: str, seed: int = 0):
+        self.arch = arch
+        self.placement = placement
+        self.sim = Simulator()
+        self.topology = TestbedTopology.build(self.sim, placement)
+        rng = random.Random(seed)
+
+        if arch == ARCH_BASELINE:
+            self.db = SubscriberDb(self.topology.db_host, rng=rng)
+            self.agw = Agw(self.topology.agw_host,
+                           subscriber_db_ip=CLOUD_DB_ADDRESS)
+            self.enb = ENodeB(self.topology.enb_host, agw_ip=AGW_ADDRESS)
+            imsi = ImsiGenerator().next()
+            record = self.db.provision(imsi)
+            self.ue = UeNas(self.topology.ue_host, ENB_ADDRESS, imsi,
+                            UsimState(k=record.k), str(TEST_PLMN))
+            self.cloud_node = self.db
+        elif arch == ARCH_CELLBRICKS:
+            ca = CertificateAuthority(key=pooled_keypair(0))
+            broker_key = pooled_keypair(1)
+            brokerd = Brokerd(self.topology.db_host, id_b="brokerd.bench",
+                              ca_public_key=ca.public_key, key=broker_key)
+            telco_key = pooled_keypair(2)
+            certificate = ca.issue("bench-telco", "btelco",
+                                   telco_key.public_key)
+            self.agw = CellBricksAgw(
+                self.topology.agw_host, broker_ip=CLOUD_DB_ADDRESS,
+                id_t="bench-telco", key=telco_key, certificate=certificate,
+                ca_public_key=ca.public_key,
+                qos_capabilities=QosCapabilities(supported_qcis=(8, 9)))
+            self.agw.trust_broker("brokerd.bench", brokerd.public_key)
+            self.enb = ENodeB(self.topology.enb_host, agw_ip=AGW_ADDRESS)
+            ue_key = pooled_keypair(3)
+            credentials = UeSapCredentials(
+                id_u="bench-ue", id_b="brokerd.bench", ue_key=ue_key,
+                broker_public_key=brokerd.public_key)
+            brokerd.enroll_subscriber("bench-ue", ue_key.public_key)
+            self.ue = CellBricksUe(self.topology.ue_host, ENB_ADDRESS,
+                                   credentials, target_id_t="bench-telco")
+            self.cloud_node = brokerd
+        else:
+            raise ValueError(f"unknown architecture {arch!r}")
+
+        self._results: list = []
+        self.ue.on_attach_done = self._record_result
+
+    def _record_result(self, result) -> None:
+        # Snapshot module times at the instant the attach completes, so
+        # post-accept processing (AttachComplete, detach) stays out.
+        self._results.append((result, self._module_snapshot()))
+
+    def _module_snapshot(self) -> tuple[float, float, float]:
+        agw_brokerd = self.agw.module_time + self.cloud_node.module_time
+        return agw_brokerd, self.enb.module_time, self.ue.module_time
+
+    def run_trials(self, trials: int, settle: float = 0.5) -> list:
+        """Run ``trials`` attach/detach cycles; return per-trial samples."""
+        samples = []
+        for _ in range(trials):
+            before = self._module_snapshot()
+            before_count = len(self._results)
+            self.ue.attach()
+            deadline = self.sim.now + settle
+            while len(self._results) == before_count \
+                    and self.sim.now < deadline:
+                self.sim.run(until=self.sim.now + 0.01)
+            if len(self._results) == before_count:
+                raise RuntimeError(
+                    f"attach did not complete within {settle}s "
+                    f"({self.arch}/{self.placement})")
+            result, after = self._results[-1]
+            if not result.success:
+                raise RuntimeError(f"attach failed: {result.cause}")
+            samples.append(AttachSample(
+                total_ms=result.latency * 1000,
+                agw_brokerd_ms=(after[0] - before[0]) * 1000,
+                enb_ms=(after[1] - before[1]) * 1000,
+                ue_ms=(after[2] - before[2]) * 1000))
+            # Detach and settle before the next trial.
+            self.ue.detach()
+            self.sim.run(until=self.sim.now + 0.1)
+        return samples
+
+
+def run_attach_benchmark(arch: str, placement: str, trials: int = 100,
+                         seed: int = 0) -> AttachBenchmarkResult:
+    """Run one Fig 7 cell and return the averaged breakdown."""
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}")
+    harness = _BenchHarness(arch, placement, seed=seed)
+    result = AttachBenchmarkResult(arch=arch, placement=placement)
+    result.samples = harness.run_trials(trials)
+    return result
+
+
+def run_figure7(trials: int = 100, seed: int = 0) -> list:
+    """All six Fig 7 cells: {BL, CB} x {local, us-west-1, us-east-1}."""
+    results = []
+    for placement in ("local", "us-west-1", "us-east-1"):
+        for arch in (ARCH_BASELINE, ARCH_CELLBRICKS):
+            results.append(run_attach_benchmark(arch, placement,
+                                                trials=trials, seed=seed))
+    return results

@@ -1,0 +1,167 @@
+"""Unit + property tests for EPS-AKA and the NAS security context."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lte.aka import (
+    AkaError,
+    UsimState,
+    f1,
+    f2,
+    f5,
+    generate_auth_vector,
+    usim_authenticate,
+)
+from repro.lte.security import SecurityContext, SecurityError
+
+K = bytes(range(16))
+SN = "00101"
+
+
+class TestAuthVectorGeneration:
+    def test_vector_is_deterministic_given_rand(self):
+        v1 = generate_auth_vector(K, sqn=1, serving_network=SN, rand=b"r" * 16)
+        v2 = generate_auth_vector(K, sqn=1, serving_network=SN, rand=b"r" * 16)
+        assert v1 == v2
+
+    def test_vector_varies_with_rand(self):
+        v1 = generate_auth_vector(K, sqn=1, serving_network=SN, rand=b"a" * 16)
+        v2 = generate_auth_vector(K, sqn=1, serving_network=SN, rand=b"b" * 16)
+        assert v1.xres != v2.xres
+        assert v1.kasme != v2.kasme
+
+    def test_wrong_key_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_auth_vector(b"short", sqn=1, serving_network=SN)
+
+
+class TestMutualAuthentication:
+    def test_ue_accepts_genuine_network_and_keys_agree(self):
+        vector = generate_auth_vector(K, sqn=5, serving_network=SN)
+        usim = UsimState(k=K, highest_sqn=4)
+        res, kasme = usim_authenticate(usim, vector.rand, vector.autn, SN)
+        assert res == vector.xres      # network validates subscriber
+        assert kasme == vector.kasme   # both derive the same master key
+
+    def test_ue_rejects_wrong_network_key(self):
+        vector = generate_auth_vector(bytes(16), sqn=5, serving_network=SN)
+        usim = UsimState(k=K, highest_sqn=4)
+        with pytest.raises(AkaError, match="not authentic"):
+            usim_authenticate(usim, vector.rand, vector.autn, SN)
+
+    def test_ue_rejects_replayed_sqn(self):
+        vector = generate_auth_vector(K, sqn=5, serving_network=SN)
+        usim = UsimState(k=K, highest_sqn=10)  # already saw newer
+        with pytest.raises(AkaError, match="SQN"):
+            usim_authenticate(usim, vector.rand, vector.autn, SN)
+
+    def test_ue_rejects_sqn_too_far_ahead(self):
+        vector = generate_auth_vector(K, sqn=1000, serving_network=SN)
+        usim = UsimState(k=K, highest_sqn=1, sqn_window=32)
+        with pytest.raises(AkaError, match="SQN"):
+            usim_authenticate(usim, vector.rand, vector.autn, SN)
+
+    def test_sqn_advances_after_success(self):
+        vector = generate_auth_vector(K, sqn=5, serving_network=SN)
+        usim = UsimState(k=K, highest_sqn=4)
+        usim_authenticate(usim, vector.rand, vector.autn, SN)
+        assert usim.highest_sqn == 5
+        # Replaying the same vector now fails.
+        with pytest.raises(AkaError):
+            usim_authenticate(usim, vector.rand, vector.autn, SN)
+
+    def test_kasme_binds_serving_network(self):
+        vector = generate_auth_vector(K, sqn=5, serving_network="00101")
+        usim = UsimState(k=K, highest_sqn=4)
+        _, kasme = usim_authenticate(usim, vector.rand, vector.autn, "99999")
+        assert kasme != vector.kasme  # different SN id -> different key
+
+    def test_malformed_autn_rejected(self):
+        usim = UsimState(k=K)
+        with pytest.raises(AkaError, match="malformed"):
+            usim_authenticate(usim, b"r" * 16, b"too-short", SN)
+
+    @given(sqn=st.integers(min_value=1, max_value=2**40))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, sqn):
+        vector = generate_auth_vector(K, sqn=sqn, serving_network=SN)
+        usim = UsimState(k=K, highest_sqn=sqn - 1)
+        res, kasme = usim_authenticate(usim, vector.rand, vector.autn, SN)
+        assert res == vector.xres and kasme == vector.kasme
+
+
+class TestMilenageFunctions:
+    def test_functions_are_domain_separated(self):
+        rand = b"r" * 16
+        assert f2(K, rand) != f5(K, rand)[:8]
+
+    def test_f1_depends_on_all_inputs(self):
+        base = f1(K, b"r" * 16, b"\x00" * 6, b"\x80\x00")
+        assert f1(K, b"s" * 16, b"\x00" * 6, b"\x80\x00") != base
+        assert f1(K, b"r" * 16, b"\x01" * 6, b"\x80\x00") != base
+        assert f1(K, b"r" * 16, b"\x00" * 6, b"\x00\x00") != base
+
+
+class TestSecurityContext:
+    def test_keys_derived_from_kasme(self):
+        ctx = SecurityContext(kasme=b"k" * 32)
+        assert ctx.k_nas_enc != ctx.k_nas_int
+        assert len(ctx.k_nas_enc) == 32
+
+    def test_same_kasme_same_keys(self):
+        a = SecurityContext(kasme=b"k" * 32)
+        b = SecurityContext(kasme=b"k" * 32)
+        assert a.k_nas_enc == b.k_nas_enc
+        assert a.k_nas_int == b.k_nas_int
+
+    def test_uplink_roundtrip(self):
+        ue = SecurityContext(kasme=b"k" * 32)
+        net = SecurityContext(kasme=b"k" * 32)
+        protected = ue.protect_uplink(b"esm payload")
+        assert net.unprotect_uplink(protected) == b"esm payload"
+
+    def test_downlink_roundtrip(self):
+        ue = SecurityContext(kasme=b"k" * 32)
+        net = SecurityContext(kasme=b"k" * 32)
+        protected = net.protect_downlink(b"paging")
+        assert ue.unprotect_downlink(protected) == b"paging"
+
+    def test_direction_confusion_rejected(self):
+        a = SecurityContext(kasme=b"k" * 32)
+        b = SecurityContext(kasme=b"k" * 32)
+        protected = a.protect_uplink(b"data")
+        with pytest.raises(SecurityError):
+            b.unprotect_downlink(protected)
+
+    def test_tampered_message_rejected(self):
+        a = SecurityContext(kasme=b"k" * 32)
+        b = SecurityContext(kasme=b"k" * 32)
+        protected = bytearray(a.protect_uplink(b"data"))
+        protected[-1] ^= 0x01
+        with pytest.raises(SecurityError):
+            b.unprotect_uplink(bytes(protected))
+
+    def test_wrong_kasme_rejected(self):
+        a = SecurityContext(kasme=b"k" * 32)
+        b = SecurityContext(kasme=b"x" * 32)
+        with pytest.raises(SecurityError):
+            b.unprotect_uplink(a.protect_uplink(b"data"))
+
+    def test_counts_advance(self):
+        ctx = SecurityContext(kasme=b"k" * 32)
+        ctx.protect_uplink(b"one")
+        ctx.protect_uplink(b"two")
+        assert ctx.ul_count == 2
+        assert ctx.dl_count == 0
+
+    def test_kenb_changes_with_count(self):
+        ctx = SecurityContext(kasme=b"k" * 32)
+        kenb_0 = ctx.derive_kenb()
+        ctx.protect_uplink(b"x")
+        assert ctx.derive_kenb() != kenb_0
+
+    def test_short_payload_rejected(self):
+        ctx = SecurityContext(kasme=b"k" * 32)
+        with pytest.raises(SecurityError):
+            ctx.unprotect_uplink(b"tiny")

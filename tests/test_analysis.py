@@ -1,0 +1,136 @@
+"""Unit + property tests for statistics helpers and the E-model MOS."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    mean,
+    median,
+    mos_from_network_stats,
+    percentile,
+    r_factor,
+    r_to_mos,
+    slowdown_percent,
+    stddev,
+    timeseries_rates,
+)
+from repro.analysis.mos import delay_impairment, loss_impairment
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+
+    def test_percentile_basics(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_percentile_interpolates(self):
+        assert percentile([1, 2], 50) == pytest.approx(1.5)
+
+    def test_percentile_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_percentile_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    def test_median_matches_p50(self):
+        values = [5, 1, 9, 3, 7]
+        assert median(values) == percentile(values, 50)
+
+    def test_stddev(self):
+        assert stddev([2, 2, 2]) == 0.0
+        assert stddev([1]) == 0.0
+        assert stddev([0, 2]) == pytest.approx(1.0)
+
+    def test_slowdown_direction(self):
+        # baseline 100, measured 97 -> 3% slower (worse).
+        assert slowdown_percent(100, 97) == pytest.approx(3.0)
+        # measured better than baseline -> negative slowdown.
+        assert slowdown_percent(100, 103) == pytest.approx(-3.0)
+        assert slowdown_percent(0, 5) == 0.0
+
+    def test_timeseries_rates(self):
+        samples = [(0.5, 125_000), (1.5, 250_000)]
+        rates = timeseries_rates(samples, 1.0, 2.0)
+        assert rates == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_timeseries_rates_ignores_out_of_range(self):
+        rates = timeseries_rates([(5.0, 1000)], 1.0, 2.0)
+        assert sum(rates) == 0.0
+
+    def test_timeseries_rates_invalid_bin(self):
+        with pytest.raises(ValueError):
+            timeseries_rates([], 0, 10)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+
+class TestMos:
+    def test_perfect_call_near_max(self):
+        assert mos_from_network_stats(20, 0, 0.0) == pytest.approx(4.4, abs=0.1)
+
+    def test_loss_degrades_mos(self):
+        clean = mos_from_network_stats(25, 1, 0.0)
+        lossy = mos_from_network_stats(25, 1, 0.05)
+        very_lossy = mos_from_network_stats(25, 1, 0.20)
+        assert clean > lossy > very_lossy
+
+    def test_delay_degrades_mos(self):
+        assert mos_from_network_stats(20, 0, 0) > \
+            mos_from_network_stats(300, 0, 0)
+
+    def test_jitter_degrades_mos(self):
+        assert mos_from_network_stats(100, 0, 0) > \
+            mos_from_network_stats(100, 80, 0)
+
+    def test_delay_impairment_kink_at_177ms(self):
+        below = delay_impairment(170)
+        above = delay_impairment(190)
+        slope_below = delay_impairment(171) - delay_impairment(170)
+        slope_above = delay_impairment(191) - delay_impairment(190)
+        assert above > below
+        assert slope_above > slope_below
+
+    def test_loss_impairment_monotone(self):
+        values = [loss_impairment(p / 100) for p in range(0, 50, 5)]
+        assert values == sorted(values)
+
+    def test_r_factor_bounds(self):
+        assert 0 <= r_factor(1000, 1.0) <= 100
+        assert r_factor(0, 0.0) == pytest.approx(93.2)
+
+    def test_r_to_mos_anchors(self):
+        assert r_to_mos(0) == 1.0
+        assert r_to_mos(100) == 4.5
+        # R=93.2 (clean G.711) ~ MOS 4.4.
+        assert r_to_mos(93.2) == pytest.approx(4.41, abs=0.03)
+
+    @given(st.floats(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_mos_in_valid_range(self, r):
+        assert 1.0 <= r_to_mos(r) <= 4.5
+
+    @given(delay=st.floats(min_value=0, max_value=500),
+           jitter=st.floats(min_value=0, max_value=100),
+           loss=st.floats(min_value=0, max_value=1))
+    @settings(max_examples=50, deadline=None)
+    def test_mos_total_function(self, delay, jitter, loss):
+        mos = mos_from_network_stats(delay, jitter, loss)
+        assert 1.0 <= mos <= 4.5
+        assert not math.isnan(mos)

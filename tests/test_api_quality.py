@@ -1,0 +1,72 @@
+"""API quality gates: documentation and export hygiene.
+
+These tests keep the library presentable as an open-source release: every
+public module and every name a package exports carries a docstring, and
+``__all__`` lists stay consistent with what is actually importable.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.apps",
+    "repro.core",
+    "repro.crypto",
+    "repro.emulation",
+    "repro.fivegc",
+    "repro.lte",
+    "repro.net",
+    "repro.ran",
+    "repro.testbed",
+]
+
+
+def iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.name == "__main__":
+                continue  # importing it would run the CLI
+            yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+@pytest.mark.parametrize("module", list(iter_modules()),
+                         ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, \
+        f"{module.__name__} lacks a meaningful module docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    for name in exported:
+        assert hasattr(package, name), \
+            f"{package_name}.__all__ lists missing name {name!r}"
+
+
+@pytest.mark.parametrize("package_name",
+                         [p for p in PACKAGES if p != "repro"])
+def test_exported_classes_and_functions_documented(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in getattr(package, "__all__", []):
+        obj = getattr(package, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+    assert not undocumented, \
+        f"{package_name} exports undocumented items: {undocumented}"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

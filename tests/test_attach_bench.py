@@ -1,0 +1,70 @@
+"""Tests for the §6.1 attach-latency benchmark harness (Fig 7)."""
+
+import pytest
+
+from repro.testbed import (
+    ARCH_BASELINE,
+    ARCH_CELLBRICKS,
+    PLACEMENTS,
+    run_attach_benchmark,
+)
+
+
+class TestAttachBenchmark:
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for placement in PLACEMENTS:
+            for arch in (ARCH_BASELINE, ARCH_CELLBRICKS):
+                out[(arch, placement)] = run_attach_benchmark(
+                    arch, placement, trials=5)
+        return out
+
+    def test_all_cells_produce_samples(self, results):
+        for result in results.values():
+            assert len(result.samples) == 5
+            assert result.total_ms > 0
+
+    def test_breakdown_sums_to_total(self, results):
+        for result in results.values():
+            for sample in result.samples:
+                parts = (sample.agw_brokerd_ms + sample.enb_ms
+                         + sample.ue_ms + sample.other_ms)
+                assert parts == pytest.approx(sample.total_ms, rel=0.01)
+
+    def test_remote_placement_grows_other_not_processing(self, results):
+        """Moving the DB to the cloud only adds network time."""
+        for arch in (ARCH_BASELINE, ARCH_CELLBRICKS):
+            local = results[(arch, "local")]
+            east = results[(arch, "us-east-1")]
+            assert east.other_ms > local.other_ms + 50
+            assert east.agw_brokerd_ms == pytest.approx(
+                local.agw_brokerd_ms, rel=0.05)
+
+    def test_cellbricks_wins_remote_placements(self, results):
+        """The headline Fig 7 shape: one cloud RTT instead of two."""
+        for placement, min_gain in (("us-west-1", 0.05), ("us-east-1", 0.3)):
+            bl = results[(ARCH_BASELINE, placement)].total_ms
+            cb = results[(ARCH_CELLBRICKS, placement)].total_ms
+            assert (bl - cb) / bl > min_gain
+
+    def test_locals_comparable(self, results):
+        bl = results[(ARCH_BASELINE, "local")].total_ms
+        cb = results[(ARCH_CELLBRICKS, "local")].total_ms
+        assert abs(bl - cb) < 3.0
+
+    def test_absolute_values_near_paper(self, results):
+        paper = {
+            (ARCH_BASELINE, "us-west-1"): 36.85,
+            (ARCH_CELLBRICKS, "us-west-1"): 31.68,
+            (ARCH_BASELINE, "us-east-1"): 166.48,
+            (ARCH_CELLBRICKS, "us-east-1"): 98.62,
+        }
+        for key, expected in paper.items():
+            assert results[key].total_ms == pytest.approx(expected, rel=0.08)
+
+    def test_unknown_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            run_attach_benchmark("BL", "mars-east-1", trials=1)
+        with pytest.raises(ValueError):
+            run_attach_benchmark("XX", "local", trials=1)

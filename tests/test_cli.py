@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for argv in (["fig7"], ["attach"], ["table1"], ["fig8"],
+                     ["fig9"], ["fig10"], ["fig10", "--single-drive"],
+                     ["report", "--scale", "0.2"]):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_attach_arch_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attach", "--arch", "XX"])
+
+
+class TestExecution:
+    def test_attach_command_runs(self, capsys):
+        assert main(["attach", "--arch", "CB", "--placement", "us-west-1",
+                     "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CB @ us-west-1" in out
+        assert "agw+brokerd" in out
+
+    def test_fig7_command_runs(self, capsys):
+        assert main(["fig7", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "us-east-1" in out
+
+    def test_table1_subset_runs(self, capsys):
+        assert main(["table1", "--scale", "0.1", "--routes",
+                     "downtown"]) == 0
+        out = capsys.readouterr().out
+        assert "downtown" in out
+        assert "CellBricks" in out

@@ -1,0 +1,97 @@
+"""Property-based tests for the crypto substrate (hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    CryptoError,
+    IntegrityError,
+    hkdf,
+    hkdf_expand,
+    hkdf_extract,
+    open_sealed,
+    seal,
+    sha256,
+)
+from repro.crypto.keypool import pooled_keypair
+
+KEY = pooled_keypair(950)
+OTHER = pooled_keypair(951)
+
+
+class TestRsaProperties:
+    @given(st.binary(min_size=0, max_size=3000))
+    @settings(max_examples=15, deadline=None)
+    def test_hybrid_roundtrip(self, plaintext):
+        ciphertext = KEY.public_key.encrypt(plaintext)
+        assert KEY.decrypt(ciphertext) == plaintext
+
+    @given(st.binary(min_size=1, max_size=500))
+    @settings(max_examples=15, deadline=None)
+    def test_wrong_key_never_decrypts(self, plaintext):
+        ciphertext = KEY.public_key.encrypt(plaintext)
+        with pytest.raises(CryptoError):
+            OTHER.decrypt(ciphertext)
+
+    @given(st.binary(min_size=0, max_size=500))
+    @settings(max_examples=15, deadline=None)
+    def test_signature_roundtrip(self, message):
+        assert KEY.public_key.verify(message, KEY.sign(message))
+
+    @given(st.binary(min_size=1, max_size=200),
+           st.integers(min_value=0, max_value=127))
+    @settings(max_examples=15, deadline=None)
+    def test_bitflip_breaks_signature(self, message, bit):
+        signature = bytearray(KEY.sign(message))
+        signature[bit % len(signature)] ^= 1 << (bit % 8)
+        assert not KEY.public_key.verify(message, bytes(signature))
+
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=10, deadline=None)
+    def test_signature_not_valid_for_other_message(self, message):
+        signature = KEY.sign(message)
+        assert not KEY.public_key.verify(message + b"x", signature)
+
+
+class TestAeadProperties:
+    @given(st.binary(max_size=4000), st.binary(max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_with_associated_data(self, plaintext, aad):
+        key = sha256(b"aead")
+        assert open_sealed(key, seal(key, plaintext, aad), aad) == plaintext
+
+    @given(st.binary(max_size=500), st.integers(min_value=0))
+    @settings(max_examples=25, deadline=None)
+    def test_any_bitflip_detected(self, plaintext, position):
+        key = sha256(b"aead")
+        sealed = bytearray(seal(key, plaintext))
+        sealed[position % len(sealed)] ^= 0x01
+        with pytest.raises(IntegrityError):
+            open_sealed(key, bytes(sealed))
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_ciphertexts_never_repeat(self, plaintext):
+        key = sha256(b"aead")
+        assert seal(key, plaintext) != seal(key, plaintext)
+
+
+class TestKdfProperties:
+    @given(st.binary(min_size=1, max_size=64),
+           st.integers(min_value=1, max_value=255))
+    @settings(max_examples=25, deadline=None)
+    def test_expand_prefix_property(self, ikm, length):
+        """HKDF output of length n is a prefix of the length-(n+k) output
+        (RFC 5869 structure)."""
+        prk = hkdf_extract(b"salt", ikm)
+        short = hkdf_expand(prk, b"info", length)
+        longer = hkdf_expand(prk, b"info", min(length + 16, 255 * 32))
+        assert longer[:length] == short
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=25, deadline=None)
+    def test_salt_separates(self, ikm):
+        assert hkdf(ikm, salt=b"a") != hkdf(ikm, salt=b"b")

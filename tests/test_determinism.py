@@ -1,0 +1,75 @@
+"""Determinism guarantees: same seed, bit-identical results.
+
+The README promises seeded, reproducible experiments; these tests hold
+the main harnesses to it (and catch accidental global-RNG usage or
+dict-ordering dependencies).
+"""
+
+import random
+
+from repro.emulation import EmulationConfig, PairedEmulation
+from repro.emulation.radio import CapacityProcess, generate_handover_schedule
+from repro.emulation.routes import ROUTES
+from repro.net import Simulator
+from repro.ran import corridor_deployment, simulate_drive, straight_drive
+from repro.testbed import run_attach_benchmark
+
+
+class TestScheduleDeterminism:
+    def test_handover_schedule_identical(self):
+        a = generate_handover_schedule(500, 50, seed=123)
+        b = generate_handover_schedule(500, 50, seed=123)
+        assert a == b
+
+    def test_capacity_process_identical(self):
+        conditions = ROUTES["downtown"].night
+        a = CapacityProcess(Simulator(), conditions, seed=9)
+        b = CapacityProcess(Simulator(), conditions, seed=9)
+        assert [a.sample() for _ in range(200)] == \
+            [b.sample() for _ in range(200)]
+
+    def test_different_seeds_differ(self):
+        conditions = ROUTES["downtown"].night
+        a = CapacityProcess(Simulator(), conditions, seed=9)
+        b = CapacityProcess(Simulator(), conditions, seed=10)
+        assert [a.sample() for _ in range(50)] != \
+            [b.sample() for _ in range(50)]
+
+
+class TestEmulationDeterminism:
+    def _run(self):
+        sim = Simulator()
+        config = EmulationConfig(route="highway", time_of_day="day",
+                                 duration=40, seed=77)
+        emulation = PairedEmulation(sim, config)
+        stats = emulation.run_iperf()
+        return (stats["mno"].total_bytes, stats["cellbricks"].total_bytes,
+                tuple(e.at for e in emulation.handover_events))
+
+    def test_paired_emulation_bit_identical(self):
+        assert self._run() == self._run()
+
+
+class TestAttachDeterminism:
+    def test_attach_benchmark_identical(self):
+        a = run_attach_benchmark("CB", "us-west-1", trials=3)
+        b = run_attach_benchmark("CB", "us-west-1", trials=3)
+        assert [s.total_ms for s in a.samples] == \
+            [s.total_ms for s in b.samples]
+
+
+class TestRanDeterminism:
+    def test_drive_log_identical(self):
+        def run():
+            deployment = corridor_deployment(5000, 800,
+                                             rng=random.Random(5))
+            log = simulate_drive(deployment, straight_drive(5000, 12.0),
+                                 seed=6)
+            return [(h.at, h.to_operator) for h in log.handovers]
+
+        # PCIs are globally sequential, but shadowing seeds mix the pci
+        # *and* the caller seed, so repeated builds must still agree on
+        # everything observable.
+        first, second = run(), run()
+        assert [at for at, _ in first] == [at for at, _ in second]
+        assert [op for _, op in first] == [op for _, op in second]

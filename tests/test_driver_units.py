@@ -1,0 +1,87 @@
+"""Unit tests for Table 1 aggregation and the key-pool helper."""
+
+import pytest
+
+from repro.crypto.keypool import pooled_keypair
+from repro.emulation import DAY, NIGHT, render_table1
+from repro.emulation.driver import CellResult, Table1Result
+
+
+def make_cell(route, tod, mno, cb, metric="iperf_mbps"):
+    cell = CellResult(route=route, time_of_day=tod, mttho_s=50.0)
+    getattr(cell, metric).update({"mno": mno, "cellbricks": cb})
+    return cell
+
+
+class TestOverallSlowdown:
+    def test_higher_is_better_direction(self):
+        result = Table1Result(cells=[make_cell("downtown", DAY, 10.0, 9.7)])
+        assert result.overall_slowdown("iperf_mbps", DAY) == \
+            pytest.approx(3.0)
+
+    def test_lower_is_better_direction(self):
+        result = Table1Result(
+            cells=[make_cell("downtown", DAY, 5.0, 5.2,
+                             metric="web_load_s")])
+        # CB takes 5.2 s vs 5.0 s: 4% slower.
+        assert result.overall_slowdown("web_load_s", DAY,
+                                       lower_is_better=True) == \
+            pytest.approx(4.0)
+
+    def test_negative_slowdown_when_cb_wins(self):
+        result = Table1Result(
+            cells=[make_cell("highway", NIGHT, 11.38, 12.42)])
+        slowdown = result.overall_slowdown("iperf_mbps", NIGHT)
+        assert slowdown < 0  # the paper's highway-night row, reproduced
+
+    def test_averages_across_routes(self):
+        result = Table1Result(cells=[
+            make_cell("suburb", DAY, 10.0, 9.0),     # 10% slowdown
+            make_cell("downtown", DAY, 10.0, 10.0),  # 0%
+        ])
+        assert result.overall_slowdown("iperf_mbps", DAY) == \
+            pytest.approx(5.0)
+
+    def test_times_of_day_kept_separate(self):
+        result = Table1Result(cells=[
+            make_cell("suburb", DAY, 10.0, 9.0),
+            make_cell("suburb", NIGHT, 10.0, 10.0),
+        ])
+        assert result.overall_slowdown("iperf_mbps", NIGHT) == 0.0
+
+    def test_missing_cells_skipped(self):
+        result = Table1Result(cells=[
+            CellResult(route="suburb", time_of_day=DAY)])
+        assert result.overall_slowdown("iperf_mbps", DAY) == 0.0
+
+
+class TestRenderTable1:
+    def test_renders_all_columns(self):
+        cell = make_cell("downtown", DAY, 1.14, 1.11)
+        cell.ping_p50_ms = {"mno": 48.0, "cellbricks": 48.1}
+        cell.voip_mos = {"mno": 4.30, "cellbricks": 4.25}
+        cell.video_level = {"mno": 2.03, "cellbricks": 1.97}
+        cell.web_load_s = {"mno": 5.12, "cellbricks": 5.22}
+        text = render_table1(Table1Result(cells=[cell]))
+        assert "downtown" in text
+        assert "CellBricks" in text
+        assert "Overall Perf. Slowdown" in text
+        assert "1.14" in text and "1.11" in text
+
+    def test_renders_partial_results(self):
+        text = render_table1(Table1Result(
+            cells=[CellResult(route="suburb", time_of_day=NIGHT)]))
+        assert "suburb" in text
+
+
+class TestKeyPool:
+    def test_same_slot_same_key(self):
+        assert pooled_keypair(12345) is pooled_keypair(12345)
+
+    def test_different_slots_differ(self):
+        assert pooled_keypair(12346).n != pooled_keypair(12347).n
+
+    def test_pool_keys_functional(self):
+        key = pooled_keypair(12348)
+        signature = key.sign(b"message")
+        assert key.public_key.verify(b"message", signature)

@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example must run end-to-end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["attached to coffee-shop-cell", "switched to campus-cell",
+                      "pseudonym"],
+    "marketplace.py": ["BLOCKED from future attachments", "DISPUTED"],
+    "drive_emulation.py": ["averages:", "slowdown:"],
+    "private_network_roaming.py": ["video across 2 network transitions",
+                                   "zero roaming agreements"],
+    "settlement_day.py": ["DISPUTED, paid verified amount only",
+                          "margin"],
+    "generations.py": ["4G / EPC", "5G / 5GC", "CB gain"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in EXPECTATIONS[script]:
+        assert needle in result.stdout, (
+            f"{script}: expected {needle!r} in output:\n{result.stdout}")

@@ -1,0 +1,115 @@
+"""Error-path tests for the 5G network functions."""
+
+import pytest
+
+from repro.crypto.keypool import pooled_keypair
+from repro.fivegc import (
+    Ausf,
+    Gnb,
+    Smf,
+    Udm,
+    Ue5G,
+    conceal,
+    make_supi,
+    nas5g,
+)
+from repro.fivegc.nf import Amf
+from repro.fivegc.topology5g import (
+    AMF_ADDRESS,
+    AUSF_ADDRESS,
+    GNB_ADDRESS,
+    SMF_ADDRESS,
+    Topology5G,
+    UDM_ADDRESS,
+)
+from repro.lte.aka import UsimState
+from repro.net import Simulator
+
+K = bytes(range(16))
+
+
+def build(provision=True, bar=False):
+    sim = Simulator()
+    topo = Topology5G.build(sim, "local")
+    home_key = pooled_keypair(890)
+    udm = Udm(topo.udm_host, home_network_key=home_key)
+    ausf = Ausf(topo.ausf_host, udm_ip=UDM_ADDRESS)
+    smf = Smf(topo.smf_host)
+    amf = Amf(topo.amf_host, ausf_ip=AUSF_ADDRESS, smf_ip=SMF_ADDRESS)
+    Gnb(topo.gnb_host, agw_ip=AMF_ADDRESS)
+    supi = make_supi(77)
+    if provision:
+        record = udm.provision(supi, K)
+        record.barred = bar
+    ue = Ue5G(topo.ue_host, GNB_ADDRESS, supi, UsimState(k=K),
+              home_key.public_key, serving_network=amf.serving_network)
+    return sim, topo, udm, ausf, smf, amf, ue, home_key
+
+
+class TestUdmErrors:
+    def test_barred_supi_rejected(self):
+        sim, *_, amf, ue, _ = build(bar=True)
+        results = []
+        ue.on_registration_done = results.append
+        ue.register()
+        sim.run(until=2.0)
+        assert results and not results[0].success
+        assert amf.registrations_rejected == 1
+
+    def test_garbage_suci_rejected(self):
+        sim, topo, udm, ausf, smf, amf, ue, home_key = build()
+        from repro.fivegc.identifiers5g import Suci
+        from repro.lte.identifiers import TEST_PLMN
+
+        # Bypass the UE: inject a registration with an undecryptable SUCI.
+        bogus = Suci(plmn=TEST_PLMN, concealed_msin=b"\x00" * 160)
+        ue.initial_request = lambda: nas5g.RegistrationRequest(suci=bogus)
+        results = []
+        ue.on_registration_done = results.append
+        ue.register()
+        sim.run(until=2.0)
+        assert results and not results[0].success
+        assert "deconcealment" in results[0].cause
+
+
+class TestAusfErrors:
+    def test_wrong_res_star_rejected_at_seaf(self):
+        """A UE that fails the challenge never even reaches the AUSF
+        confirm step (the SEAF's local HRES* check fires first)."""
+        sim, topo, udm, ausf, smf, amf, ue, home_key = build()
+        ue.usim = UsimState(k=bytes(16))  # wrong K
+        results = []
+        ue.on_registration_done = results.append
+        ue.register()
+        sim.run(until=2.0)
+        assert results and not results[0].success
+
+    def test_confirm_without_context_rejected(self):
+        sim, topo, udm, ausf, smf, amf, ue, home_key = build()
+        responses = []
+        amf.on(nas5g.AusfConfirmResponse,
+               lambda src, msg: responses.append(msg))
+        amf.send(AUSF_ADDRESS, nas5g.AusfConfirmRequest(
+            correlation=999, res_star=b"x" * 16), size=64)
+        sim.run(until=1.0)
+        assert responses and not responses[0].success
+
+
+class TestPduSessionErrors:
+    def test_session_before_registration_rejected(self):
+        sim, topo, udm, ausf, smf, amf, ue, home_key = build()
+        with pytest.raises(RuntimeError):
+            ue.establish_session()
+
+    def test_reregistration_after_reject_succeeds(self):
+        sim, topo, udm, ausf, smf, amf, ue, home_key = build(provision=False)
+        results = []
+        ue.on_registration_done = results.append
+        ue.register()
+        sim.run(until=2.0)
+        assert not results[0].success
+        udm.provision(ue.supi, K)
+        ue.usim = UsimState(k=K)
+        ue.register()
+        sim.run(until=4.0)
+        assert results[-1].success

@@ -1,0 +1,67 @@
+"""Tests for the geometry-driven emulation adapter."""
+
+import random
+
+import pytest
+
+from repro.emulation import (
+    ARCH_CELLBRICKS,
+    ARCH_MNO,
+    EmulationConfig,
+    GeoPairedEmulation,
+)
+from repro.net import Simulator
+from repro.ran import corridor_deployment, simulate_drive, straight_drive
+
+
+def make_drive(seed=31):
+    deployment = corridor_deployment(4000, 700,
+                                     operators=("a", "b"),
+                                     rng=random.Random(seed))
+    return simulate_drive(deployment, straight_drive(4000, 15.0),
+                          seed=seed)
+
+
+class TestGeoPairedEmulation:
+    def test_handover_events_come_from_drive_log(self):
+        drive = make_drive()
+        sim = Simulator()
+        emulation = GeoPairedEmulation(sim, drive, seed=2)
+        assert len(emulation.handover_events) == drive.handover_count
+        drive_times = [h.at for h in drive.handovers]
+        event_times = [e.at for e in emulation.handover_events]
+        assert event_times == drive_times
+
+    def test_duration_clamped_to_drive(self):
+        drive = make_drive()
+        sim = Simulator()
+        config = EmulationConfig(duration=10_000, handovers=False)
+        emulation = GeoPairedEmulation(sim, drive, config=config)
+        assert emulation.config.duration == pytest.approx(drive.duration)
+
+    def test_capacity_trace_drives_both_paths(self):
+        drive = make_drive()
+        sim = Simulator()
+        config = EmulationConfig(duration=30, handovers=False)
+        emulation = GeoPairedEmulation(sim, drive, config=config,
+                                       capacity_scale=0.5)
+        emulation.start()
+        sim.run(until=20.0)
+        expected = max(drive.capacity_trace()[19] * 0.5, 1.5e6)
+        assert emulation.mno.radio_link.a_to_b.bandwidth_bps == \
+            pytest.approx(expected)
+        assert emulation.cb.radio_link.a_to_b.bandwidth_bps == \
+            pytest.approx(expected)
+
+    def test_iperf_over_geometry(self):
+        drive = make_drive()
+        sim = Simulator()
+        config = EmulationConfig(duration=40, handovers=False, seed=5)
+        emulation = GeoPairedEmulation(sim, drive, config=config,
+                                       capacity_scale=0.3)
+        stats = emulation.run_iperf()
+        mno = stats[ARCH_MNO].average_mbps(40)
+        cb = stats[ARCH_CELLBRICKS].average_mbps(40)
+        assert mno > 1.0
+        assert cb > 1.0
+        assert abs(mno - cb) / mno < 0.35

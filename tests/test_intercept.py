@@ -1,0 +1,109 @@
+"""Tests for SAP-negotiated lawful intercept."""
+
+import pytest
+
+from repro.core.intercept import (
+    EVENT_SESSION_END,
+    EVENT_SESSION_START,
+    EVENT_USAGE,
+    LawfulInterceptFunction,
+)
+from repro.core.mobility import MobilityManager, build_cellbricks_network
+from repro.core.qos import QosCapabilities
+from repro.net import Simulator
+
+
+class TestLawfulInterceptFunction:
+    def test_activation_and_records(self):
+        li = LawfulInterceptFunction(operator="t1")
+        li.activate("s-1", at=1.0, id_u_opaque="anon-9")
+        assert li.is_active("s-1")
+        li.record_usage("s-1", at=2.0, dl_bytes=1000, ul_bytes=100)
+        li.deactivate("s-1", at=3.0)
+        records = li.deliver("s-1")
+        events = [r.event for r in records]
+        assert events == [EVENT_SESSION_START, EVENT_USAGE,
+                          EVENT_SESSION_END]
+        assert records[0].detail["pseudonym"] == "anon-9"
+
+    def test_inactive_sessions_not_recorded(self):
+        li = LawfulInterceptFunction(operator="t1")
+        li.record_usage("s-x", at=1.0, dl_bytes=10, ul_bytes=1)
+        assert li.deliver() == []
+
+    def test_deliver_all_clears_buffers(self):
+        li = LawfulInterceptFunction(operator="t1")
+        li.activate("a", 1.0, "p1")
+        li.activate("b", 1.0, "p2")
+        assert len(li.deliver()) == 2
+        assert li.deliver() == []
+        assert len(li.delivered) == 2
+
+    def test_active_count(self):
+        li = LawfulInterceptFunction(operator="t1")
+        li.activate("a", 1.0, "p1")
+        li.activate("b", 1.0, "p2")
+        li.deactivate("a", 2.0)
+        assert li.active_count == 1
+
+
+class TestEndToEndIntercept:
+    def test_mandated_subscriber_intercepted(self):
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        # The build gives bTelcos LI-capable QoS? They default to no-LI;
+        # grant the capability to site A.
+        agw = net.sites["btelco-a"].agw
+        agw.sap.config.qos_capabilities = QosCapabilities(
+            supported_qcis=(1, 8, 9), supports_lawful_intercept=True)
+        net.brokerd.mandate_intercept("alice")
+
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        assert manager.ue.state == "ATTACHED"
+        assert agw.li.active_count == 1
+        records = agw.li.deliver()
+        assert records and records[0].event == EVENT_SESSION_START
+        # The intercept record carries only the pseudonym.
+        assert "alice" not in records[0].detail["pseudonym"]
+
+    def test_incapable_btelco_denied_for_mandated_subscriber(self):
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        net.brokerd.mandate_intercept("alice")
+        manager = MobilityManager(net)
+        results = []
+        manager.start("btelco-a")  # default caps: no LI support
+        manager.ue.on_attach_done = results.append
+        sim.run(until=1.0)
+        assert results and not results[0].success
+        assert "intercept" in results[0].cause
+
+    def test_unmandated_subscriber_not_intercepted(self):
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        agw = net.sites["btelco-a"].agw
+        agw.sap.config.qos_capabilities = QosCapabilities(
+            supported_qcis=(1, 8, 9), supports_lawful_intercept=True)
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        assert manager.ue.state == "ATTACHED"
+        assert agw.li.active_count == 0
+
+    def test_lifted_mandate_stops_new_sessions(self):
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        for site in net.sites.values():
+            site.agw.sap.config.qos_capabilities = QosCapabilities(
+                supported_qcis=(1, 8, 9), supports_lawful_intercept=True)
+        net.brokerd.mandate_intercept("alice")
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        assert net.sites["btelco-a"].agw.li.active_count == 1
+        net.brokerd.lift_intercept("alice")
+        manager.switch_to("btelco-b")
+        sim.run(until=2.0)
+        assert net.sites["btelco-b"].agw.li.active_count == 0

@@ -1,0 +1,221 @@
+"""Unit tests for LTE building blocks: identifiers, bearers, NAS sizes,
+the signaling framework, and the eNodeB relay."""
+
+import pytest
+
+from repro.lte import (
+    ENodeB,
+    Imsi,
+    ImsiGenerator,
+    Plmn,
+    S1DownlinkNas,
+    S1UeContextRelease,
+    SgwPgw,
+    Tai,
+    TEST_PLMN,
+)
+from repro.lte.bearer import BearerError
+from repro.lte.nas import (
+    AttachAccept,
+    AttachRequest,
+    SapAttachRequest,
+    message_size,
+)
+from repro.lte.signaling import SignalingEnvelope, SignalingNode
+from repro.net import Host, Link, Simulator
+
+
+class TestIdentifiers:
+    def test_plmn_validation(self):
+        Plmn("310", "410")
+        Plmn("001", "01")
+        with pytest.raises(ValueError):
+            Plmn("31", "410")
+        with pytest.raises(ValueError):
+            Plmn("310", "4")
+        with pytest.raises(ValueError):
+            Plmn("abc", "01")
+
+    def test_imsi_string_form(self):
+        imsi = Imsi(TEST_PLMN, "123456789")
+        assert str(imsi) == "00101123456789"
+
+    def test_imsi_validation(self):
+        with pytest.raises(ValueError):
+            Imsi(TEST_PLMN, "123")
+        with pytest.raises(ValueError):
+            Imsi(TEST_PLMN, "12345678901234")
+
+    def test_generator_produces_unique_imsis(self):
+        gen = ImsiGenerator()
+        values = {str(gen.next()) for _ in range(100)}
+        assert len(values) == 100
+
+    def test_tai_format(self):
+        assert str(Tai(TEST_PLMN, 0x1234)) == "00101-1234"
+
+
+class TestSgwPgw:
+    def test_default_bearer_allocates_ip(self):
+        spgw = SgwPgw(pool_prefix="10.55.0")
+        bearer = spgw.create_default_bearer("imsi-1", qci=9,
+                                            ambr_dl_bps=1e6,
+                                            ambr_ul_bps=1e6)
+        assert bearer.ue_ip.startswith("10.55.0.")
+        assert bearer.active
+        assert spgw.active_count == 1
+
+    def test_reattach_replaces_bearer(self):
+        spgw = SgwPgw()
+        first = spgw.create_default_bearer("s", 9, 1e6, 1e6)
+        second = spgw.create_default_bearer("s", 9, 1e6, 1e6)
+        assert not first.active
+        assert spgw.active_count == 1
+        assert spgw.bearer_for("s") is second
+
+    def test_delete_releases_ip_for_reuse(self):
+        spgw = SgwPgw()
+        bearer = spgw.create_default_bearer("s", 9, 1e6, 1e6)
+        ip = bearer.ue_ip
+        spgw.delete_bearer(bearer.ebi)
+        assert spgw.bearer_for("s") is None
+        # The released address returns to the pool (LRU reuse).
+        assert spgw.pool.allocated_count == 0
+        again = spgw.create_default_bearer("s2", 9, 1e6, 1e6)
+        assert spgw.pool.owns(again.ue_ip)
+
+    def test_delete_unknown_raises(self):
+        with pytest.raises(BearerError):
+            SgwPgw().delete_bearer(99)
+
+    def test_usage_counters(self):
+        spgw = SgwPgw()
+        bearer = spgw.create_default_bearer("s", 9, 1e6, 1e6)
+        bearer.usage.record_dl(1000)
+        bearer.usage.record_dl(500)
+        bearer.usage.record_ul(200)
+        assert bearer.usage.dl_bytes == 1500
+        assert bearer.usage.dl_packets == 2
+        assert bearer.usage.ul_bytes == 200
+
+    def test_teids_unique(self):
+        spgw = SgwPgw()
+        a = spgw.create_default_bearer("a", 9, 1e6, 1e6)
+        b = spgw.create_default_bearer("b", 9, 1e6, 1e6)
+        teids = {a.s1_teid_ul, a.s1_teid_dl, b.s1_teid_ul, b.s1_teid_dl}
+        assert len(teids) == 4
+
+
+class TestNasSizes:
+    def test_known_messages_have_sizes(self):
+        assert message_size(AttachRequest(imsi="001011234567890")) == 120
+        assert message_size(SapAttachRequest(auth_req_u=None)) > \
+            message_size(AttachRequest(imsi="001011234567890"))
+
+    def test_unknown_message_gets_default(self):
+        class Strange:
+            pass
+        assert message_size(Strange()) == 64
+
+
+def build_signaling_pair():
+    sim = Simulator()
+    a = Host(sim, "a", address="10.0.0.1")
+    b = Host(sim, "b", address="10.0.0.2")
+    Link(sim, "ab", a, b, bandwidth_bps=1e9, delay_s=0.001)
+    return sim, a, b
+
+
+class Hello:
+    pass
+
+
+class TestSignalingNode:
+    def test_handler_dispatch_with_processing_cost(self):
+        sim, a, b = build_signaling_pair()
+        sender = SignalingNode(a, "sender")
+        receiver = SignalingNode(b, "receiver")
+        receiver.processing_costs = {Hello: 0.005}
+        seen = []
+        receiver.on(Hello, lambda src, msg: seen.append(sim.now))
+        sender.send("10.0.0.2", Hello())
+        sim.run(until=1.0)
+        # 1 ms propagation + 5 ms processing.
+        assert seen and seen[0] == pytest.approx(0.006, rel=0.05)
+        assert receiver.module_time == pytest.approx(0.005)
+        assert receiver.messages_handled == 1
+
+    def test_unhandled_messages_counted_not_crashing(self):
+        sim, a, b = build_signaling_pair()
+        sender = SignalingNode(a, "sender")
+        receiver = SignalingNode(b, "receiver")
+        sender.send("10.0.0.2", Hello())
+        sim.run(until=1.0)
+        assert receiver.messages_handled == 0
+
+    def test_default_handler_catches_all(self):
+        sim, a, b = build_signaling_pair()
+        sender = SignalingNode(a, "sender")
+        receiver = SignalingNode(b, "receiver")
+        caught = []
+        receiver.default_handler = lambda src, msg: caught.append(type(msg))
+        sender.send("10.0.0.2", Hello())
+        sim.run(until=1.0)
+        assert caught == [Hello]
+
+    def test_charge_accumulates(self):
+        sim, a, b = build_signaling_pair()
+        node = SignalingNode(a, "n")
+        node.charge(0.003)
+        node.charge(0.002)
+        assert node.module_time == pytest.approx(0.005)
+
+
+class TestEnodebRelay:
+    def test_uplink_assigns_stable_ue_ids(self):
+        sim, ue_host, enb_host = build_signaling_pair()
+        # agw on a third host
+        agw_host = Host(sim, "agw", address="10.0.1.1")
+        Link(sim, "backhaul", enb_host, agw_host,
+             bandwidth_bps=1e9, delay_s=0.001)
+        enb_host.add_route("10.0.1", enb_host.links[1])
+        enb_host.add_route("10.0.0", enb_host.links[0])
+        enb = ENodeB(enb_host, agw_ip="10.0.1.1")
+        agw = SignalingNode(agw_host, "agw")
+        uplinks = []
+        agw.default_handler = lambda src, msg: uplinks.append(msg)
+        ue = SignalingNode(ue_host, "ue")
+
+        ue.send("10.0.0.2", AttachRequest(imsi="001011234567890"))
+        ue.send("10.0.0.2", AttachRequest(imsi="001011234567890"))
+        sim.run(until=1.0)
+        assert len(uplinks) == 2
+        assert uplinks[0].enb_ue_id == uplinks[1].enb_ue_id
+        assert uplinks[0].initial and not uplinks[1].initial
+        assert enb.connected_ues == 1
+
+    def test_context_release_forgets_ue(self):
+        sim, ue_host, enb_host = build_signaling_pair()
+        agw_host = Host(sim, "agw", address="10.0.1.1")
+        Link(sim, "backhaul", enb_host, agw_host,
+             bandwidth_bps=1e9, delay_s=0.001)
+        enb_host.add_route("10.0.1", enb_host.links[1])
+        enb_host.add_route("10.0.0", enb_host.links[0])
+        enb = ENodeB(enb_host, agw_ip="10.0.1.1")
+        agw = SignalingNode(agw_host, "agw")
+        received = []
+        agw.default_handler = lambda src, msg: received.append(msg)
+        ue = SignalingNode(ue_host, "ue")
+        ue.send("10.0.0.2", AttachRequest(imsi="001011234567890"))
+        sim.run(until=0.5)
+        ue_id = received[0].enb_ue_id
+        agw.send("10.0.0.2", S1UeContextRelease(enb_ue_id=ue_id))
+        sim.run(until=1.0)
+        assert enb.connected_ues == 0
+        # Downlink to a released UE is silently dropped.
+        agw.send("10.0.0.2", S1DownlinkNas(
+            enb_ue_id=ue_id,
+            nas=AttachAccept(guti=None, ue_ip="1.2.3.4", bearer_id=5,
+                             qci=9, ambr_dl_bps=1e6, ambr_ul_bps=1e6)))
+        sim.run(until=1.5)
+        assert enb.relayed_downlink == 0

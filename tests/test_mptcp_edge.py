@@ -1,0 +1,134 @@
+"""MPTCP edge cases: races around handovers, backlog, and subflow death."""
+
+import pytest
+
+from repro.net import (
+    CellularPath,
+    MptcpConnection,
+    MptcpListener,
+    Simulator,
+)
+
+
+def make_path(sim, **kwargs):
+    path = CellularPath(sim, **kwargs)
+    path.assign_ue_address()
+    return path
+
+
+class TestConnectTiming:
+    def test_send_before_established_is_buffered(self):
+        sim = Simulator()
+        path = make_path(sim)
+        got = [0]
+
+        def on_conn(conn):
+            conn.on_data = lambda n: got.__setitem__(0, got[0] + n)
+
+        MptcpListener(path.server, 443, on_conn)
+        client = MptcpConnection(path.ue, path.server.address, 443)
+        client.connect()
+        client.send(50_000)  # 3WHS still in flight
+        sim.run(until=5.0)
+        assert got[0] == 50_000
+
+    def test_handover_during_handshake(self):
+        """The address changes while the initial SYN is in flight: the
+        connection must still come up from the new address."""
+        sim = Simulator()
+        path = make_path(sim)
+        got = [0]
+
+        def on_conn(conn):
+            conn.send(100_000)
+
+        MptcpListener(path.server, 443, on_conn)
+        client = MptcpConnection(path.ue, path.server.address, 443,
+                                 address_wait=0.1)
+        client.on_data = lambda n: got.__setitem__(0, got[0] + n)
+        client.connect()
+        # Detach 1 ms in: the SYN (and any SYN-ACK) dies.
+        sim.schedule(0.001, path.detach)
+        sim.schedule(0.2, path.attach, "10.129.0")
+        sim.run(until=20.0)
+        assert got[0] == 100_000
+        assert client.active_subflow.local_ip.startswith("10.129.0.")
+
+    def test_two_quick_handovers_coalesce(self):
+        """A second address change before the worker fires must not
+        spawn a subflow towards a stale address."""
+        sim = Simulator()
+        path = make_path(sim)
+        got = [0]
+
+        def on_conn(conn):
+            conn.send(500_000)
+
+        MptcpListener(path.server, 443, on_conn)
+        client = MptcpConnection(path.ue, path.server.address, 443,
+                                 address_wait=0.5)
+        client.on_data = lambda n: got.__setitem__(0, got[0] + n)
+        client.connect()
+        sim.run(until=1.0)
+        # Two detach/attach cycles inside one 500 ms worker window.
+        path.detach()
+        sim.schedule(0.05, path.attach, "10.130.0")
+        sim.schedule(0.2, path.detach)
+        sim.schedule(0.3, path.attach, "10.131.0")
+        sim.run(until=30.0)
+        assert got[0] == 500_000
+        assert client.active_subflow.local_ip.startswith("10.131.0.")
+        # Only one replacement subflow was needed.
+        assert client.subflow_count <= 3
+
+
+class TestServerSide:
+    def test_server_backlog_flushes_to_late_subflow(self):
+        """Data queued server-side while no subflow is usable flows once
+        the replacement arrives."""
+        sim = Simulator()
+        path = make_path(sim)
+        got = [0]
+        server_conns = []
+
+        def on_conn(conn):
+            server_conns.append(conn)
+
+        MptcpListener(path.server, 443, on_conn)
+        client = MptcpConnection(path.ue, path.server.address, 443,
+                                 address_wait=0.2)
+        client.on_data = lambda n: got.__setitem__(0, got[0] + n)
+        client.connect()
+        sim.run(until=1.0)
+        path.detach()  # kill the path, then have the server send
+        sim.run(until=1.5)
+        server_conns[0].send(200_000)
+        sim.schedule(0.1, path.attach, "10.129.0")
+        sim.run(until=30.0)
+        assert got[0] == 200_000
+
+    def test_stale_subflows_pruned_after_multiple_moves(self):
+        sim = Simulator()
+        path = make_path(sim)
+
+        server_conns = []
+        MptcpListener(path.server, 443, server_conns.append)
+        client = MptcpConnection(path.ue, path.server.address, 443,
+                                 address_wait=0.1)
+        client.connect()
+        sim.run(until=1.0)
+        for index, at in enumerate((1.0, 3.0, 5.0)):
+            sim.schedule_at(at, path.detach)
+            sim.schedule_at(at + 0.1, path.attach, f"10.{140 + index}.0")
+        # Keep a trickle flowing so REMOVE_ADDR always gets through.
+        def trickle():
+            if client.active_subflow is not None \
+                    and client.active_subflow.state != "DONE":
+                client.send(1000)
+            if sim.now < 8.0:
+                sim.schedule(0.5, trickle)
+        sim.schedule(0.5, trickle)
+        sim.run(until=12.0)
+        # Server kept only the live subflow.
+        assert len(server_conns[0].subflows) == 1
+        assert len(client.subflows) == 1

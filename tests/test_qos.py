@@ -1,0 +1,98 @@
+"""Unit tests for the qosCap/qosInfo negotiation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qos import (
+    QCI_TABLE,
+    QosCapabilities,
+    QosError,
+    QosInfo,
+    select_qos,
+)
+
+
+class TestQosInfo:
+    def test_defaults_valid(self):
+        info = QosInfo()
+        assert info.qci in QCI_TABLE
+
+    def test_unknown_qci_rejected(self):
+        with pytest.raises(QosError):
+            QosInfo(qci=3)
+
+    def test_nonpositive_ambr_rejected(self):
+        with pytest.raises(QosError):
+            QosInfo(ambr_dl_bps=0)
+        with pytest.raises(QosError):
+            QosInfo(ambr_ul_bps=-1)
+
+    def test_arp_range(self):
+        QosInfo(arp_priority=1)
+        QosInfo(arp_priority=15)
+        with pytest.raises(QosError):
+            QosInfo(arp_priority=0)
+        with pytest.raises(QosError):
+            QosInfo(arp_priority=16)
+
+
+class TestQosCapabilities:
+    def test_can_satisfy(self):
+        caps = QosCapabilities(supported_qcis=(8, 9),
+                               max_ambr_dl_bps=10e6, max_ambr_ul_bps=5e6)
+        assert caps.can_satisfy(QosInfo(qci=9, ambr_dl_bps=10e6,
+                                        ambr_ul_bps=5e6))
+        assert not caps.can_satisfy(QosInfo(qci=1, ambr_dl_bps=1e6,
+                                            ambr_ul_bps=1e6))
+        assert not caps.can_satisfy(QosInfo(qci=9, ambr_dl_bps=20e6,
+                                            ambr_ul_bps=1e6))
+
+
+class TestSelectQos:
+    def test_plan_within_capability_passes_through(self):
+        caps = QosCapabilities(supported_qcis=(8, 9))
+        plan = QosInfo(qci=8, ambr_dl_bps=10e6, ambr_ul_bps=5e6)
+        selected = select_qos(caps, plan)
+        assert selected == plan
+
+    def test_ambr_clamped(self):
+        caps = QosCapabilities(supported_qcis=(9,), max_ambr_dl_bps=5e6,
+                               max_ambr_ul_bps=2e6)
+        selected = select_qos(caps, QosInfo(qci=9, ambr_dl_bps=100e6,
+                                            ambr_ul_bps=50e6))
+        assert selected.ambr_dl_bps == 5e6
+        assert selected.ambr_ul_bps == 2e6
+
+    def test_unsupported_qci_falls_back_to_default(self):
+        caps = QosCapabilities(supported_qcis=(9,))
+        selected = select_qos(caps, QosInfo(qci=1, ambr_dl_bps=1e6,
+                                            ambr_ul_bps=1e6))
+        assert selected.qci == 9
+
+    def test_no_acceptable_qci_raises(self):
+        caps = QosCapabilities(supported_qcis=(5,))
+        with pytest.raises(QosError):
+            select_qos(caps, QosInfo(qci=8, ambr_dl_bps=1e6,
+                                     ambr_ul_bps=1e6))
+
+    @given(dl=st.floats(min_value=1e3, max_value=1e9),
+           ul=st.floats(min_value=1e3, max_value=1e9),
+           cap_dl=st.floats(min_value=1e3, max_value=1e9),
+           cap_ul=st.floats(min_value=1e3, max_value=1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_selection_always_satisfiable(self, dl, ul, cap_dl, cap_ul):
+        """Whatever the plan asks, the selection fits the capability."""
+        caps = QosCapabilities(supported_qcis=(8, 9),
+                               max_ambr_dl_bps=cap_dl,
+                               max_ambr_ul_bps=cap_ul)
+        plan = QosInfo(qci=9, ambr_dl_bps=dl, ambr_ul_bps=ul)
+        selected = select_qos(caps, plan)
+        assert caps.can_satisfy(selected)
+
+    def test_qci_table_well_formed(self):
+        for qci, (resource, priority, delay_ms, loss) in QCI_TABLE.items():
+            assert resource in ("GBR", "Non-GBR")
+            assert 1 <= priority <= 9
+            assert delay_ms > 0
+            assert 0 < loss < 1

@@ -1,0 +1,210 @@
+"""Tests for the geometric RAN model."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ran import (
+    Cell,
+    Deployment,
+    Point,
+    Trajectory,
+    Waypoint,
+    capacity_bps,
+    corridor_deployment,
+    path_loss_db,
+    rsrp_dbm,
+    simulate_drive,
+    straight_drive,
+)
+from repro.ran.propagation import ShadowingField
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_towards(self):
+        mid = Point(0, 0).towards(Point(10, 0), 0.5)
+        assert mid == Point(5, 0)
+
+    def test_trajectory_interpolates(self):
+        traj = straight_drive(1000, speed_mps=10.0)
+        assert traj.position_at(0).x == 0
+        assert traj.position_at(50).x == pytest.approx(500)
+        assert traj.total_duration == pytest.approx(100)
+
+    def test_trajectory_clamps_at_end(self):
+        traj = straight_drive(100, 10.0)
+        assert traj.position_at(1e6).x == 100
+
+    def test_multi_leg_speeds(self):
+        traj = Trajectory(Point(0, 0), [Waypoint(Point(100, 0), 10.0),
+                                        Waypoint(Point(100, 100), 20.0)])
+        assert traj.speed_at(5) == 10.0
+        assert traj.speed_at(12) == 20.0
+        assert traj.total_duration == pytest.approx(10 + 5)
+
+    def test_empty_trajectory_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(Point(0, 0), [])
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(Point(0, 0), [Waypoint(Point(1, 0), 0.0)])
+
+
+class TestPropagation:
+    def test_path_loss_grows_with_distance(self):
+        assert path_loss_db(1000) > path_loss_db(100) > path_loss_db(10)
+
+    def test_path_loss_clamps_below_1m(self):
+        assert path_loss_db(0.001) == path_loss_db(1.0)
+
+    def test_rsrp_declines_with_distance(self):
+        near = rsrp_dbm(46.0, 100)
+        far = rsrp_dbm(46.0, 2000)
+        assert near > far
+
+    def test_capacity_monotone_in_rsrp(self):
+        strong = capacity_bps(-70)
+        weak = capacity_bps(-110)
+        assert strong > weak > 0
+
+    def test_capacity_caps_at_max_efficiency(self):
+        assert capacity_bps(-30) == capacity_bps(-40)
+
+    def test_shadowing_correlated_over_short_moves(self):
+        field = ShadowingField(seed=1)
+        a = field.sample(Point(0, 0))
+        b = field.sample(Point(1, 0))     # 1 m: ~no decorrelation
+        assert abs(a - b) < 3.0
+
+    def test_shadowing_decorrelates_over_long_moves(self):
+        samples = []
+        for seed in range(40):
+            field = ShadowingField(seed=seed)
+            a = field.sample(Point(0, 0))
+            b = field.sample(Point(5000, 0))  # >> decorrelation distance
+            samples.append((a, b))
+        corr_num = sum(a * b for a, b in samples)
+        corr_den = math.sqrt(sum(a * a for a, _ in samples)
+                             * sum(b * b for _, b in samples))
+        assert abs(corr_num / corr_den) < 0.5
+
+
+class TestDeployment:
+    def test_corridor_covers_length(self):
+        deployment = corridor_deployment(5000, 500)
+        assert len(deployment.cells) >= 9
+        xs = sorted(cell.position.x for cell in deployment.cells)
+        assert xs[0] < 1000 and xs[-1] > 4000
+
+    def test_measurements_cover_all_cells(self):
+        deployment = corridor_deployment(2000, 500)
+        report = deployment.measure(Point(1000, 0))
+        assert set(report) == {c.pci for c in deployment.cells}
+
+    def test_neighbor_list_is_closest_cells(self):
+        deployment = corridor_deployment(10000, 500,
+                                         rng=random.Random(1))
+        anchor = deployment.cells[5]
+        neighbors = deployment.neighbors_of(anchor.pci, count=4)
+        assert len(neighbors) == 4
+        distances = [n.position.distance_to(anchor.position)
+                     for n in neighbors]
+        others = [c.position.distance_to(anchor.position)
+                  for c in deployment.cells if c.pci != anchor.pci]
+        assert max(distances) <= sorted(others)[3] + 1e-9
+
+    def test_operators_assigned(self):
+        deployment = corridor_deployment(5000, 500,
+                                         operators=("x", "y"),
+                                         rng=random.Random(2))
+        assert {c.operator for c in deployment.cells} <= {"x", "y"}
+
+
+class TestDriveSimulation:
+    def test_drive_produces_handovers(self):
+        deployment = corridor_deployment(10000, 800,
+                                         rng=random.Random(3))
+        log = simulate_drive(deployment, straight_drive(10000, 15.0),
+                             seed=4)
+        assert log.handover_count >= 5
+        assert log.mttho > 0
+
+    def test_faster_drive_shorter_mttho(self):
+        deployment = corridor_deployment(20000, 1000,
+                                         rng=random.Random(5))
+        slow = simulate_drive(deployment, straight_drive(20000, 8.0),
+                              seed=6)
+        fast = simulate_drive(deployment, straight_drive(20000, 30.0),
+                              seed=6)
+        assert fast.mttho < slow.mttho
+
+    def test_denser_cells_more_handovers(self):
+        dense = corridor_deployment(10000, 400, rng=random.Random(7))
+        sparse = corridor_deployment(10000, 1600, rng=random.Random(7))
+        drive = straight_drive(10000, 15.0)
+        assert simulate_drive(dense, drive, seed=8).handover_count > \
+            simulate_drive(sparse, drive, seed=8).handover_count
+
+    def test_hysteresis_reduces_ping_pong(self):
+        deployment = corridor_deployment(10000, 600,
+                                         rng=random.Random(9))
+        drive = straight_drive(10000, 15.0)
+        aggressive = simulate_drive(deployment, drive, hysteresis_db=0.0,
+                                    time_to_trigger_s=0.0, seed=10)
+        damped = simulate_drive(deployment, drive, hysteresis_db=4.0,
+                                time_to_trigger_s=0.64, seed=10)
+        assert damped.handover_count < aggressive.handover_count
+
+    def test_operator_switches_tracked(self):
+        deployment = corridor_deployment(
+            10000, 700, operators=("a", "b", "c"), rng=random.Random(11))
+        log = simulate_drive(deployment, straight_drive(10000, 15.0),
+                             seed=12)
+        assert 0 < log.operator_switches <= log.handover_count
+
+    def test_single_operator_never_switches_operators(self):
+        deployment = corridor_deployment(10000, 700, operators=("solo",),
+                                         rng=random.Random(13))
+        log = simulate_drive(deployment, straight_drive(10000, 15.0),
+                             seed=14)
+        assert log.operator_switches == 0
+
+    def test_capacity_trace_length(self):
+        deployment = corridor_deployment(3000, 600, rng=random.Random(15))
+        log = simulate_drive(deployment, straight_drive(3000, 15.0),
+                             seed=16)
+        trace = log.capacity_trace(interval=1.0)
+        assert len(trace) == pytest.approx(log.duration, abs=2)
+        assert all(c > 0 for c in trace)
+
+    def test_neighbor_list_selection_still_functions(self):
+        deployment = corridor_deployment(8000, 700, rng=random.Random(17))
+        log = simulate_drive(deployment, straight_drive(8000, 15.0),
+                             use_neighbor_list=True, seed=18)
+        # With assisted selection the UE still progresses down the road.
+        assert log.handover_count >= 4
+
+    @given(speed=st.floats(min_value=8.0, max_value=40.0),
+           isd=st.floats(min_value=300.0, max_value=1500.0))
+    @settings(max_examples=8, deadline=None)
+    def test_mttho_roughly_isd_over_speed(self, speed, isd):
+        """The emergent MTTHO tracks geometry: about one handover per
+        inter-site distance travelled."""
+        length = min(15 * isd, speed * 500)  # cap the drive at ~500 s
+        # Mild shadowing: geometry, not fading, should set the handover
+        # rate for this property (deep shadowing adds extra handovers).
+        deployment = corridor_deployment(length, isd,
+                                         shadowing_sigma_db=2.0,
+                                         rng=random.Random(19))
+        log = simulate_drive(deployment, straight_drive(length, speed),
+                             seed=20, sample_interval=0.25)
+        if log.handover_count >= 5:
+            expected = isd / speed
+            assert 0.4 * expected < log.mttho < 2.5 * expected

@@ -1,0 +1,213 @@
+"""Adversarial tests: the attack discussion of the technical report.
+
+Each test plays one attacker against the deployed protocol machinery and
+asserts the defense holds: IMSI catching, request relaying, authorization
+theft, report forgery/replay, and key revocation.
+"""
+
+import random
+
+import pytest
+
+from repro.core.billing import (
+    REPORTER_BTELCO,
+    REPORTER_UE,
+    TrafficReport,
+    TrafficReportUpload,
+    make_upload,
+)
+from repro.core.mobility import MobilityManager, build_cellbricks_network
+from repro.core.qos import QosCapabilities
+from repro.core.sap import (
+    BrokerSap,
+    BrokerSubscriber,
+    BtelcoSap,
+    BtelcoSapConfig,
+    SapError,
+    UeSap,
+    UeSapCredentials,
+)
+from repro.crypto import CertificateAuthority, CryptoError, generate_keypair
+from repro.crypto.keypool import pooled_keypair
+from repro.lte.security import SecurityContext, SecurityError
+from repro.net import Simulator
+
+
+@pytest.fixture(scope="module")
+def world():
+    ca = CertificateAuthority(key=pooled_keypair(700))
+    broker_key = pooled_keypair(701)
+    telco_key = pooled_keypair(702)
+    ue_key = pooled_keypair(703)
+    cert = ca.issue("t1", "btelco", telco_key.public_key)
+    broker = BrokerSap(id_b="b", key=broker_key, ca_public_key=ca.public_key)
+    broker.enroll(BrokerSubscriber(id_u="alice",
+                                   public_key=ue_key.public_key))
+    telco = BtelcoSap(BtelcoSapConfig(
+        id_t="t1", key=telco_key, certificate=cert,
+        qos_capabilities=QosCapabilities(), ca_public_key=ca.public_key))
+    creds = UeSapCredentials(id_u="alice", id_b="b", ue_key=ue_key,
+                             broker_public_key=broker_key.public_key)
+    return dict(ca=ca, broker=broker, telco=telco, creds=creds,
+                broker_key=broker_key, telco_key=telco_key, ue_key=ue_key)
+
+
+class TestImsiCatching:
+    def test_btelco_cannot_decrypt_subscriber_identity(self, world):
+        """§4.1: 'Because T never observes a cleartext identifier for U,
+        it cannot act as an IMSI catcher'."""
+        req_u = UeSap(world["creds"]).craft_request("t1")
+        with pytest.raises(CryptoError):
+            world["telco_key"].decrypt(req_u.auth_vec_encrypted)
+
+    def test_requests_unlinkable_without_broker_key(self, world):
+        """Two attaches by the same UE produce unrelated ciphertexts."""
+        ue = UeSap(world["creds"])
+        a = ue.craft_request("t1").auth_vec_encrypted
+        b = ue.craft_request("t1").auth_vec_encrypted
+        assert a != b
+        # No common plaintext-revealing prefix (hybrid enc randomizes).
+        assert a[:32] != b[:32]
+
+
+class TestAuthorizationTheft:
+    def test_stolen_auth_resp_t_useless_without_matching_ue(self, world):
+        """A bTelco that replays an old authorization towards a *different*
+        UE cannot complete attachment: the ss in authRespT matches only
+        the UE from the original SAP run, so SMC fails."""
+        # Legitimate run for alice.
+        ue = UeSap(world["creds"])
+        req_t = world["telco"].augment_request(ue.craft_request("t1"))
+        sealed_t, sealed_u, grant = world["broker"].process_request(
+            req_t, now=1.0)
+        session = world["telco"].process_authorization(
+            sealed_t, world["broker_key"].public_key, None, now=1.0)
+
+        # The bTelco tries to serve mallory with alice's authorization.
+        mallory_ss = b"m" * 32  # whatever mallory derives, it isn't ss
+        telco_ctx = SecurityContext(kasme=session.ss)
+        mallory_ctx = SecurityContext(kasme=mallory_ss)
+        protected = telco_ctx.protect_downlink(b"security mode command")
+        with pytest.raises(SecurityError):
+            mallory_ctx.unprotect_downlink(protected)
+
+    def test_authorization_not_transferable_between_btelcos(self, world):
+        key2 = generate_keypair(rng=random.Random(77))
+        cert2 = world["ca"].issue("t2", "btelco", key2.public_key)
+        telco2 = BtelcoSap(BtelcoSapConfig(
+            id_t="t2", key=key2, certificate=cert2,
+            ca_public_key=world["ca"].public_key))
+        ue = UeSap(world["creds"])
+        req_t = world["telco"].augment_request(ue.craft_request("t1"))
+        sealed_t, _, _ = world["broker"].process_request(req_t, now=1.0)
+        with pytest.raises(SapError):
+            telco2.process_authorization(
+                sealed_t, world["broker_key"].public_key, None, now=1.0)
+
+
+class TestRogueBtelco:
+    def test_self_signed_btelco_rejected(self, world):
+        """A bTelco without a CA-signed certificate cannot get service
+        authorized — the zero-pre-agreement model still needs the PKI."""
+        rogue_key = generate_keypair(rng=random.Random(88))
+        rogue_ca = CertificateAuthority(key=generate_keypair(
+            rng=random.Random(89)))
+        rogue_cert = rogue_ca.issue("evil", "btelco", rogue_key.public_key)
+        rogue = BtelcoSap(BtelcoSapConfig(
+            id_t="evil", key=rogue_key, certificate=rogue_cert,
+            ca_public_key=world["ca"].public_key))
+        req_u = UeSap(world["creds"]).craft_request("evil")
+        req_t = rogue.augment_request(req_u)
+        with pytest.raises(SapError, match="certificate"):
+            world["broker"].process_request(req_t, now=1.0)
+
+    def test_btelco_with_broker_role_cert_rejected(self, world):
+        """Role confusion: a *broker* certificate cannot authorize
+        bTelco service."""
+        key = generate_keypair(rng=random.Random(90))
+        cert = world["ca"].issue("not-a-telco", "broker", key.public_key)
+        confused = BtelcoSap(BtelcoSapConfig(
+            id_t="not-a-telco", key=key, certificate=cert,
+            ca_public_key=world["ca"].public_key))
+        req_u = UeSap(world["creds"]).craft_request("not-a-telco")
+        req_t = confused.augment_request(req_u)
+        with pytest.raises(SapError):
+            world["broker"].process_request(req_t, now=1.0)
+
+
+class TestBillingAttacks:
+    def _verifier(self, world):
+        from repro.core.billing import BillingVerifier
+        from repro.core.qos import QosInfo
+        from repro.core.sap import SapGrant
+        verifier = BillingVerifier(broker_key=world["broker_key"])
+        grant = SapGrant(id_u="alice", id_u_opaque="anon", id_t="t1",
+                         session_id="s", ss=b"s" * 32, qos_info=QosInfo(),
+                         granted_at=0.0, expires_at=1e9)
+        verifier.open_session(grant,
+                              ue_public_key=world["ue_key"].public_key,
+                              btelco_public_key=world["telco_key"].public_key)
+        return verifier
+
+    def _report(self, seq=0, dl=1_000_000):
+        return TrafficReport(session_id="s", seq=seq, interval_start=0.0,
+                             interval_end=30.0, ul_bytes=0, dl_bytes=dl)
+
+    def test_btelco_cannot_forge_ue_reports(self, world):
+        """The bTelco would love to submit 'UE' reports matching its own
+        inflated numbers — but it lacks the UE's signing key."""
+        verifier = self._verifier(world)
+        forged = make_upload(self._report(dl=9_999_999), REPORTER_UE,
+                             world["telco_key"],  # wrong key!
+                             world["broker_key"].public_key)
+        assert not verifier.ingest(forged, now=30.0)
+
+    def test_replayed_upload_does_not_double_bill(self, world):
+        verifier = self._verifier(world)
+        ue_up = make_upload(self._report(), REPORTER_UE, world["ue_key"],
+                            world["broker_key"].public_key)
+        t_up = make_upload(self._report(), REPORTER_BTELCO,
+                           world["telco_key"],
+                           world["broker_key"].public_key)
+        verifier.ingest(ue_up, now=30.0)
+        verifier.ingest(t_up, now=30.0)
+        first = verifier.sessions["s"].billable_dl_bytes
+        # Replay both uploads (e.g. a bTelco hoping to double its revenue).
+        verifier.ingest(ue_up, now=31.0)
+        verifier.ingest(t_up, now=31.0)
+        assert verifier.sessions["s"].billable_dl_bytes == first
+        assert verifier.sessions["s"].checked_pairs == 1
+
+    def test_report_cross_session_replay_rejected(self, world):
+        """A signed report from one session cannot bill another."""
+        verifier = self._verifier(world)
+        other = TrafficReport(session_id="other", seq=0, interval_start=0.0,
+                              interval_end=30.0, ul_bytes=0,
+                              dl_bytes=5_000_000)
+        upload = make_upload(other, REPORTER_UE, world["ue_key"],
+                             world["broker_key"].public_key)
+        # Claim it belongs to session "s" on the wire.
+        spoofed = TrafficReportUpload(
+            session_id="s", seq=0, reporter=REPORTER_UE,
+            blob=upload.blob, signature=upload.signature)
+        assert not verifier.ingest(spoofed, now=30.0)
+
+
+class TestRevocation:
+    def test_revoked_ue_cannot_attach_anywhere(self):
+        """§4.1: 'B can revoke U's public key by simply invalidating the
+        key in its database' — end-to-end over the full network."""
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        assert manager.ue.state == "ATTACHED"
+
+        net.brokerd.revoke_subscriber("alice")
+        results = []
+        manager.ue.on_attach_done = results.append
+        manager.switch_to("btelco-b")
+        sim.run(until=2.0)
+        assert results and not results[-1].success
+        assert "suspended" in results[-1].cause

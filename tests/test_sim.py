@@ -1,0 +1,153 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.net.sim import SimulationError, Simulator, Timer
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "b")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(1.0, order.append, 2)
+        sim.schedule(1.0, order.append, 3)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def outer():
+            times.append(sim.now)
+            sim.schedule(1.0, inner)
+
+        def inner():
+            times.append(sim.now)
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert times == [1.0, 2.0]
+
+
+class TestRunControl:
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1.0, ran.append, 1)
+        sim.schedule(5.0, ran.append, 5)
+        sim.run(until=2.0)
+        assert ran == [1]
+        assert sim.now == 2.0
+        sim.run(until=10.0)
+        assert ran == [1, 5]
+
+    def test_run_until_advances_clock_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events(self):
+        sim = Simulator()
+        ran = []
+        for i in range(10):
+            sim.schedule(float(i + 1), ran.append, i)
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert ran == [0, 1, 2]
+
+    def test_cancelled_events_do_not_run(self):
+        sim = Simulator()
+        ran = []
+        event = sim.schedule(1.0, ran.append, "x")
+        event.cancel()
+        sim.run()
+        assert ran == []
+
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        event.cancel()
+        assert sim.pending() == 1
+
+    def test_clear_drops_everything(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1.0, ran.append, 1)
+        sim.clear()
+        sim.run()
+        assert ran == []
+
+    def test_run_returns_processed_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.run() == 2
+
+
+class TestTimer:
+    def test_timer_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_restart_replaces_previous_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.schedule(1.0, timer.start, 5.0)
+        sim.run()
+        assert fired == [6.0]
+
+    def test_stop_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.schedule(1.0, timer.stop)
+        sim.run()
+        assert fired == []
+
+    def test_armed_reflects_state(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
