@@ -33,6 +33,11 @@ from repro.testbed.placement import (
 UE_COUNTS = (1, 10, 50, 100)
 ARRIVAL_WINDOW = 1.0   # all N UEs start attaching within this window
 
+CHURN_ATTACHES = 10_000
+CHURN_TTL = 50.0       # broker session lifetime (seconds, sim time)
+CHURN_INTERVAL = 1.0   # one attach per sim-second
+CHURN_SUBSCRIBERS = 32
+
 
 def _add_ue_host(sim, topology, index):
     host = Host(sim, f"ue{index}", address=f"10.{2 + index // 200}."
@@ -126,3 +131,92 @@ def test_scale_concurrent_attaches(benchmark):
     heaviest = rows[-1]
     assert heaviest[3] > single[3]        # contention is visible...
     assert heaviest[4] < 3000.0           # ...but 100 UEs still land <3 s
+
+
+def _run_churn(attaches: int):
+    """Long-haul attach churn against one BrokerSap (no network sim):
+    rotate subscribers, revoke one mid-run, track peak lifecycle state."""
+    from repro.core.sap import (
+        BrokerSap,
+        BrokerSubscriber,
+        BtelcoSap,
+        BtelcoSapConfig,
+        SapError,
+        UeSap,
+        UeSapCredentials,
+    )
+
+    ca = CertificateAuthority(key=pooled_keypair(920))
+    broker_key = pooled_keypair(921)
+    telco_key = pooled_keypair(922)
+    ue_key = pooled_keypair(923)
+    cert = ca.issue("t.churn", "btelco", telco_key.public_key)
+    broker = BrokerSap(id_b="b.churn", key=broker_key,
+                       ca_public_key=ca.public_key, session_ttl=CHURN_TTL)
+    telco = BtelcoSap(BtelcoSapConfig(
+        id_t="t.churn", key=telco_key, certificate=cert,
+        qos_capabilities=QosCapabilities(), ca_public_key=ca.public_key))
+    ues = []
+    for index in range(CHURN_SUBSCRIBERS):
+        id_u = f"sub-{index}"
+        broker.enroll(BrokerSubscriber(id_u=id_u,
+                                       public_key=ue_key.public_key))
+        ues.append(UeSap(UeSapCredentials(
+            id_u=id_u, id_b="b.churn", ue_key=ue_key,
+            broker_public_key=broker_key.public_key)))
+
+    revoke_at = attaches // 2
+    peak_nonces = peak_grants = 0
+    revoked_grants = denied_after_revoke = 0
+    for attach in range(attaches):
+        now = attach * CHURN_INTERVAL
+        index = attach % CHURN_SUBSCRIBERS
+        req_t = telco.augment_request(ues[index].craft_request("t.churn"))
+        try:
+            broker.process_request(req_t, now=now)
+        except SapError:
+            denied_after_revoke += 1
+        if attach == revoke_at:
+            # Revoke the subscriber that just attached: its live grants
+            # must vanish now, not at natural expiry.
+            revoked_grants = len(broker.revoke(f"sub-{index}"))
+        peak_nonces = max(peak_nonces, len(broker._seen_nonces))
+        peak_grants = max(peak_grants, len(broker.grants))
+    return dict(stats=broker.stats(), peak_nonces=peak_nonces,
+                peak_grants=peak_grants, revoked_grants=revoked_grants,
+                denied_after_revoke=denied_after_revoke,
+                attaches=attaches)
+
+
+def test_attach_churn_bounded_state(benchmark, scale):
+    attaches = max(200, int(CHURN_ATTACHES * scale))
+    result = benchmark.pedantic(_run_churn, args=(attaches,),
+                                rounds=1, iterations=1)
+
+    stats = result["stats"]
+    active_bound = int(CHURN_TTL / CHURN_INTERVAL) + 1
+    print_header("XTRA-SCALE - attach churn (bounded lifecycle state)")
+    print(f"attaches {result['attaches']}, ttl {CHURN_TTL:.0f}s, "
+          f"{CHURN_SUBSCRIBERS} subscribers")
+    print(f"peak replay cache {result['peak_nonces']:5d}  "
+          f"(active-session bound {active_bound})")
+    print(f"peak grants       {result['peak_grants']:5d}  "
+          f"(active-session bound {active_bound})")
+    print(f"grants expired {stats['grants_expired']}, "
+          f"revoked {stats['grants_revoked']}, "
+          f"final active {stats['grants_active']}")
+
+    # The tentpole claim: broker state tracks *active* sessions, not
+    # attach history.  10k attaches, yet both structures stay near the
+    # ~51-session live window.
+    assert result["peak_nonces"] <= active_bound
+    assert result["peak_grants"] <= active_bound
+    assert stats["replay_cache_size"] <= active_bound
+    # The mid-run revocation cascaded to live grants and the suspended
+    # subscriber was denied on every later attempt.
+    assert result["revoked_grants"] >= 1
+    assert result["denied_after_revoke"] > 0
+    assert stats["attach_denied"].get("suspended", 0) \
+        == result["denied_after_revoke"]
+    assert stats["attach_ok"] + result["denied_after_revoke"] \
+        == result["attaches"]

@@ -34,8 +34,10 @@ from .messages import (
     AuthVec,
     BrokerAuthRequest,
     BrokerAuthResponse,
+    DenialCause,
     MessageError,
     SealedResponse,
+    SessionRevocation,
     seal_and_sign,
 )
 from .mobility import MobilityManager
@@ -81,6 +83,7 @@ __all__ = [
     "CellBricksAmf",
     "CellBricksUe",
     "CellBricksUe5G",
+    "DenialCause",
     "InterceptRecord",
     "Invoice",
     "LawfulInterceptFunction",
@@ -100,6 +103,7 @@ __all__ = [
     "SapError",
     "SapGrant",
     "SealedResponse",
+    "SessionRevocation",
     "SettlementEngine",
     "SettlementError",
     "UsageClaim",

@@ -105,6 +105,9 @@ class SessionLedger:
     checked_pairs: int = 0
     billable_dl_bytes: int = 0
     billable_ul_bytes: int = 0
+    #: set when the grant expired or was revoked: the verified totals are
+    #: frozen for settlement and further uploads are refused.
+    closed: bool = False
 
 
 @dataclass(frozen=True)
@@ -152,6 +155,19 @@ class BillingVerifier:
                               public_key: PublicKey) -> None:
         self.reporter_keys[(session_id, reporter)] = public_key
 
+    def close_session(self, session_id: str) -> None:
+        """Stop accepting reports for an ended (expired/revoked) session.
+
+        The ledger itself survives — settlement still needs the verified
+        totals — but the reporter-key entries are released so per-session
+        broker state stops growing with attach history.
+        """
+        ledger = self.sessions.get(session_id)
+        if ledger is not None:
+            ledger.closed = True
+        self.reporter_keys.pop((session_id, REPORTER_UE), None)
+        self.reporter_keys.pop((session_id, REPORTER_BTELCO), None)
+
     # -- ingestion ------------------------------------------------------------
     def ingest(self, upload: TrafficReportUpload, now: float) -> bool:
         """Verify, decrypt, store, and cross-check one uploaded report.
@@ -160,7 +176,7 @@ class BillingVerifier:
         cross-check then flags a mismatch).
         """
         ledger = self.sessions.get(upload.session_id)
-        if ledger is None:
+        if ledger is None or ledger.closed:
             self.rejected_uploads += 1
             return False
         key = self.reporter_keys.get((upload.session_id, upload.reporter))

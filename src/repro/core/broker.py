@@ -14,10 +14,10 @@ from repro.lte.signaling import SignalingNode
 from repro.net import Host
 
 from .billing import BillingVerifier, TrafficReportUpload
-from .messages import BrokerAuthRequest, BrokerAuthResponse
+from .messages import BrokerAuthRequest, BrokerAuthResponse, SessionRevocation
 from .qos import QosInfo
 from .reputation import ReputationSystem
-from .sap import BrokerSap, BrokerSubscriber, SapError
+from .sap import BrokerSap, BrokerSubscriber, SapError, SapGrant
 
 # brokerd processing per authentication request (seconds): decrypt,
 # two verifies, two seals, two signs — the "Brokerd" share of Fig 7.
@@ -46,8 +46,15 @@ class Brokerd(SignalingNode):
         self.billing = BillingVerifier(broker_key=self.key,
                                        reputation=self.reputation)
         self.sap.authorize_btelco = self._btelco_policy
+        self.sap.on_grant_expired = self._on_grant_expired
+        #: optional settlement engine to cascade revocations into.
+        self.settlement = None
+        #: session_id -> signaling address of the serving bTelco, so a
+        #: revocation can be pushed to whoever holds the grant.
+        self._session_btelco: dict[str, str] = {}
         self.requests_approved = 0
         self.requests_denied = 0
+        self.revocations_sent = 0
         self.on(BrokerAuthRequest, self._handle_auth_request)
         self.on(TrafficReportUpload, self._handle_report)
 
@@ -62,8 +69,44 @@ class Brokerd(SignalingNode):
             id_u=id_u, public_key=public_key,
             qos_plan=qos_plan or QosInfo()))
 
-    def revoke_subscriber(self, id_u: str) -> None:
-        self.sap.revoke(id_u)
+    def revoke_subscriber(self, id_u: str) -> list[SapGrant]:
+        """Invalidate a subscriber's key and cascade to live grants.
+
+        Every outstanding authorization is withdrawn: the serving bTelco
+        is notified (:class:`SessionRevocation`), further traffic reports
+        are refused, and — when a settlement engine is attached — pending
+        claims against the revoked sessions are voided.
+        """
+        revoked = self.sap.revoke(id_u)
+        for grant in revoked:
+            self.billing.close_session(grant.session_id)
+            if self.settlement is not None:
+                self.settlement.void_session(grant.session_id)
+            destination = self._session_btelco.pop(grant.session_id, None)
+            if destination is not None:
+                self.revocations_sent += 1
+                self.send(destination, SessionRevocation(
+                    session_id=grant.session_id,
+                    id_u_opaque=grant.id_u_opaque), size=96)
+        return revoked
+
+    # -- session lifecycle ----------------------------------------------------
+    def expire_grants(self, now: Optional[float] = None) -> list[SapGrant]:
+        """Explicit grant-GC sweep (also runs amortized per request)."""
+        return self.sap.expire_grants(self.sim.now if now is None else now)
+
+    def _on_grant_expired(self, grant: SapGrant) -> None:
+        self._session_btelco.pop(grant.session_id, None)
+        self.billing.close_session(grant.session_id)
+
+    def stats(self) -> dict:
+        """Lifecycle counters: SAP state sizes plus daemon-level tallies."""
+        stats = self.sap.stats()
+        stats.update(requests_approved=self.requests_approved,
+                     requests_denied=self.requests_denied,
+                     revocations_sent=self.revocations_sent,
+                     sessions_tracked=len(self._session_btelco))
+        return stats
 
     def mandate_intercept(self, id_u: str) -> None:
         """Place a subscriber under lawful intercept (legal process at
@@ -93,6 +136,7 @@ class Brokerd(SignalingNode):
                 reply_token=request.reply_token), size=96)
             return
         self.requests_approved += 1
+        self._session_btelco[grant.session_id] = src_ip
         self.billing.open_session(
             grant,
             ue_public_key=self.sap.subscribers[grant.id_u].public_key,

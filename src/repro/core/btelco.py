@@ -33,7 +33,7 @@ from repro.net import Host
 
 from .billing import Meter, REPORTER_BTELCO
 from .intercept import LawfulInterceptFunction
-from .messages import BrokerAuthRequest, BrokerAuthResponse
+from .messages import BrokerAuthRequest, BrokerAuthResponse, SessionRevocation
 from .qos import QosCapabilities
 from .sap import AuthorizedSession, BtelcoSap, BtelcoSapConfig, SapError
 
@@ -80,8 +80,10 @@ class CellBricksAgw(Agw):
         self._pending: dict[int, UeContext] = {}  # reply_token -> context
         self._tokens = itertools.count(1)
         self.expired_sessions = 0
+        self.revoked_sessions = 0
         self.sap_costs = dict(CELLBRICKS_COSTS)
         self.on(BrokerAuthResponse, self._handle_broker_response)
+        self.on(SessionRevocation, self._handle_session_revocation)
 
     # -- cost model overrides -------------------------------------------------
     def nas_processing_cost(self, nas: NasMessage) -> float:
@@ -198,9 +200,14 @@ class CellBricksAgw(Agw):
         if context.state != "ATTACHED":
             return
         self.expired_sessions += 1
+        self._teardown_session(context, session_id)
+
+    def _teardown_session(self, context: UeContext, session_id: str) -> None:
+        """Network-initiated detach: release the session's every resource."""
         self.li.deactivate(session_id, self.sim.now)
         self.meters.pop(session_id, None)
         self.sessions.pop(session_id, None)
+        self.session_brokers.pop(session_id, None)
         from repro.lte.enodeb import S1UeContextRelease
         from repro.lte.nas import DetachRequest
         self.downlink_protected(context, DetachRequest())
@@ -211,9 +218,38 @@ class CellBricksAgw(Agw):
                   S1UeContextRelease(enb_ue_id=context.enb_ue_id), size=32)
         self.contexts.pop(context.enb_ue_id, None)
 
+    def _handle_session_revocation(self, src_ip: str,
+                                   notice: SessionRevocation) -> None:
+        """Broker withdrew an authorization we hold: serving this session
+        any further would be unauthorized service, so detach it now and
+        refuse the grant if it is ever presented again."""
+        self.sap.revoke_session(notice.session_id)
+        if notice.session_id not in self.sessions:
+            return
+        self.revoked_sessions += 1
+        context = next(
+            (c for c in self.contexts.values()
+             if getattr(getattr(c, "sap_session", None), "session_id",
+                        None) == notice.session_id),
+            None)
+        if context is not None and context.state == "ATTACHED":
+            self._teardown_session(context, notice.session_id)
+        else:
+            # Mid-attach or already torn down: just drop the bookkeeping;
+            # _on_attach_complete refuses revoked sessions.
+            self.meters.pop(notice.session_id, None)
+            self.sessions.pop(notice.session_id, None)
+            self.session_brokers.pop(notice.session_id, None)
+
     def _on_attach_complete(self, context: UeContext) -> None:
         super()._on_attach_complete(context)
         session = getattr(context, "sap_session", None)
+        if session is not None and context.state == "ATTACHED" \
+                and not self.sap.session_authorized(session.session_id):
+            # The grant was revoked while the attach was in flight.
+            self.revoked_sessions += 1
+            self._teardown_session(context, session.session_id)
+            return
         if context.state == "ATTACHED" and session is not None:
             broker_key = self.broker_public_keys.get(
                 getattr(context, "broker_id", ""))

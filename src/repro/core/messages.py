@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from enum import Enum
 
 from repro.crypto import Certificate, PrivateKey, PublicKey
 
@@ -21,6 +22,28 @@ NONCE_SIZE = 16
 
 class MessageError(Exception):
     """Raised when a SAP message fails to parse or validate."""
+
+
+class DenialCause(str, Enum):
+    """Why an attachment (or an existing session) was refused.
+
+    Carried on :class:`~repro.core.sap.SapError` and aggregated into the
+    broker's ``attach_denied`` counters; ``REVOKED`` additionally rides
+    the :class:`SessionRevocation` cascade to the serving bTelco.
+    """
+
+    BAD_CERTIFICATE = "bad_certificate"
+    BAD_SIGNATURE = "bad_signature"
+    MALFORMED = "malformed"
+    MISMATCH = "mismatch"
+    UNKNOWN_SUBSCRIBER = "unknown_subscriber"
+    SUSPENDED = "suspended"
+    REVOKED = "revoked"
+    REPLAY = "replay"
+    POLICY = "policy"
+    LI_UNSUPPORTED = "li_unsupported"
+    EXPIRED = "expired"
+    OTHER = "other"
 
 
 def _canonical(obj: dict) -> bytes:
@@ -239,3 +262,17 @@ class BrokerAuthResponse:
     auth_resp_u: object = None   # SealedResponse forwarded verbatim to the UE
     cause: str = ""
     reply_token: int = 0
+
+
+@dataclass(frozen=True)
+class SessionRevocation:
+    """brokerd -> bTelco: a previously issued authorization is withdrawn.
+
+    Key revocation at the broker (§4.1) must cascade to grants already in
+    the field: the serving bTelco is told to stop honouring the session
+    (identified only by its pseudonymous handles, never the IMSI).
+    """
+
+    session_id: str
+    id_u_opaque: str = ""
+    cause: str = DenialCause.REVOKED.value

@@ -19,7 +19,9 @@ Security goals realized here (paper's requirements i-iii):
 
 from __future__ import annotations
 
+import heapq
 import secrets
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -38,6 +40,7 @@ from .messages import (
     AuthRespT,
     AuthRespU,
     AuthVec,
+    DenialCause,
     MessageError,
     NONCE_SIZE,
     SealedResponse,
@@ -50,7 +53,17 @@ SS_SIZE = 32  # shared secret = KASME master key
 
 
 class SapError(Exception):
-    """Raised when a SAP check fails (authentication, freshness, ...)."""
+    """Raised when a SAP check fails (authentication, freshness, ...).
+
+    ``cause`` classifies the denial (see :class:`DenialCause`) so callers
+    can aggregate counters and surface machine-readable reasons without
+    parsing the human-oriented message.
+    """
+
+    def __init__(self, message: str,
+                 cause: DenialCause = DenialCause.OTHER):
+        super().__init__(message)
+        self.cause = cause
 
 
 # ---------------------------------------------------------------------------
@@ -95,24 +108,35 @@ class UeSap:
     def process_response(self, sealed: SealedResponse) -> AuthRespU:
         """Steps 5-6 of Fig 2: authenticate B, recover ss, check freshness.
 
-        Raises :class:`SapError` on any failure.
+        Raises :class:`SapError` on any failure.  The outstanding
+        (nonce, target) pair is single-use: it is cleared on success *and*
+        on failure, so a stale target can never validate a later response
+        and any failed exchange forces a fresh :meth:`craft_request`.
         """
         creds = self.credentials
-        if not sealed.verify(creds.broker_public_key):
-            raise SapError("authRespU: broker signature invalid")
         try:
-            payload = creds.ue_key.decrypt(sealed.blob)
-            response = AuthRespU.from_bytes(payload)
-        except (CryptoError, MessageError) as exc:
-            raise SapError(f"authRespU: {exc}") from exc
-        if self._outstanding_nonce is None \
-                or response.nonce != self._outstanding_nonce:
-            raise SapError("authRespU: nonce mismatch (replay?)")
-        if response.id_u != creds.id_u:
-            raise SapError("authRespU: wrong UE identity")
-        if response.id_t != self._target_id_t:
-            raise SapError("authRespU: wrong bTelco identity")
-        self._outstanding_nonce = None
+            if not sealed.verify(creds.broker_public_key):
+                raise SapError("authRespU: broker signature invalid",
+                               cause=DenialCause.BAD_SIGNATURE)
+            try:
+                payload = creds.ue_key.decrypt(sealed.blob)
+                response = AuthRespU.from_bytes(payload)
+            except (CryptoError, MessageError) as exc:
+                raise SapError(f"authRespU: {exc}",
+                               cause=DenialCause.MALFORMED) from exc
+            if self._outstanding_nonce is None \
+                    or response.nonce != self._outstanding_nonce:
+                raise SapError("authRespU: nonce mismatch (replay?)",
+                               cause=DenialCause.REPLAY)
+            if response.id_u != creds.id_u:
+                raise SapError("authRespU: wrong UE identity",
+                               cause=DenialCause.MISMATCH)
+            if response.id_t != self._target_id_t:
+                raise SapError("authRespU: wrong bTelco identity",
+                               cause=DenialCause.MISMATCH)
+        finally:
+            self._outstanding_nonce = None
+            self._target_id_t = None
         return response
 
 
@@ -147,6 +171,16 @@ class BtelcoSap:
 
     def __init__(self, config: BtelcoSapConfig):
         self.config = config
+        #: grants the broker has withdrawn (revocation cascade): sessions
+        #: listed here must no longer be honoured or re-validated.
+        self.revoked_sessions: set[str] = set()
+
+    def revoke_session(self, session_id: str) -> None:
+        """Record a broker-side revocation of an issued authorization."""
+        self.revoked_sessions.add(session_id)
+
+    def session_authorized(self, session_id: str) -> bool:
+        return session_id not in self.revoked_sessions
 
     def augment_request(self, auth_req_u: AuthReqU,
                         lawful_intercept: bool = False) -> AuthReqT:
@@ -183,9 +217,14 @@ class BtelcoSap:
         except (CryptoError, MessageError) as exc:
             raise SapError(f"authRespT: {exc}") from exc
         if response.id_t != self.config.id_t:
-            raise SapError("authRespT: authorization is for a different bTelco")
+            raise SapError("authRespT: authorization is for a different bTelco",
+                           cause=DenialCause.MISMATCH)
+        if response.session_id in self.revoked_sessions:
+            raise SapError("authRespT: session revoked",
+                           cause=DenialCause.REVOKED)
         if response.expires_at < now:
-            raise SapError("authRespT: authorization expired")
+            raise SapError("authRespT: authorization expired",
+                           cause=DenialCause.EXPIRED)
         if not self.config.qos_capabilities.can_satisfy(response.qos_info):
             raise SapError("authRespT: qosInfo exceeds advertised capability")
         return AuthorizedSession(
@@ -225,7 +264,20 @@ class SapGrant:
 
 class BrokerSap:
     """Broker-side SAP procedures: authenticate U and T, authorize, and
-    mint the two sealed responses."""
+    mint the two sealed responses.
+
+    Session-lifecycle state is O(active sessions), not O(all history):
+
+    * the replay cache maps each accepted nonce to the end of its
+      ``session_ttl``-sized window and is monotonically evicted on every
+      :meth:`process_request` call — a nonce reused inside the window is
+      rejected, and the cache never outgrows the live window;
+    * grants carry an expiry and are garbage-collected by
+      :meth:`expire_grants`, which also runs amortized from the request
+      hot path;
+    * :meth:`revoke` cascades to the subscriber's outstanding grants
+      (``on_grant_revoked`` lets the hosting broker notify bTelcos).
+    """
 
     def __init__(self, id_b: str, key: PrivateKey,
                  ca_public_key: PublicKey,
@@ -239,18 +291,113 @@ class BrokerSap:
         #: subscribers under a lawful-intercept mandate (court orders).
         self.li_targets: set[str] = set()
         self._session_counter = 0
-        self._seen_nonces: set[bytes] = set()
+        #: replay window: nonce -> end of its acceptance window.
+        self._seen_nonces: dict[bytes, float] = {}
+        self._nonce_expiry: list[tuple[float, bytes]] = []   # min-heap
+        self._grant_expiry: list[tuple[float, str]] = []     # min-heap
+        self._sessions_by_ue: dict[str, set[str]] = {}
+        #: sessions invalidated by :meth:`revoke` before their natural
+        #: expiry (evicted once the original lifetime passes).
+        self.revoked_sessions: set[str] = set()
         #: policy hook: returns None to approve or a denial cause string.
         self.authorize_btelco: Callable[[str], Optional[str]] = lambda id_t: None
+        #: lifecycle hooks for the hosting broker daemon.
+        self.on_grant_expired: Optional[Callable[[SapGrant], None]] = None
+        self.on_grant_revoked: Optional[Callable[[SapGrant], None]] = None
+        # -- lifecycle counters (see stats()) --
+        self.attach_ok = 0
+        self.attach_denied: Counter = Counter()   # DenialCause value -> n
+        self.replay_hits = 0
+        self.grants_expired = 0
+        self.grants_revoked = 0
 
     # -- provisioning -----------------------------------------------------------
     def enroll(self, subscriber: BrokerSubscriber) -> None:
         self.subscribers[subscriber.id_u] = subscriber
 
-    def revoke(self, id_u: str) -> None:
-        """Revoke a UE's key by invalidating it in the database (§4.1)."""
-        if id_u in self.subscribers:
-            self.subscribers[id_u].suspended = True
+    def revoke(self, id_u: str) -> list[SapGrant]:
+        """Revoke a UE's key by invalidating it in the database (§4.1).
+
+        The revocation cascades: every outstanding grant issued to the
+        subscriber is withdrawn immediately (returned so the broker can
+        notify the serving bTelcos), not merely left to expire.
+        """
+        subscriber = self.subscribers.get(id_u)
+        if subscriber is not None:
+            subscriber.suspended = True
+        revoked: list[SapGrant] = []
+        for session_id in sorted(self._sessions_by_ue.pop(id_u, ())):
+            grant = self.grants.pop(session_id, None)
+            if grant is None:
+                continue
+            self.revoked_sessions.add(session_id)
+            self.grants_revoked += 1
+            revoked.append(grant)
+            if self.on_grant_revoked is not None:
+                self.on_grant_revoked(grant)
+        return revoked
+
+    # -- lifecycle bookkeeping ----------------------------------------------------
+    @property
+    def grants_active(self) -> int:
+        return len(self.grants)
+
+    def stats(self) -> dict:
+        """Counter snapshot (bounded-memory evidence for benchmarks)."""
+        return {
+            "attach_ok": self.attach_ok,
+            "attach_denied": dict(self.attach_denied),
+            "replay_hits": self.replay_hits,
+            "grants_active": self.grants_active,
+            "grants_expired": self.grants_expired,
+            "grants_revoked": self.grants_revoked,
+            "replay_cache_size": len(self._seen_nonces),
+            "subscribers": len(self.subscribers),
+        }
+
+    def _evict_nonces(self, now: float) -> None:
+        """Drop nonces whose replay window has closed (monotone sweep)."""
+        heap = self._nonce_expiry
+        while heap and heap[0][0] <= now:
+            _, nonce = heapq.heappop(heap)
+            expiry = self._seen_nonces.get(nonce)
+            if expiry is not None and expiry <= now:
+                del self._seen_nonces[nonce]
+
+    def _note_nonce(self, nonce: bytes, now: float) -> None:
+        window_end = now + self.session_ttl
+        self._seen_nonces[nonce] = window_end
+        heapq.heappush(self._nonce_expiry, (window_end, nonce))
+
+    def expire_grants(self, now: float) -> list[SapGrant]:
+        """Garbage-collect grants past their authorization lifetime.
+
+        Also forgets revoked-session tombstones once the session's
+        original lifetime has passed (a bTelco would reject it as expired
+        anyway), keeping every lifecycle structure O(active sessions).
+        """
+        expired: list[SapGrant] = []
+        heap = self._grant_expiry
+        while heap and heap[0][0] <= now:
+            _, session_id = heapq.heappop(heap)
+            self.revoked_sessions.discard(session_id)
+            grant = self.grants.get(session_id)
+            if grant is None or grant.expires_at > now:
+                continue
+            del self.grants[session_id]
+            sessions = self._sessions_by_ue.get(grant.id_u)
+            if sessions is not None:
+                sessions.discard(session_id)
+                if not sessions:
+                    del self._sessions_by_ue[grant.id_u]
+            self.grants_expired += 1
+            expired.append(grant)
+            if self.on_grant_expired is not None:
+                self.on_grant_expired(grant)
+        return expired
+
+    def _deny(self, cause: DenialCause, message: str) -> None:
+        raise SapError(message, cause=cause)
 
     # -- the handler of Fig 3 (bottom) --------------------------------------------
     def process_request(self, request: AuthReqT, now: float
@@ -259,50 +406,72 @@ class BrokerSap:
 
         Raises :class:`SapError` with a denial cause on any failure.
         """
+        self._evict_nonces(now)
+        self.expire_grants(now)
+        try:
+            result = self._authenticate_and_mint(request, now)
+        except SapError as exc:
+            self.attach_denied[exc.cause.value] += 1
+            if exc.cause is DenialCause.REPLAY:
+                self.replay_hits += 1
+            raise
+        self.attach_ok += 1
+        return result
+
+    def _authenticate_and_mint(self, request: AuthReqT, now: float
+                               ) -> tuple[SealedResponse, SealedResponse, SapGrant]:
         # 1. Authenticate T: certificate chain + signature over the request.
         try:
             validate_certificate(request.t_certificate, self.ca_public_key,
                                  now, expected_role="btelco")
         except CertificateError as exc:
-            raise SapError(f"bTelco certificate invalid: {exc}") from exc
+            raise SapError(f"bTelco certificate invalid: {exc}",
+                           cause=DenialCause.BAD_CERTIFICATE) from exc
         if request.t_certificate.subject != request.id_t:
-            raise SapError("bTelco identity does not match certificate")
+            self._deny(DenialCause.MISMATCH,
+                       "bTelco identity does not match certificate")
         if not request.t_certificate.public_key.verify(
                 request.signed_bytes(), request.sig_t):
-            raise SapError("authReqT: bTelco signature invalid")
+            self._deny(DenialCause.BAD_SIGNATURE,
+                       "authReqT: bTelco signature invalid")
 
         # 2. Decrypt authVec and authenticate U.
         try:
             auth_vec = AuthVec.from_bytes(
                 self.key.decrypt(request.auth_req_u.auth_vec_encrypted))
         except (CryptoError, MessageError) as exc:
-            raise SapError(f"authVec: {exc}") from exc
+            raise SapError(f"authVec: {exc}",
+                           cause=DenialCause.MALFORMED) from exc
         if auth_vec.id_b != self.id_b:
-            raise SapError("authVec addressed to a different broker")
+            self._deny(DenialCause.MISMATCH,
+                       "authVec addressed to a different broker")
         if auth_vec.id_t != request.id_t:
-            raise SapError("authVec bTelco mismatch (relay attack?)")
+            self._deny(DenialCause.MISMATCH,
+                       "authVec bTelco mismatch (relay attack?)")
         subscriber = self.subscribers.get(auth_vec.id_u)
         if subscriber is None:
-            raise SapError("unknown subscriber")
+            self._deny(DenialCause.UNKNOWN_SUBSCRIBER, "unknown subscriber")
         if subscriber.suspended:
-            raise SapError("subscriber suspended")
+            self._deny(DenialCause.SUSPENDED, "subscriber suspended")
         if not subscriber.public_key.verify(
                 request.auth_req_u.auth_vec_encrypted,
                 request.auth_req_u.sig_authvec):
-            raise SapError("authReqU: UE signature invalid")
+            self._deny(DenialCause.BAD_SIGNATURE,
+                       "authReqU: UE signature invalid")
         if auth_vec.nonce in self._seen_nonces:
-            raise SapError("replayed nonce")
-        self._seen_nonces.add(auth_vec.nonce)
+            self._deny(DenialCause.REPLAY, "replayed nonce")
+        self._note_nonce(auth_vec.nonce, now)
 
         # 3. Authorization policy (profiles, reputation, ...).
         cause = self.authorize_btelco(request.id_t)
         if cause is not None:
-            raise SapError(f"bTelco not authorized: {cause}")
+            self._deny(DenialCause.POLICY, f"bTelco not authorized: {cause}")
         # 3b. Lawful intercept: a mandated subscriber may only be served
         # by bTelcos that advertise LI capability (negotiated in SAP).
         li_required = auth_vec.id_u in self.li_targets
         if li_required and not request.qos_cap.supports_lawful_intercept:
-            raise SapError("lawful intercept required but unsupported")
+            self._deny(DenialCause.LI_UNSUPPORTED,
+                       "lawful intercept required but unsupported")
 
         # 4. Mint the session: shared secret, pseudonym, QoS selection.
         ss = secrets.token_bytes(SS_SIZE)
@@ -327,4 +496,6 @@ class BrokerSap:
                          qos_info=qos_info, granted_at=now,
                          expires_at=expires_at)
         self.grants[session_id] = grant
+        self._sessions_by_ue.setdefault(grant.id_u, set()).add(session_id)
+        heapq.heappush(self._grant_expiry, (expires_at, session_id))
         return sealed_t, sealed_u, grant

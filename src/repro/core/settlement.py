@@ -94,9 +94,17 @@ class SettlementEngine:
         self.btelco_keys: dict[str, PublicKey] = {}
         self.disputes = 0
         self._settled_sessions: set = set()
+        #: sessions whose grant was revoked before settlement: claims
+        #: against them are refused (the broker resolves any residual
+        #: usage out-of-band, alongside the revocation itself).
+        self.voided_sessions: set = set()
 
     def register_btelco(self, id_t: str, public_key: PublicKey) -> None:
         self.btelco_keys[id_t] = public_key
+
+    def void_session(self, session_id: str) -> None:
+        """Revocation cascade: refuse future claims for this session."""
+        self.voided_sessions.add(session_id)
 
     def _account(self, store: dict, owner: str) -> Account:
         if owner not in store:
@@ -111,6 +119,8 @@ class SettlementEngine:
             raise SettlementError(f"unknown bTelco {claim.id_t!r}")
         if not key.verify(claim.signed_payload(), claim.signature):
             raise SettlementError("claim signature invalid")
+        if claim.session_id in self.voided_sessions:
+            raise SettlementError("session revoked")
         ledger = self.billing.sessions.get(claim.session_id)
         if ledger is None:
             raise SettlementError(f"unknown session {claim.session_id!r}")

@@ -154,12 +154,20 @@ class PrivateKey:
     def byte_size(self) -> int:
         return (self.n.bit_length() + 7) // 8
 
+    def _private_op(self, m: int) -> int:
+        """m^d mod n via CRT: two half-size exponentiations (~3-4x faster
+        than ``pow(m, d, n)``), numerically identical to the direct form."""
+        mp = pow(m % self.p, self.d % (self.p - 1), self.p)
+        mq = pow(m % self.q, self.d % (self.q - 1), self.q)
+        h = ((mp - mq) * pow(self.q, -1, self.p)) % self.p
+        return mq + h * self.q
+
     # -- signing ----------------------------------------------------------
     def sign(self, message: bytes) -> bytes:
         """Produce a randomized PSS-style signature over SHA-256."""
         em = self._pss_encode(message)
         m = _int_from_bytes(em)
-        return _int_to_bytes(pow(m, self.d, self.n), self.byte_size)
+        return _int_to_bytes(self._private_op(m), self.byte_size)
 
     def _pss_encode(self, message: bytes) -> bytes:
         em_len = self.byte_size
@@ -181,7 +189,7 @@ class PrivateKey:
         k = self.byte_size
         if len(block) != k:
             raise CryptoError("ciphertext block has wrong length")
-        em = _int_to_bytes(pow(_int_from_bytes(block), self.d, self.n), k)
+        em = _int_to_bytes(self._private_op(_int_from_bytes(block)), k)
         if em[0] != 0:
             raise CryptoError("OAEP decoding failed")
         masked_seed = em[1:1 + DIGEST_SIZE]

@@ -26,6 +26,7 @@ drives subflow management, matching the UE-driven design.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -89,20 +90,17 @@ class _ConnReceiver:
             return 0
         delivered = end - self.rcv_nxt
         self.rcv_nxt = end
-        # Drain any out-of-order ranges now contiguous.
-        progressed = True
-        while progressed:
-            progressed = False
-            for seq in sorted(self._pending):
-                length_p = self._pending[seq]
-                if seq <= self.rcv_nxt:
-                    del self._pending[seq]
-                    tail = seq + length_p
-                    if tail > self.rcv_nxt:
-                        delivered += tail - self.rcv_nxt
-                        self.rcv_nxt = tail
-                    progressed = True
-                    break
+        # Drain any out-of-order ranges now contiguous.  One ascending
+        # pass suffices: each range either extends rcv_nxt (possibly
+        # making the next one contiguous too) or sits past a gap, and
+        # everything after a gap is even further out.
+        for seq in sorted(self._pending):
+            if seq > self.rcv_nxt:
+                break
+            tail = seq + self._pending.pop(seq)
+            if tail > self.rcv_nxt:
+                delivered += tail - self.rcv_nxt
+                self.rcv_nxt = tail
         return delivered
 
 
@@ -310,7 +308,13 @@ class MptcpConnection(MptcpEndpoint):
 
     def _open_and_reinject(self, salvaged: list[tuple[int, DssMapping]]) -> None:
         self._backlog = salvaged + self._backlog
-        self._open_subflow(MpJoin(self.token))
+        if self._established_once:
+            self._open_subflow(MpJoin(self.token))
+        else:
+            # The initial handshake never completed, so the listener may
+            # not know our token yet and would reset an MP_JOIN
+            # (RFC 8684 §3.2): restart with MP_CAPABLE instead.
+            self._open_subflow(MpCapable(self.token))
 
     def _on_address_timeout(self) -> None:
         """No new address within the timeout: tear the connection down."""
@@ -393,6 +397,11 @@ class MptcpListener:
         self.on_connection = on_connection
         self.mss = mss
         self.connections: dict[int, MptcpServerConnection] = {}
+        # Plain-TCP fallback peers carry no MPTCP option, so they get
+        # listener-local tokens from the negative space (a real MP_JOIN
+        # token can never collide with them).
+        self._fallback_tokens = itertools.count(-1, -1)
+        self.rejected_joins = 0
         self._listener = TcpListener(host, port, self._on_accept, mss=mss)
 
     def _on_accept(self, subflow: TcpConnection) -> None:
@@ -400,10 +409,26 @@ class MptcpListener:
         # delivers it via the packet that created this connection.  The
         # listener stores it on the accepted connection (see TcpListener).
         meta = getattr(subflow, "syn_meta", None)
-        if isinstance(meta, MpJoin) and meta.token in self.connections:
-            self.connections[meta.token].attach_subflow(subflow)
+        if isinstance(meta, MpJoin):
+            if meta.token in self.connections:
+                self.connections[meta.token].attach_subflow(subflow)
+            else:
+                # RFC 8684 §3.2: a JOIN for an unknown token is answered
+                # with a reset, never a silently minted connection.
+                self.rejected_joins += 1
+                self.host.sim.schedule(0.0, subflow.abort,
+                                       "unknown MPTCP token")
             return
-        token = meta.token if isinstance(meta, (MpCapable, MpJoin)) else 0
+        if isinstance(meta, MpCapable):
+            token = meta.token
+            if token in self.connections:
+                # The client restarted its initial subflow (our SYN-ACK
+                # died before it established): rejoin the connection we
+                # already minted rather than shadowing it with a new one.
+                self.connections[token].attach_subflow(subflow)
+                return
+        else:
+            token = next(self._fallback_tokens)
         connection = MptcpServerConnection(self.host, token, mss=self.mss)
         connection.attach_subflow(subflow)
         self.connections[token] = connection

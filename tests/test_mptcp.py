@@ -8,7 +8,8 @@ from repro.net import (
     MptcpListener,
     Simulator,
 )
-from repro.net.mptcp import _ConnReceiver
+from repro.net.mptcp import MpJoin, _ConnReceiver
+from repro.net.tcp import TcpConnection
 
 
 def make_path(sim, shaper_rate=None, **kwargs):
@@ -83,6 +84,59 @@ class TestConnReceiver:
         assert recv.on_mapped_data(200, 100) == 0
         assert recv.on_mapped_data(100, 100) == 0
         assert recv.on_mapped_data(0, 100) == 300
+
+    def test_thousand_out_of_order_segments(self):
+        """The drain is a single sorted pass, so a worst-case shuffle of
+        1000 segments reassembles exactly once and leaves nothing pending."""
+        import random
+        rng = random.Random(7)
+        segments = [(i * 100, 100) for i in range(1000)]
+        rng.shuffle(segments)
+        recv = _ConnReceiver()
+        total = sum(recv.on_mapped_data(seq, length)
+                    for seq, length in segments)
+        assert total == 100_000
+        assert recv.rcv_nxt == 100_000
+        assert recv._pending == {}
+
+
+class TestListenerTokens:
+    def test_concurrent_fallback_clients_get_distinct_connections(self):
+        """Regression: untagged (plain-TCP fallback) accepts used to all
+        map to token 0, each overwriting the previous server connection."""
+        sim = Simulator()
+        path = make_path(sim)
+        server = DownloadServer(path, 0)
+        clients = [TcpConnection(path.ue, path.server.address, 443)
+                   for _ in range(2)]
+        received = [0, 0]
+        for index, client in enumerate(clients):
+            client.on_data = lambda n, meta, i=index: received.__setitem__(
+                i, received[i] + n)
+            client.connect()
+        sim.run(until=1.0)
+        assert len(server.connections) == 2
+        assert server.connections[0] is not server.connections[1]
+        assert set(server.listener.connections) == {-1, -2}
+        # Each server connection reaches its own client, not the last one.
+        server.connections[0].send(1000)
+        server.connections[1].send(3000)
+        sim.run(until=5.0)
+        assert received == [1000, 3000]
+
+    def test_unknown_token_join_rejected(self):
+        """RFC 8684 §3.2: an MP_JOIN naming a token the listener does not
+        know must be reset, not silently minted into a new connection."""
+        sim = Simulator()
+        path = make_path(sim)
+        server = DownloadServer(path, 0)
+        join = TcpConnection(path.ue, path.server.address, 443)
+        join.syn_meta = MpJoin(token=0xDEAD_BEEF)
+        join.connect()
+        sim.run(until=2.0)
+        assert server.listener.rejected_joins == 1
+        assert server.connections == []
+        assert server.listener.connections == {}
 
 
 class TestBasicTransfer:

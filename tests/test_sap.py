@@ -242,6 +242,134 @@ class TestBtelcoChecks:
                 sealed_t, mallory.public_key, None, now=10.0)
 
 
+def fresh_broker(world, session_ttl=3600.0):
+    """A private BrokerSap (reusing the module keys) so lifecycle tests
+    can churn time without disturbing the shared ``world`` broker."""
+    broker = BrokerSap(id_b="b.example", key=world["broker_key"],
+                       ca_public_key=world["ca"].public_key,
+                       session_ttl=session_ttl)
+    broker.enroll(BrokerSubscriber(id_u="alice",
+                                   public_key=world["ue_key"].public_key))
+    return broker
+
+
+def attach(world, broker, now, id_u="alice"):
+    creds = world["creds"]
+    if id_u != "alice":
+        creds = UeSapCredentials(
+            id_u=id_u, id_b="b.example", ue_key=world["ue_key"],
+            broker_public_key=world["broker_key"].public_key)
+    ue = UeSap(creds)
+    req_t = world["telco"].augment_request(ue.craft_request("t1.example"))
+    return ue, req_t, broker.process_request(req_t, now=now)
+
+
+class TestSessionLifecycle:
+    def test_replay_window_evicts_but_still_blocks_inside_window(self, world):
+        broker = fresh_broker(world, session_ttl=10.0)
+        ue, req_t, _ = attach(world, broker, now=0.0)
+        # Reuse inside the window is rejected even after other requests
+        # have come and gone (eviction must not forget live nonces).
+        for now in (1.0, 5.0, 9.9):
+            attach(world, broker, now=now)
+            with pytest.raises(SapError, match="replayed"):
+                broker.process_request(req_t, now=now)
+        assert broker.replay_hits == 3
+        assert broker.attach_denied["replay"] == 3
+
+    def test_replay_cache_bounded_by_active_window(self, world):
+        broker = fresh_broker(world, session_ttl=5.0)
+        peak = 0
+        for step in range(40):
+            attach(world, broker, now=float(step))
+            peak = max(peak, len(broker._seen_nonces))
+        # ttl=5, one attach per second: never more than 6 live nonces,
+        # despite 40 total attaches.
+        assert peak <= 6
+        assert len(broker._nonce_expiry) <= 6
+
+    def test_grant_gc_bounds_state_under_churn(self, world):
+        broker = fresh_broker(world, session_ttl=5.0)
+        expired = []
+        broker.on_grant_expired = expired.append
+        for step in range(40):
+            attach(world, broker, now=float(step))
+            assert len(broker.grants) <= 6
+        assert broker.grants_expired == len(expired) > 0
+        assert broker.grants_expired + len(broker.grants) == 40
+        # Explicit sweep far in the future drains everything.
+        broker.expire_grants(now=1e6)
+        assert broker.grants == {}
+        assert broker._sessions_by_ue == {}
+        assert broker._grant_expiry == []
+
+    def test_revocation_cascades_to_outstanding_grants(self, world):
+        broker = fresh_broker(world)
+        hooked = []
+        broker.on_grant_revoked = hooked.append
+        _, _, (_, _, grant1) = attach(world, broker, now=0.0)
+        _, _, (_, _, grant2) = attach(world, broker, now=1.0)
+        revoked = broker.revoke("alice")
+        assert {g.session_id for g in revoked} == \
+            {grant1.session_id, grant2.session_id}
+        assert hooked == revoked
+        assert broker.grants == {}
+        assert broker.revoked_sessions == \
+            {grant1.session_id, grant2.session_id}
+        # The subscriber is suspended: re-attach is denied.
+        with pytest.raises(SapError, match="suspended"):
+            attach(world, broker, now=2.0)
+        assert broker.attach_denied["suspended"] == 1
+        # Tombstones are themselves garbage-collected after the grants'
+        # natural lifetime.
+        broker.expire_grants(now=grant2.expires_at + 1)
+        assert broker.revoked_sessions == set()
+
+    def test_btelco_rejects_revoked_session(self, world):
+        broker = fresh_broker(world)
+        ue, _, (sealed_t, _, grant) = attach(world, broker, now=0.0)
+        telco = world["telco"]
+        telco.revoke_session(grant.session_id)
+        try:
+            assert not telco.session_authorized(grant.session_id)
+            with pytest.raises(SapError, match="session revoked"):
+                telco.process_authorization(
+                    sealed_t, world["broker_key"].public_key, None, now=0.0)
+        finally:
+            telco.revoked_sessions.discard(grant.session_id)
+
+    def test_counters_and_stats(self, world):
+        broker = fresh_broker(world)
+        attach(world, broker, now=0.0)
+        with pytest.raises(SapError, match="unknown subscriber"):
+            attach(world, broker, now=1.0, id_u="mallory")
+        stats = broker.stats()
+        assert stats["attach_ok"] == 1
+        assert stats["attach_denied"] == {"unknown_subscriber": 1}
+        assert stats["grants_active"] == 1
+        assert stats["replay_cache_size"] == 1
+        assert stats["subscribers"] == 1
+
+
+class TestUeStateHygiene:
+    def test_ue_clears_state_on_success(self, world):
+        ue, *_, sealed_u, _ = full_run(world)
+        assert ue._outstanding_nonce is not None
+        ue.process_response(sealed_u)
+        assert ue._outstanding_nonce is None
+        assert ue._target_id_t is None
+
+    def test_ue_clears_state_on_failure(self, world):
+        ue, *_ = full_run(world)
+        # A response from a different run fails the nonce check...
+        _, _, _, _, sealed_other, _ = full_run(world)
+        with pytest.raises(SapError):
+            ue.process_response(sealed_other)
+        # ...and must still burn the outstanding (nonce, target) pair.
+        assert ue._outstanding_nonce is None
+        assert ue._target_id_t is None
+
+
 class TestAuthVecSerialization:
     def test_roundtrip(self):
         vec = AuthVec(id_u="u", id_b="b", id_t="t", nonce=b"n" * 16)

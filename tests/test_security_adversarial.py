@@ -211,3 +211,40 @@ class TestRevocation:
         sim.run(until=2.0)
         assert results and not results[-1].success
         assert "suspended" in results[-1].cause
+
+    def test_revocation_cascades_to_active_session(self):
+        """Revocation is not just 'no new attaches': the broker pushes a
+        SessionRevocation to the serving bTelco, which detaches the UE and
+        refuses the withdrawn grant forever after."""
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        assert manager.ue.state == "ATTACHED"
+        agw = net.sites["btelco-a"].agw
+        (session_id,) = agw.sessions
+        sealed_authorization = agw.sessions[session_id].authorization
+
+        detached = []
+        manager.ue.on_detached = lambda: detached.append(sim.now)
+        revoked = net.brokerd.revoke_subscriber("alice")
+        assert [g.session_id for g in revoked] == [session_id]
+        sim.run(until=2.0)
+
+        # The cascade reached the serving bTelco and tore the session down.
+        assert agw.revoked_sessions == 1
+        assert detached and detached[0] == pytest.approx(1.0, abs=0.5)
+        assert manager.ue.state == "DEREGISTERED"
+        assert session_id not in agw.sessions
+        assert agw.spgw.active_count == 0
+        # The withdrawn authorization can never be re-validated there.
+        with pytest.raises(SapError, match="session revoked"):
+            agw.sap.process_authorization(
+                sealed_authorization, net.brokerd.public_key, None,
+                now=sim.now)
+        # Broker-side bookkeeping agrees.
+        stats = net.brokerd.stats()
+        assert stats["grants_revoked"] == 1
+        assert stats["grants_active"] == 0
+        assert stats["revocations_sent"] == 1
