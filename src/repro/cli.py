@@ -184,6 +184,97 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0 if bounded else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Attach/revoke churn under a fault script; print (or emit as JSON)
+    the reliability metrics and fail if a safety invariant is violated.
+
+    ``--smoke`` runs the seeded CI configuration: 5% steady loss on
+    every link, a broker-link outage and a broker brown-out mid-run,
+    revocations every 10 attaches — then checks the acceptance bars
+    (≥95%% attach success under faults, unauthorized-session-seconds
+    exactly 0) and writes ``BENCH_chaos.json``.
+    """
+    import json
+
+    from repro.emulation import (
+        ChaosSchedule,
+        brownout,
+        loss_burst,
+        outage,
+        run_chaos,
+    )
+
+    if args.smoke:
+        args.attaches = min(args.attaches, 150)
+        args.loss = args.loss or 0.05
+        args.revoke_every = args.revoke_every or 10
+        if args.outage_at == 0.0:
+            args.outage_at, args.outage_len = 2.0, 2.0
+        if args.brownout_at == 0.0:
+            args.brownout_at, args.brownout_len = 8.0, 2.0
+
+    schedule = ChaosSchedule()
+    if args.outage_len > 0.0 and args.outage_at > 0.0:
+        schedule.add(outage(args.outage_at, args.outage_len,
+                            target="*-broker"))
+    if args.burst_loss > 0.0 and args.burst_at > 0.0:
+        schedule.add(loss_burst(args.burst_at, args.burst_len,
+                                args.burst_loss))
+    if args.brownout_len > 0.0 and args.brownout_at > 0.0:
+        schedule.add(brownout(args.brownout_at, args.brownout_len,
+                              factor=args.brownout_factor))
+
+    report = run_chaos(attaches=args.attaches, schedule=schedule,
+                       revoke_every=args.revoke_every, seed=args.seed,
+                       base_loss=args.loss)
+
+    payload = report.to_dict()
+    violations = []
+    if report.unauthorized_session_seconds != 0.0:
+        violations.append(
+            "unauthorized_session_seconds = "
+            f"{report.unauthorized_session_seconds} (must be 0)")
+    if args.smoke and report.success_rate < 0.95:
+        violations.append(
+            f"success_rate = {report.success_rate:.3f} (< 0.95)")
+    payload["violations"] = violations
+
+    if args.json or args.smoke:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.smoke:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+    if not args.json:
+        print(f"chaos churn: {report.attempts} attaches, "
+              f"{len(schedule)} scripted faults, "
+              f"steady loss {args.loss:.0%}, seed {args.seed}")
+        print(f"  success rate        {report.success_rate:7.2%} "
+              f"({report.successes}/{report.attempts})")
+        print(f"  attach p50 / p99    {report.attach_p50_ms:.2f} / "
+              f"{report.attach_p99_ms:.2f} ms")
+        print(f"  retransmissions     {report.retransmissions} "
+              f"(nas {report.nas_retransmissions}, accept "
+              f"{report.accept_retransmissions}, signaling "
+              f"{report.signaling_retransmissions})")
+        print(f"  revocations         {report.revocations} "
+              f"(batches acked "
+              f"{report.broker_stats['revocation_batches_acked']}, "
+              f"retried "
+              f"{report.broker_stats['revocation_batches_retried']}, "
+              f"outstanding "
+              f"{report.broker_stats['revocation_batches_outstanding']})")
+        print(f"  unauthorized        "
+              f"{report.unauthorized_session_seconds:.3f} session-seconds")
+        for cause, count in sorted(report.failure_causes.items()):
+            print(f"  failed[{cause}]  {count}")
+    for violation in violations:
+        print(f"INVARIANT VIOLATED: {violation}")
+    return 1 if violations else 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Run a scaled-down version of every paper experiment and emit one
     self-contained markdown report (the artifact-evaluation one-shot)."""
@@ -306,6 +397,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--revoke-every", type=int, default=0,
                    help="revoke the attaching subscriber every N attaches")
     p.set_defaults(func=_cmd_churn)
+
+    p = sub.add_parser("chaos", help="attach/revoke churn under fault "
+                                     "injection; check reliability "
+                                     "invariants")
+    p.add_argument("--attaches", type=int, default=200)
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="steady loss rate on every signaling link")
+    p.add_argument("--outage-at", type=float, default=0.0,
+                   help="start (s) of a broker-link outage (0 = none)")
+    p.add_argument("--outage-len", type=float, default=2.0)
+    p.add_argument("--burst-at", type=float, default=0.0,
+                   help="start (s) of an all-links loss burst (0 = none)")
+    p.add_argument("--burst-len", type=float, default=2.0)
+    p.add_argument("--burst-loss", type=float, default=0.2)
+    p.add_argument("--brownout-at", type=float, default=0.0,
+                   help="start (s) of a broker brown-out (0 = none)")
+    p.add_argument("--brownout-len", type=float, default=2.0)
+    p.add_argument("--brownout-factor", type=float, default=10.0,
+                   help="processing-cost multiplier during the brown-out")
+    p.add_argument("--revoke-every", type=int, default=0,
+                   help="revoke the subscriber every N successful attaches")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON on stdout")
+    p.add_argument("--smoke", action="store_true",
+                   help="seeded CI configuration; writes --output and "
+                        "fails on invariant violations")
+    p.add_argument("--output", default="BENCH_chaos.json")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("fig10", help="day vs night rate limiting")
     p.add_argument("--duration", type=float, default=500.0)

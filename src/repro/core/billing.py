@@ -139,6 +139,10 @@ class BillingVerifier:
         #: (session_id, reporter) -> PublicKey
         self.reporter_keys: dict[tuple, PublicKey] = {}
         self.rejected_uploads = 0
+        #: report seqs that never got their counterpart by session close —
+        #: lost uploads that would otherwise silently skew the Fig 5
+        #: cross-check toward false accusations.
+        self.reports_unmatched = 0
 
     # -- session lifecycle --------------------------------------------------
     def open_session(self, grant: SapGrant,
@@ -163,8 +167,11 @@ class BillingVerifier:
         broker state stops growing with attach history.
         """
         ledger = self.sessions.get(session_id)
-        if ledger is not None:
+        if ledger is not None and not ledger.closed:
             ledger.closed = True
+            unmatched = (set(ledger.ue_reports)
+                         ^ set(ledger.btelco_reports))
+            self.reports_unmatched += len(unmatched)
         self.reporter_keys.pop((session_id, REPORTER_UE), None)
         self.reporter_keys.pop((session_id, REPORTER_BTELCO), None)
 

@@ -7,6 +7,7 @@ report collection, cross-checking, reputation).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.crypto import PrivateKey, PublicKey, generate_keypair
@@ -14,7 +15,14 @@ from repro.lte.signaling import SignalingNode
 from repro.net import Host
 
 from .billing import BillingVerifier, TrafficReportUpload
-from .messages import BrokerAuthRequest, BrokerAuthResponse, SessionRevocation
+from .messages import (
+    BrokerAuthRequest,
+    BrokerAuthResponse,
+    ReportAck,
+    RevocationAck,
+    SessionRevocation,
+    SessionRevocationBatch,
+)
 from .qos import QosInfo
 from .reputation import ReputationSystem
 from .sap import BrokerSap, BrokerSubscriber, SapError, SapGrant
@@ -23,6 +31,18 @@ from .sap import BrokerSap, BrokerSubscriber, SapError, SapGrant
 # two verifies, two seals, two signs — the "Brokerd" share of Fig 7.
 AUTH_REQUEST_PROCESSING = 0.0046
 REPORT_PROCESSING = 0.0003
+ACK_PROCESSING = 0.0002
+
+
+@dataclass
+class _OutstandingBatch:
+    """One revocation batch awaiting its signed ack."""
+
+    batch: SessionRevocationBatch
+    destination: str
+    deadline: float              # latest grant expiry in the batch
+    correlation_id: int = 0
+    attempts: int = 0
 
 
 class Brokerd(SignalingNode):
@@ -31,6 +51,7 @@ class Brokerd(SignalingNode):
     processing_costs = {
         BrokerAuthRequest: AUTH_REQUEST_PROCESSING,
         TrafficReportUpload: REPORT_PROCESSING,
+        RevocationAck: ACK_PROCESSING,
     }
 
     def __init__(self, host: Host, id_b: str, ca_public_key: PublicKey,
@@ -52,11 +73,26 @@ class Brokerd(SignalingNode):
         #: session_id -> signaling address of the serving bTelco, so a
         #: revocation can be pushed to whoever holds the grant.
         self._session_btelco: dict[str, str] = {}
+        #: signaling address -> the bTelco key that authenticated there
+        #: (from the certificate in its last BrokerAuthRequest), used to
+        #: verify RevocationAck signatures.
+        self._btelco_keys: dict[str, PublicKey] = {}
+        #: batch_id -> batch awaiting a signed RevocationAck; bounded by
+        #: the number of revocations with unexpired grants.
+        self._outstanding_batches: dict[int, _OutstandingBatch] = {}
+        self._batch_counter = 0
         self.requests_approved = 0
         self.requests_denied = 0
         self.revocations_sent = 0
+        self.revocation_batches_sent = 0
+        self.revocation_batches_acked = 0
+        self.revocation_batches_retried = 0
+        self.revocation_batches_failed = 0
+        self.revocation_acks_bad = 0
+        self.reports_retried = 0
         self.on(BrokerAuthRequest, self._handle_auth_request)
         self.on(TrafficReportUpload, self._handle_report)
+        self.on(RevocationAck, self._handle_revocation_ack)
 
     @property
     def public_key(self) -> PublicKey:
@@ -78,17 +114,58 @@ class Brokerd(SignalingNode):
         claims against the revoked sessions are voided.
         """
         revoked = self.sap.revoke(id_u)
+        by_destination: dict[str, list[SapGrant]] = {}
         for grant in revoked:
             self.billing.close_session(grant.session_id)
             if self.settlement is not None:
                 self.settlement.void_session(grant.session_id)
             destination = self._session_btelco.pop(grant.session_id, None)
             if destination is not None:
-                self.revocations_sent += 1
-                self.send(destination, SessionRevocation(
-                    session_id=grant.session_id,
-                    id_u_opaque=grant.id_u_opaque), size=96)
+                by_destination.setdefault(destination, []).append(grant)
+        for destination, grants in by_destination.items():
+            self._push_revocation_batch(destination, grants)
         return revoked
+
+    def _push_revocation_batch(self, destination: str,
+                               grants: list[SapGrant]) -> None:
+        """Send all of one bTelco's revocations as one reliable batch.
+
+        Retransmitted with backoff until the signed :class:`RevocationAck`
+        arrives or every grant in the batch has expired on its own (at
+        which point the bTelco would reject the session as expired
+        anyway, so nothing unauthorized can keep running).
+        """
+        self._batch_counter += 1
+        batch = SessionRevocationBatch(
+            batch_id=self._batch_counter, id_b=self.id_b,
+            revocations=tuple(
+                SessionRevocation(session_id=g.session_id,
+                                  id_u_opaque=g.id_u_opaque)
+                for g in grants))
+        self.revocations_sent += len(grants)
+        self.revocation_batches_sent += 1
+        state = _OutstandingBatch(
+            batch=batch, destination=destination,
+            deadline=max(g.expires_at for g in grants))
+        self._outstanding_batches[batch.batch_id] = state
+        self._transmit_batch(state)
+
+    def _transmit_batch(self, state: _OutstandingBatch) -> None:
+        state.attempts += 1
+        batch = state.batch
+        state.correlation_id = self.send_request(
+            state.destination, batch, size=batch.wire_size,
+            max_attempts=1_000_000,          # deadline is the real bound
+            deadline=state.deadline,
+            on_give_up=lambda _msg, b=batch.batch_id: self._batch_gave_up(b),
+            on_retransmit=lambda _msg, _n: self._note_batch_retry())
+
+    def _note_batch_retry(self) -> None:
+        self.revocation_batches_retried += 1
+
+    def _batch_gave_up(self, batch_id: int) -> None:
+        if self._outstanding_batches.pop(batch_id, None) is not None:
+            self.revocation_batches_failed += 1
 
     # -- session lifecycle ----------------------------------------------------
     def expire_grants(self, now: Optional[float] = None) -> list[SapGrant]:
@@ -105,7 +182,17 @@ class Brokerd(SignalingNode):
         stats.update(requests_approved=self.requests_approved,
                      requests_denied=self.requests_denied,
                      revocations_sent=self.revocations_sent,
+                     revocation_batches_sent=self.revocation_batches_sent,
+                     revocation_batches_acked=self.revocation_batches_acked,
+                     revocation_batches_retried=self.revocation_batches_retried,
+                     revocation_batches_failed=self.revocation_batches_failed,
+                     revocation_batches_outstanding=len(
+                         self._outstanding_batches),
+                     revocation_acks_bad=self.revocation_acks_bad,
+                     reports_retried=self.reports_retried,
+                     reports_lost=self.billing.reports_unmatched,
                      sessions_tracked=len(self._session_btelco))
+        stats.update(self.reliable_stats())
         return stats
 
     def mandate_intercept(self, id_u: str) -> None:
@@ -137,10 +224,15 @@ class Brokerd(SignalingNode):
             return
         self.requests_approved += 1
         self._session_btelco[grant.session_id] = src_ip
-        self.billing.open_session(
-            grant,
-            ue_public_key=self.sap.subscribers[grant.id_u].public_key,
-            btelco_public_key=request.auth_req_t.t_certificate.public_key)
+        self._btelco_keys[src_ip] = \
+            request.auth_req_t.t_certificate.public_key
+        if grant.session_id not in self.billing.sessions:
+            # Guard against a duplicate request re-served from the SAP
+            # idempotency cache wiping an already-populated ledger.
+            self.billing.open_session(
+                grant,
+                ue_public_key=self.sap.subscribers[grant.id_u].public_key,
+                btelco_public_key=request.auth_req_t.t_certificate.public_key)
         self.send(src_ip, BrokerAuthResponse(
             approved=True, auth_resp_t=sealed_t, auth_resp_u=sealed_u,
             reply_token=request.reply_token),
@@ -149,3 +241,35 @@ class Brokerd(SignalingNode):
     def _handle_report(self, src_ip: str,
                        upload: TrafficReportUpload) -> None:
         self.billing.ingest(upload, now=self.sim.now)
+        self.send(src_ip, ReportAck(session_id=upload.session_id,
+                                    seq=upload.seq,
+                                    reporter=upload.reporter), size=48)
+
+    def note_retransmitted_request(self, message: object) -> None:
+        if isinstance(message, TrafficReportUpload):
+            self.reports_retried += 1
+
+    def _handle_revocation_ack(self, src_ip: str, ack: RevocationAck) -> None:
+        """Close out a revocation batch once its *signed* ack arrives.
+
+        Idempotent (a duplicate ack for an already-closed batch is
+        ignored) and forgery-resistant: the signature must verify under
+        the key the bTelco authenticated with at SAP time, else the batch
+        keeps retrying — an on-path attacker cannot silence a revocation.
+        """
+        state = self._outstanding_batches.get(ack.batch_id)
+        if state is None:
+            return
+        key = self._btelco_keys.get(src_ip)
+        expected = tuple(sorted(
+            r.session_id for r in state.batch.revocations))
+        if (key is None or tuple(sorted(ack.session_ids)) != expected
+                or not ack.verify(key)):
+            self.revocation_acks_bad += 1
+            # The transport matched the response and stopped
+            # retransmitting; a forged/bad ack must not end the protocol,
+            # so re-issue the batch as a fresh reliable request.
+            self._transmit_batch(state)
+            return
+        del self._outstanding_batches[ack.batch_id]
+        self.revocation_batches_acked += 1

@@ -33,7 +33,14 @@ from repro.net import Host
 
 from .billing import Meter, REPORTER_BTELCO
 from .intercept import LawfulInterceptFunction
-from .messages import BrokerAuthRequest, BrokerAuthResponse, SessionRevocation
+from .messages import (
+    BrokerAuthRequest,
+    BrokerAuthResponse,
+    ReportAck,
+    RevocationAck,
+    SessionRevocation,
+    SessionRevocationBatch,
+)
 from .qos import QosCapabilities
 from .sap import AuthorizedSession, BtelcoSap, BtelcoSapConfig, SapError
 
@@ -81,9 +88,18 @@ class CellBricksAgw(Agw):
         self._tokens = itertools.count(1)
         self.expired_sessions = 0
         self.revoked_sessions = 0
+        self.revocation_dups = 0
+        self.revocation_acks_sent = 0
+        self.dup_attach_requests = 0
+        self.broker_timeouts = 0
+        self.reports_retried = 0
+        self.reports_lost = 0
+        self.reports_acked = 0
         self.sap_costs = dict(CELLBRICKS_COSTS)
         self.on(BrokerAuthResponse, self._handle_broker_response)
         self.on(SessionRevocation, self._handle_session_revocation)
+        self.on(SessionRevocationBatch, self._handle_revocation_batch)
+        self.on(ReportAck, self._handle_report_ack)
 
     # -- cost model overrides -------------------------------------------------
     def nas_processing_cost(self, nas: NasMessage) -> float:
@@ -125,21 +141,59 @@ class CellBricksAgw(Agw):
 
     def _on_sap_attach_request(self, context: UeContext,
                                request: SapAttachRequest) -> None:
+        key = request.auth_req_u.auth_vec_encrypted
+        if context.sap_request_key == key:
+            # A retransmission of the attempt we are already serving: the
+            # enb_ue_id is stable per UE, so the context tells us exactly
+            # which leg to replay (idempotent — nothing re-executes).
+            self.dup_attach_requests += 1
+            if context.state == "WAIT_BROKER":
+                return  # broker leg in flight and retransmitting itself
+            if context.state == "WAIT_SMC_COMPLETE" \
+                    and context.sap_challenge is not None:
+                # The challenge and/or SMC downlink was lost: replay both.
+                self.downlink(context, context.sap_challenge)
+                self.send_smc(context)
+            return
+        # Fresh attempt (new nonce): drop any stale broker leg first.
+        if context.broker_token is not None:
+            self._pending.pop(context.broker_token, None)
+            self.cancel_request(context.broker_corr_id)
+            context.broker_token = None
+        context.sap_request_key = key
+        context.sap_challenge = None
         context.state = "WAIT_BROKER"
         context.attach_started_at = self.sim.now
         context.broker_id = request.auth_req_u.id_b
         auth_req_t = self.sap.augment_request(request.auth_req_u)
         token = next(self._tokens)
         self._pending[token] = context
+        context.broker_token = token
         wire = BrokerAuthRequest(auth_req_t=auth_req_t, reply_token=token)
-        self.send(self.broker_endpoint(request.auth_req_u.id_b), wire,
-                  size=auth_req_t.wire_size + 32)
+        # Reliable leg: the broker round-trip crosses the backhaul/cloud
+        # path, so it is retransmitted with backoff; if the broker stays
+        # unreachable past the budget the UE gets a clean reject.
+        context.broker_corr_id = self.send_request(
+            self.broker_endpoint(request.auth_req_u.id_b), wire,
+            size=auth_req_t.wire_size + 32,
+            on_give_up=lambda _msg, t=token: self._broker_gave_up(t))
+
+    def _broker_gave_up(self, token: int) -> None:
+        context = self._pending.pop(token, None)
+        if context is None or context.state != "WAIT_BROKER":
+            return
+        self.broker_timeouts += 1
+        self.attaches_rejected += 1
+        context.state = "REJECTED"
+        context.broker_token = None
+        self.downlink(context, SapAttachReject(cause="broker unreachable"))
 
     def _handle_broker_response(self, src_ip: str,
                                 response: BrokerAuthResponse) -> None:
         context = self._pending.pop(response.reply_token, None)
         if context is None or context.state != "WAIT_BROKER":
             return
+        context.broker_token = None
         if not response.approved:
             self.attaches_rejected += 1
             context.state = "REJECTED"
@@ -172,9 +226,12 @@ class CellBricksAgw(Agw):
         self.session_brokers[session.session_id] = \
             getattr(context, "broker_id", "")
         context.sap_session = session
-        # Step 4: forward authRespU, then activate security.
-        self.downlink(context, SapAttachChallenge(
-            auth_resp_u=response.auth_resp_u))
+        # Step 4: forward authRespU, then activate security.  The
+        # challenge is cached on the context so a retransmitted attach
+        # request can replay this leg without consulting the broker.
+        challenge = SapAttachChallenge(auth_resp_u=response.auth_resp_u)
+        context.sap_challenge = challenge
+        self.downlink(context, challenge)
         context.state = "WAIT_SMC_COMPLETE"
         self.send_smc(context)
 
@@ -220,9 +277,39 @@ class CellBricksAgw(Agw):
 
     def _handle_session_revocation(self, src_ip: str,
                                    notice: SessionRevocation) -> None:
+        """Legacy single-notice revocation (kept for compatibility with
+        brokers that do not batch)."""
+        self._apply_revocation(notice)
+
+    def _handle_revocation_batch(self, src_ip: str,
+                                 batch: SessionRevocationBatch) -> None:
+        """Apply every revocation in the batch and return a signed ack.
+
+        Idempotent per notice: a batch retransmitted past the transport's
+        dedup window re-acks without double-detaching anything, so the
+        broker's retry loop always converges.
+        """
+        session_ids = []
+        for notice in batch.revocations:
+            self._apply_revocation(notice)
+            session_ids.append(notice.session_id)
+        ack_ids = tuple(sorted(session_ids))
+        unsigned = RevocationAck(batch_id=batch.batch_id, id_t=self.id_t,
+                                 session_ids=ack_ids)
+        ack = RevocationAck(batch_id=batch.batch_id, id_t=self.id_t,
+                            session_ids=ack_ids,
+                            signature=self.key.sign(unsigned.signed_bytes()))
+        self.revocation_acks_sent += 1
+        self.send(src_ip, ack, size=96 + 16 * len(ack_ids))
+
+    def _apply_revocation(self, notice: SessionRevocation) -> None:
         """Broker withdrew an authorization we hold: serving this session
         any further would be unauthorized service, so detach it now and
         refuse the grant if it is ever presented again."""
+        if not self.sap.session_authorized(notice.session_id):
+            # Already applied (duplicate notice): nothing to tear down.
+            self.revocation_dups += 1
+            return
         self.sap.revoke_session(notice.session_id)
         if notice.session_id not in self.sessions:
             return
@@ -265,9 +352,37 @@ class CellBricksAgw(Agw):
                 self.li.activate(session.session_id, self.sim.now,
                                  session.id_u_opaque)
 
+    # -- session cleanup on UE-initiated detach ----------------------------------------
+    def _on_detach(self, context: UeContext, request=None) -> None:
+        """A UE-initiated detach must release the SAP session bookkeeping
+        too, or ``sessions``/``meters`` grow with every detach-reattach
+        cycle (and unauthorized-session accounting reads stale entries)."""
+        self._drop_session_state(context)
+        super()._on_detach(context, request)
+
+    def _abandon_attach(self, context: UeContext) -> None:
+        self._drop_session_state(context)
+        super()._abandon_attach(context)
+
+    def _drop_session_state(self, context: UeContext) -> None:
+        session = getattr(context, "sap_session", None)
+        if session is None:
+            return
+        session_id = session.session_id
+        self.li.deactivate(session_id, self.sim.now)
+        self.meters.pop(session_id, None)
+        self.sessions.pop(session_id, None)
+        self.session_brokers.pop(session_id, None)
+
     # -- billing ------------------------------------------------------------------------
     def upload_reports(self) -> int:
-        """Emit one traffic report per active session to the broker."""
+        """Emit one traffic report per active session to the broker.
+
+        Uploads ride the reliable-request facility: a lost report would
+        leave its (session, seq) pair unmatched at the broker and skew
+        the §4.3 discrepancy check toward false accusations, so they are
+        retransmitted until the broker's :class:`ReportAck` arrives.
+        """
         sent = 0
         for session_id, meter in self.meters.items():
             bearer = self.spgw.bearer_for(
@@ -283,6 +398,42 @@ class CellBricksAgw(Agw):
             upload = meter.emit(self.sim.now)
             destination = self.broker_endpoint(
                 self.session_brokers.get(session_id, ""))
-            self.send(destination, upload, size=upload.wire_size)
+            self.send_request(
+                destination, upload, size=upload.wire_size,
+                on_give_up=lambda _msg: self._report_gave_up(),
+                on_retransmit=lambda _msg, _n: self._note_report_retry())
             sent += 1
         return sent
+
+    def _note_report_retry(self) -> None:
+        self.reports_retried += 1
+
+    def _report_gave_up(self) -> None:
+        self.reports_lost += 1
+
+    def _handle_report_ack(self, src_ip: str, ack: ReportAck) -> None:
+        self.reports_acked += 1
+
+    # -- introspection ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counter snapshot: attach/session lifecycle + reliability."""
+        stats = {
+            "attaches_completed": self.attaches_completed,
+            "attaches_rejected": self.attaches_rejected,
+            "sessions_active": len(self.sessions),
+            "meters_active": len(self.meters),
+            "contexts_active": len(self.contexts),
+            "expired_sessions": self.expired_sessions,
+            "revoked_sessions": self.revoked_sessions,
+            "revocation_dups": self.revocation_dups,
+            "revocation_acks_sent": self.revocation_acks_sent,
+            "dup_attach_requests": self.dup_attach_requests,
+            "broker_timeouts": self.broker_timeouts,
+            "accept_retransmissions": self.accept_retransmissions,
+            "accept_give_ups": self.accept_give_ups,
+            "reports_retried": self.reports_retried,
+            "reports_lost": self.reports_lost,
+            "reports_acked": self.reports_acked,
+        }
+        stats.update(self.reliable_stats())
+        return stats

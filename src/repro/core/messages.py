@@ -276,3 +276,65 @@ class SessionRevocation:
     session_id: str
     id_u_opaque: str = ""
     cause: str = DenialCause.REVOKED.value
+
+
+@dataclass(frozen=True)
+class SessionRevocationBatch:
+    """brokerd -> bTelco: all withdrawn sessions for one serving bTelco.
+
+    Sent reliably (retransmitted with backoff until the signed
+    :class:`RevocationAck` comes back, or every grant in the batch has
+    expired on its own) — a lost notice must never leave an unauthorized
+    session running.
+    """
+
+    batch_id: int
+    id_b: str
+    revocations: tuple = ()   # tuple[SessionRevocation, ...]
+
+    @property
+    def wire_size(self) -> int:
+        return 64 + 96 * len(self.revocations)
+
+
+def revocation_ack_signed_bytes(batch_id: int, id_t: str,
+                                session_ids: tuple) -> bytes:
+    return _canonical({"batch": batch_id, "idT": id_t,
+                       "sids": sorted(session_ids)})
+
+
+@dataclass(frozen=True)
+class RevocationAck:
+    """bTelco -> brokerd: signed proof the revocation batch was applied.
+
+    The signature (under the bTelco key the broker authenticated at SAP
+    time) prevents an on-path attacker from forging the ack and keeping a
+    revoked session alive until grant expiry.
+    """
+
+    batch_id: int
+    id_t: str
+    session_ids: tuple = ()
+    signature: bytes = b""
+
+    def signed_bytes(self) -> bytes:
+        return revocation_ack_signed_bytes(self.batch_id, self.id_t,
+                                           self.session_ids)
+
+    def verify(self, btelco_key: PublicKey) -> bool:
+        return btelco_key.verify(self.signed_bytes(), self.signature)
+
+
+@dataclass(frozen=True)
+class ReportAck:
+    """brokerd -> bTelco: a TrafficReportUpload was ingested.
+
+    Acknowledges the (session, seq, reporter) triple so the uploader can
+    stop retransmitting; the §4.3 discrepancy check relies on *both*
+    reports of a pair arriving, so lost uploads must be retried rather
+    than silently skewing the cross-check toward false accusations.
+    """
+
+    session_id: str
+    seq: int
+    reporter: str = ""

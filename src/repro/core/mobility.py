@@ -64,6 +64,10 @@ class CellBricksNetwork:
     ue_host: Host
     credentials: UeSapCredentials
     data_path: Optional[CellularPath] = None
+    #: every signaling link by name (``<site>-sig-radio``,
+    #: ``<site>-backhaul``, ``<site>-broker``) — the fault-injection
+    #: surface the chaos harness drives.
+    links: dict[str, Link] = None
 
 
 def build_cellbricks_network(
@@ -97,6 +101,7 @@ def build_cellbricks_network(
     ue_host = Host(sim, "ue-host", address="10.250.0.2")
 
     sites: dict[str, BtelcoSite] = {}
+    links: dict[str, Link] = {}
     for index, name in enumerate(site_names):
         enb_host = Host(sim, f"{name}-enb",
                         address=f"10.25{index}.0.1")
@@ -127,6 +132,10 @@ def build_cellbricks_network(
         agw_host.add_route(broker_host.address.rsplit(".", 1)[0], broker_link)
         broker_host.add_route(agw_host.address.rsplit(".", 1)[0], broker_link)
 
+        links[radio.name] = radio
+        links[backhaul.name] = backhaul
+        links[broker_link.name] = broker_link
+
         sites[name] = BtelcoSite(name=name, enb_host=enb_host,
                                  agw_host=agw_host, enb=enb, agw=agw,
                                  pool_prefix=f"10.{128 + index}.0")
@@ -137,7 +146,8 @@ def build_cellbricks_network(
 
     return CellBricksNetwork(sim=sim, ca=ca, broker_host=broker_host,
                              brokerd=brokerd, sites=sites, ue_host=ue_host,
-                             credentials=credentials, data_path=data_path)
+                             credentials=credentials, data_path=data_path,
+                             links=links)
 
 
 class MobilityManager:

@@ -19,6 +19,7 @@ Security goals realized here (paper's requirements i-iii):
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import secrets
 from collections import Counter
@@ -104,6 +105,16 @@ class UeSap:
         signature = creds.ue_key.sign(encrypted)
         return AuthReqU(sig_authvec=signature, auth_vec_encrypted=encrypted,
                         id_b=creds.id_b)
+
+    def abandon(self) -> None:
+        """Discard the outstanding (nonce, target) pair.
+
+        Called when an attach attempt is given up (retransmission budget
+        exhausted): no late-arriving response may validate against the
+        abandoned nonce, and the next attach crafts a fresh request.
+        """
+        self._outstanding_nonce = None
+        self._target_id_t = None
 
     def process_response(self, sealed: SealedResponse) -> AuthRespU:
         """Steps 5-6 of Fig 2: authenticate B, recover ss, check freshness.
@@ -279,6 +290,10 @@ class BrokerSap:
       (``on_grant_revoked`` lets the hosting broker notify bTelcos).
     """
 
+    #: how long a minted response stays replayable for retransmitted
+    #: requests (idempotency window; clamped to ``session_ttl``).
+    response_cache_ttl = 30.0
+
     def __init__(self, id_b: str, key: PrivateKey,
                  ca_public_key: PublicKey,
                  session_ttl: float = 3600.0):
@@ -294,6 +309,13 @@ class BrokerSap:
         #: replay window: nonce -> end of its acceptance window.
         self._seen_nonces: dict[bytes, float] = {}
         self._nonce_expiry: list[tuple[float, bytes]] = []   # min-heap
+        #: idempotency cache: request digest -> the minted response
+        #: triple, so a *retransmitted* request (bit-identical, thus the
+        #: same nonce) re-serves the original grant instead of tripping
+        #: the replay window.  A *different* request reusing the nonce
+        #: (different digest) still lands in the replay check.
+        self._response_cache: dict[bytes, tuple] = {}
+        self._response_cache_expiry: list[tuple[float, bytes]] = []  # heap
         self._grant_expiry: list[tuple[float, str]] = []     # min-heap
         self._sessions_by_ue: dict[str, set[str]] = {}
         #: sessions invalidated by :meth:`revoke` before their natural
@@ -310,6 +332,7 @@ class BrokerSap:
         self.replay_hits = 0
         self.grants_expired = 0
         self.grants_revoked = 0
+        self.dup_requests_served = 0
 
     # -- provisioning -----------------------------------------------------------
     def enroll(self, subscriber: BrokerSubscriber) -> None:
@@ -351,7 +374,9 @@ class BrokerSap:
             "grants_active": self.grants_active,
             "grants_expired": self.grants_expired,
             "grants_revoked": self.grants_revoked,
+            "dup_requests_served": self.dup_requests_served,
             "replay_cache_size": len(self._seen_nonces),
+            "response_cache_size": len(self._response_cache),
             "subscribers": len(self.subscribers),
         }
 
@@ -368,6 +393,20 @@ class BrokerSap:
         window_end = now + self.session_ttl
         self._seen_nonces[nonce] = window_end
         heapq.heappush(self._nonce_expiry, (window_end, nonce))
+
+    @staticmethod
+    def _request_digest(request: AuthReqT) -> bytes:
+        """Idempotency key: the exact bytes the bTelco signed + its
+        signature — bit-identical retransmissions collide, anything else
+        (including a tampered request reusing a seen nonce) does not."""
+        return hashlib.sha256(request.signed_bytes()
+                              + request.sig_t).digest()
+
+    def _evict_response_cache(self, now: float) -> None:
+        heap = self._response_cache_expiry
+        while heap and heap[0][0] <= now:
+            _, digest = heapq.heappop(heap)
+            self._response_cache.pop(digest, None)
 
     def expire_grants(self, now: float) -> list[SapGrant]:
         """Garbage-collect grants past their authorization lifetime.
@@ -405,9 +444,20 @@ class BrokerSap:
         """Authenticate U and T; authorize; return (authRespT, authRespU).
 
         Raises :class:`SapError` with a denial cause on any failure.
+
+        Idempotent under retransmission: a bit-identical duplicate inside
+        the response-cache window re-serves the originally minted
+        (authRespT, authRespU, grant) triple instead of being denied by
+        the nonce replay window.
         """
         self._evict_nonces(now)
+        self._evict_response_cache(now)
         self.expire_grants(now)
+        digest = self._request_digest(request)
+        cached = self._response_cache.get(digest)
+        if cached is not None:
+            self.dup_requests_served += 1
+            return cached
         try:
             result = self._authenticate_and_mint(request, now)
         except SapError as exc:
@@ -416,6 +466,10 @@ class BrokerSap:
                 self.replay_hits += 1
             raise
         self.attach_ok += 1
+        self._response_cache[digest] = result
+        heapq.heappush(
+            self._response_cache_expiry,
+            (now + min(self.response_cache_ttl, self.session_ttl), digest))
         return result
 
     def _authenticate_and_mint(self, request: AuthReqT, now: float

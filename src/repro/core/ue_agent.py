@@ -58,13 +58,25 @@ class CellBricksUe(UeNas):
             raise RuntimeError(f"attach() in state {self.state}")
         self.state = "ATTACHING"
         self.attach_started_at = self.sim.now
+        self.security = None  # fresh EMM state for the new attempt
+        self.session_id = None
         craft = CB_UE_COSTS["craft_sap_request"]
         self.charge(craft)
         self.sim.schedule(craft, self._send_attach_request)
 
     def initial_request(self) -> SapAttachRequest:
+        # Called once per attach attempt (the supervision layer resends
+        # the cached request): a nonce is minted here and must stay
+        # stable across retransmissions of the same attempt.
         auth_req_u = self.sap.craft_request(self.target_id_t)
         return SapAttachRequest(auth_req_u=auth_req_u)
+
+    def _on_attach_give_up(self) -> None:
+        super()._on_attach_give_up()
+        # Abandon the outstanding SAP nonce: a late response must not
+        # validate, and the next attach crafts a fresh request.
+        self.sap.abandon()
+        self.session_id = None
 
     def retarget(self, enb_ip: str, id_t: str) -> None:
         """Point the UE at a different bTelco (host-driven mobility)."""
@@ -75,6 +87,14 @@ class CellBricksUe(UeNas):
     # -- SAP response -----------------------------------------------------------------
     def _on_sap_challenge(self, src_ip: str,
                           challenge: SapAttachChallenge) -> None:
+        if self.state != "ATTACHING":
+            return  # stale challenge from an abandoned attempt
+        if self.security is not None:
+            # Duplicate challenge (the bTelco replayed the leg because
+            # our SMC complete was lost): the single-use nonce is already
+            # consumed, so just ignore it — the SMC retransmission path
+            # carries the attach forward.
+            return
         try:
             response = self.sap.process_response(challenge.auth_resp_u)
         except SapError as exc:
@@ -86,7 +106,10 @@ class CellBricksUe(UeNas):
         self.security = SecurityContext(kasme=response.ss)
 
     def _on_attach_accept(self, src_ip: str, accept) -> None:
+        was_attached = self.state == "ATTACHED"
         super()._on_attach_accept(src_ip, accept)
+        if was_attached:
+            return  # duplicate accept: keep the existing meter
         if self.state == "ATTACHED" and self.session_id is not None:
             # Baseband-embedded meter for verifiable billing (§4.3).
             self.meter = Meter(

@@ -1,6 +1,17 @@
 """§6.2 emulation harness: drive routes, handovers, paired MNO/CellBricks
 runs, and the Table 1 / Fig 8-10 drivers."""
 
+from .chaos import (
+    ChaosEvent,
+    ChaosMonkey,
+    ChaosReport,
+    ChaosSchedule,
+    brownout,
+    loss_burst,
+    outage,
+    partition,
+    run_chaos,
+)
 from .driver import (
     CellResult,
     Table1Result,
@@ -35,6 +46,15 @@ __all__ = [
     "ARCH_MNO",
     "CapacityProcess",
     "CellResult",
+    "ChaosEvent",
+    "ChaosMonkey",
+    "ChaosReport",
+    "ChaosSchedule",
+    "brownout",
+    "loss_burst",
+    "outage",
+    "partition",
+    "run_chaos",
     "DAY",
     "DEFAULT_ATTACH_LATENCY",
     "EmulationConfig",

@@ -80,10 +80,23 @@ class UeContext:
     attach_started_at: float = 0.0
     sap_session: object = None  # CellBricks: the broker-authorized session
     broker_id: str = ""         # CellBricks: which broker authorized us
+    # -- retransmission bookkeeping --
+    sap_request_key: Optional[bytes] = None  # dedup key for SAP attaches
+    sap_challenge: object = None      # cached challenge for leg replay
+    broker_token: Optional[int] = None     # outstanding broker reply token
+    broker_corr_id: int = 0                # reliable-request correlation id
+    accept_retx: int = 0                   # AttachAccept retransmissions
 
 
 class Agw(SignalingNode):
     """Baseline access gateway (MME + SPGW), one per bTelco site."""
+
+    # AttachAccept retransmission supervision: the accept is the one
+    # downlink whose loss the UE cannot detect by itself mid-attach (it
+    # has already stopped resending SMC complete once the accept leaves).
+    accept_retx_timeout = 0.4
+    accept_retx_backoff = 2.0
+    accept_max_retx = 3
 
     def __init__(self, host: Host, subscriber_db_ip: str,
                  name: str = "agw", plmn: Plmn = TEST_PLMN,
@@ -97,6 +110,8 @@ class Agw(SignalingNode):
         self._tmsi_counter = itertools.count(0x1000)
         self.attaches_completed = 0
         self.attaches_rejected = 0
+        self.accept_retransmissions = 0
+        self.accept_give_ups = 0
         #: fired as (context) when an attach completes — the harness uses
         #: it to install the UE's new address on the data plane.
         self.on_attached: Optional[Callable[[UeContext], None]] = None
@@ -209,6 +224,12 @@ class Agw(SignalingNode):
 
     def _on_auth_response(self, context: UeContext,
                           response: AuthenticationResponse) -> None:
+        if context.state == "WAIT_SMC_COMPLETE" \
+                and context.auth_vector is not None \
+                and response.res == context.auth_vector.xres:
+            # Duplicate response: our SMC was likely lost — replay it.
+            self.send_smc(context)
+            return
         if context.state != "WAIT_AUTH_RESPONSE":
             return
         if context.auth_vector is None \
@@ -229,6 +250,14 @@ class Agw(SignalingNode):
 
     def _on_smc_complete(self, context: UeContext,
                          complete: SecurityModeComplete) -> None:
+        if context.state == "WAIT_ATTACH_COMPLETE" \
+                and context.security is not None:
+            # Duplicate SMC complete: the UE never saw our AttachAccept —
+            # re-send it (freshly protected) after re-verifying the MAC.
+            expected = smc_mac(context.security.k_nas_int, 0xFF, 0xFF)
+            if complete.mac == expected:
+                self._send_attach_accept(context)
+            return
         if context.state != "WAIT_SMC_COMPLETE":
             return
         expected = smc_mac(context.security.k_nas_int, 0xFF, 0xFF)
@@ -273,12 +302,49 @@ class Agw(SignalingNode):
         context.guti = Guti(self.plmn, mme_group=1, mme_code=1,
                             m_tmsi=next(self._tmsi_counter))
         context.state = "WAIT_ATTACH_COMPLETE"
+        context.accept_retx = 0
+        self._send_attach_accept(context)
+        self.sim.schedule(self.accept_retx_timeout,
+                          self._check_attach_accept, context,
+                          self.accept_retx_timeout)
+
+    def _send_attach_accept(self, context: UeContext) -> None:
         self.downlink_protected(context, AttachAccept(
             guti=context.guti, ue_ip=context.bearer.ue_ip,
             bearer_id=context.bearer.ebi, qci=context.bearer.qci,
             ambr_dl_bps=context.bearer.ambr_dl_bps,
             ambr_ul_bps=context.bearer.ambr_ul_bps,
             apn=context.bearer.apn))
+
+    def _check_attach_accept(self, context: UeContext,
+                             timeout: float) -> None:
+        """AttachAccept supervision: resend until AttachComplete arrives,
+        then give up and release everything the half-open attach holds."""
+        if self.contexts.get(context.enb_ue_id) is not context \
+                or context.state != "WAIT_ATTACH_COMPLETE":
+            return  # completed, torn down, or superseded — nothing to do
+        if context.accept_retx >= self.accept_max_retx:
+            self.accept_give_ups += 1
+            self._abandon_attach(context)
+            return
+        context.accept_retx += 1
+        self.accept_retransmissions += 1
+        self._send_attach_accept(context)
+        next_timeout = timeout * self.accept_retx_backoff
+        self.sim.schedule(next_timeout, self._check_attach_accept, context,
+                          next_timeout)
+
+    def _abandon_attach(self, context: UeContext) -> None:
+        """Release a half-open attach whose UE went silent (bearer,
+        context, S1 association) so nothing leaks."""
+        if context.bearer is not None and context.bearer.active:
+            self.spgw.delete_bearer(context.bearer.ebi)
+        context.state = "ABANDONED"
+        self.send(context.enb_ip,
+                  S1UeContextRelease(enb_ue_id=context.enb_ue_id), size=32)
+        self.contexts.pop(context.enb_ue_id, None)
+        if context.imsi:
+            self._by_imsi.pop(context.imsi, None)
 
     def _on_attach_complete(self, context: UeContext) -> None:
         if context.state != "WAIT_ATTACH_COMPLETE":

@@ -6,16 +6,44 @@ table and *explicit processing costs*.  Costs are charged to the virtual
 clock before the handler's outbound messages go out, and accumulated into
 ``module_time`` — which is exactly the per-module breakdown Fig 7 plots
 (AGW + Brokerd proc / eNB proc / UE proc / Other).
+
+Reliability layer
+-----------------
+
+Signaling rides single UDP datagrams over links that model loss and
+outages, so the framework also provides an *optional* reliable-request
+facility (:meth:`SignalingNode.send_request`):
+
+* the sender retransmits on a per-request timeout with capped exponential
+  backoff and deterministic (seeded) jitter, keyed by a correlation id,
+  until a response arrives, the attempt budget is spent, or an absolute
+  deadline passes;
+* the receiver keeps a bounded, TTL-evicted duplicate-suppression cache:
+  a retransmitted request whose handler already ran has its cached
+  response(s) replayed verbatim instead of re-executing the handler — the
+  idempotency backstop every SAP exchange relies on.
+
+Plain :meth:`SignalingNode.send` datagrams are untouched, so the layer is
+strictly pay-for-use: a loss-free run issues zero retransmissions and
+identical wire traffic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.net import Host, UdpSocket
 
 SIGNALING_PORT = 36412  # S1AP's SCTP port, reused for our UDP transport
+
+#: envelope kinds: plain datagram, reliable request, matched response.
+KIND_DATAGRAM = "dgram"
+KIND_REQUEST = "req"
+KIND_RESPONSE = "resp"
 
 
 @dataclass
@@ -24,6 +52,46 @@ class SignalingEnvelope:
 
     message: object
     correlation_id: int = 0
+    kind: str = KIND_DATAGRAM
+    attempt: int = 1
+
+
+@dataclass
+class _PendingRequest:
+    """Sender-side bookkeeping for one reliable request in flight."""
+
+    dst_ip: str
+    dst_port: int
+    message: object
+    size: int
+    timeout: float
+    max_attempts: int
+    deadline: Optional[float]
+    attempts: int = 1
+    timer_event: object = None
+    on_give_up: Optional[Callable] = None
+    on_retransmit: Optional[Callable] = None
+
+
+@dataclass
+class _CachedRequest:
+    """Receiver-side dedup entry: the replies the handler produced."""
+
+    #: (dst_ip, dst_port, message, size) tuples captured from the handler.
+    responses: list = field(default_factory=list)
+    #: True once the handler has run (duplicates arriving before that are
+    #: dropped — the original is still queued behind the processing cost).
+    handled: bool = False
+
+
+@dataclass
+class _ReplyContext:
+    """Active while a request handler runs: routes its sends back as
+    correlated responses and captures them for duplicate replay."""
+
+    src_ip: str
+    correlation_id: int
+    entry: _CachedRequest
 
 
 class SignalingNode:
@@ -39,6 +107,19 @@ class SignalingNode:
     processing_costs: dict = {}
     #: fallback per-message processing cost.
     default_processing_cost = 0.0005
+    # -- reliable-request knobs (overridable per node/instance) ----------
+    #: initial retransmission timeout (seconds).
+    request_timeout = 0.4
+    #: total transmission attempts before giving up.
+    request_max_attempts = 5
+    #: exponential backoff factor applied per retransmission.
+    retx_backoff = 2.0
+    #: cap on the backed-off timeout (seconds).
+    retx_max_timeout = 3.0
+    #: jitter fraction applied to every retransmission delay.
+    retx_jitter = 0.1
+    #: receiver-side duplicate-suppression cache TTL (seconds).
+    response_cache_ttl = 30.0
 
     def __init__(self, host: Host, name: str, port: int = SIGNALING_PORT):
         self.host = host
@@ -58,6 +139,25 @@ class SignalingNode:
         # queue behind each other (what makes attach latency grow under
         # load in the XTRA-SCALE benchmark).
         self._busy_until = 0.0
+        # -- reliable-request state (sender side) ------------------------
+        self._correlation_ids = itertools.count(1)
+        self._pending_requests: dict[int, _PendingRequest] = {}
+        #: deterministic jitter source, seeded by the node's name so runs
+        #: replay bit-identically under a fixed topology.
+        self._retx_rng = random.Random(f"retx:{name}")
+        # -- reliable-request state (receiver side) ----------------------
+        self._request_cache: dict[tuple, _CachedRequest] = {}
+        self._request_cache_expiry: list[tuple[float, tuple]] = []  # heap
+        self._reply_context: Optional[_ReplyContext] = None
+        # -- reliability counters ----------------------------------------
+        self.requests_sent = 0
+        self.retransmissions = 0
+        self.requests_failed = 0
+        self.requests_completed = 0
+        self.dup_requests = 0
+        self.dup_responses_replayed = 0
+        self.responses_unmatched = 0
+        self.retransmitted_deliveries = 0
 
     # -- registration -------------------------------------------------------
     def on(self, message_type: type, handler: Callable) -> None:
@@ -66,10 +166,91 @@ class SignalingNode:
     # -- sending --------------------------------------------------------------
     def send(self, dst_ip: str, message: object, size: int = 256,
              dst_port: int = SIGNALING_PORT) -> None:
-        """Send a signaling message (``size`` = wire bytes)."""
+        """Send a signaling message (``size`` = wire bytes).
+
+        Inside a reliable-request handler, a send addressed back to the
+        requester is automatically tagged as the request's response and
+        recorded for duplicate replay.
+        """
         self.messages_sent += 1
-        self.socket.send_to(dst_ip, dst_port, size,
-                            SignalingEnvelope(message))
+        envelope = SignalingEnvelope(message)
+        context = self._reply_context
+        if context is not None and dst_ip == context.src_ip:
+            envelope.correlation_id = context.correlation_id
+            envelope.kind = KIND_RESPONSE
+            context.entry.responses.append((dst_ip, dst_port, message, size))
+        self.socket.send_to(dst_ip, dst_port, size, envelope)
+
+    def send_request(self, dst_ip: str, message: object, size: int = 256,
+                     dst_port: int = SIGNALING_PORT, *,
+                     timeout: Optional[float] = None,
+                     max_attempts: Optional[int] = None,
+                     deadline: Optional[float] = None,
+                     on_give_up: Optional[Callable] = None,
+                     on_retransmit: Optional[Callable] = None) -> int:
+        """Send ``message`` reliably: retransmit with capped exponential
+        backoff until a correlated response arrives, ``max_attempts``
+        transmissions have been made, or ``deadline`` (absolute sim time)
+        passes.  Returns the correlation id.
+
+        ``on_give_up(message)`` fires when the request is abandoned;
+        ``on_retransmit(message, attempt)`` before each retransmission.
+        The response is dispatched through the normal handler table.
+        """
+        correlation_id = next(self._correlation_ids)
+        pending = _PendingRequest(
+            dst_ip=dst_ip, dst_port=dst_port, message=message, size=size,
+            timeout=timeout if timeout is not None else self.request_timeout,
+            max_attempts=(max_attempts if max_attempts is not None
+                          else self.request_max_attempts),
+            deadline=deadline, on_give_up=on_give_up,
+            on_retransmit=on_retransmit)
+        self._pending_requests[correlation_id] = pending
+        self.requests_sent += 1
+        self._transmit_request(correlation_id, pending)
+        return correlation_id
+
+    def cancel_request(self, correlation_id: int) -> bool:
+        """Stop retransmitting a request (e.g. its purpose lapsed)."""
+        pending = self._pending_requests.pop(correlation_id, None)
+        if pending is None:
+            return False
+        if pending.timer_event is not None:
+            pending.timer_event.cancel()
+        return True
+
+    def _transmit_request(self, correlation_id: int,
+                          pending: _PendingRequest) -> None:
+        self.messages_sent += 1
+        self.socket.send_to(
+            pending.dst_ip, pending.dst_port, pending.size,
+            SignalingEnvelope(pending.message, correlation_id=correlation_id,
+                              kind=KIND_REQUEST, attempt=pending.attempts))
+        delay = pending.timeout * (
+            1.0 + self.retx_jitter * (2.0 * self._retx_rng.random() - 1.0))
+        pending.timer_event = self.sim.schedule(
+            delay, self._request_timed_out, correlation_id)
+
+    def _request_timed_out(self, correlation_id: int) -> None:
+        pending = self._pending_requests.get(correlation_id)
+        if pending is None:
+            return
+        out_of_attempts = pending.attempts >= pending.max_attempts
+        past_deadline = (pending.deadline is not None
+                         and self.sim.now >= pending.deadline)
+        if out_of_attempts or past_deadline:
+            del self._pending_requests[correlation_id]
+            self.requests_failed += 1
+            if pending.on_give_up is not None:
+                pending.on_give_up(pending.message)
+            return
+        pending.attempts += 1
+        pending.timeout = min(pending.timeout * self.retx_backoff,
+                              self.retx_max_timeout)
+        self.retransmissions += 1
+        if pending.on_retransmit is not None:
+            pending.on_retransmit(pending.message, pending.attempts)
+        self._transmit_request(correlation_id, pending)
 
     def charge(self, seconds: float) -> None:
         """Attribute extra processing time to this module (e.g. crypto)."""
@@ -84,6 +265,42 @@ class SignalingNode:
                      sent_at: float) -> None:
         if not isinstance(body, SignalingEnvelope):
             return
+        if body.kind == KIND_RESPONSE:
+            pending = self._pending_requests.pop(body.correlation_id, None)
+            if pending is None:
+                # A duplicate/stale response to a request already answered
+                # or abandoned: processing it again would double side
+                # effects, so drop it.
+                self.responses_unmatched += 1
+                return
+            if pending.timer_event is not None:
+                pending.timer_event.cancel()
+            self.requests_completed += 1
+        elif body.kind == KIND_REQUEST:
+            if body.attempt > 1:
+                self.retransmitted_deliveries += 1
+                self.note_retransmitted_request(body.message)
+            self._evict_request_cache()
+            key = (src_ip, body.correlation_id)
+            entry = self._request_cache.get(key)
+            if entry is not None:
+                # Duplicate: replay the cached response(s) instead of
+                # re-executing the handler (idempotent receive).
+                self.dup_requests += 1
+                if entry.handled:
+                    for dst_ip, dst_port, message, size in entry.responses:
+                        self.dup_responses_replayed += 1
+                        self.messages_sent += 1
+                        self.socket.send_to(
+                            dst_ip, dst_port, size,
+                            SignalingEnvelope(
+                                message, correlation_id=body.correlation_id,
+                                kind=KIND_RESPONSE))
+                return
+            entry = _CachedRequest()
+            self._request_cache[key] = entry
+            heapq.heappush(self._request_cache_expiry,
+                           (self.sim.now + self.response_cache_ttl, key))
         message = body.message
         handler = self._handlers.get(type(message), self.default_handler)
         if handler is None:
@@ -95,11 +312,55 @@ class SignalingNode:
         start = max(self.sim.now, self._busy_until)
         finish = start + cost
         self._busy_until = finish
-        if finish > self.sim.now:
-            self.sim.schedule(finish - self.sim.now, handler, src_ip,
-                              message)
+        if body.kind == KIND_REQUEST:
+            runner = self._run_request_handler
+            args = (handler, src_ip, body.correlation_id, entry, message)
         else:
+            runner = handler
+            args = (src_ip, message)
+        if finish > self.sim.now:
+            self.sim.schedule(finish - self.sim.now, runner, *args)
+        else:
+            runner(*args)
+
+    def _run_request_handler(self, handler: Callable, src_ip: str,
+                             correlation_id: int, entry: _CachedRequest,
+                             message: object) -> None:
+        """Execute a request handler with reply capture active."""
+        self._reply_context = _ReplyContext(
+            src_ip=src_ip, correlation_id=correlation_id, entry=entry)
+        try:
             handler(src_ip, message)
+        finally:
+            self._reply_context = None
+            entry.handled = True
+
+    def _evict_request_cache(self) -> None:
+        """Drop dedup entries whose TTL has passed (monotone sweep)."""
+        heap = self._request_cache_expiry
+        now = self.sim.now
+        while heap and heap[0][0] <= now:
+            _, key = heapq.heappop(heap)
+            self._request_cache.pop(key, None)
+
+    def note_retransmitted_request(self, message: object) -> None:
+        """Hook: a request delivery arrived with attempt > 1 (the sender
+        retransmitted, i.e. an earlier copy or its response was lost)."""
+
+    def reliable_stats(self) -> dict:
+        """Counter snapshot for the reliability layer (all bounded)."""
+        return {
+            "requests_sent": self.requests_sent,
+            "requests_completed": self.requests_completed,
+            "requests_failed": self.requests_failed,
+            "requests_outstanding": len(self._pending_requests),
+            "retransmissions": self.retransmissions,
+            "dup_requests": self.dup_requests,
+            "dup_responses_replayed": self.dup_responses_replayed,
+            "responses_unmatched": self.responses_unmatched,
+            "retransmitted_deliveries": self.retransmitted_deliveries,
+            "response_cache_size": len(self._request_cache),
+        }
 
     def unhandled(self, src_ip: str, message: object) -> None:
         """Hook for unexpected messages; default is to drop silently."""

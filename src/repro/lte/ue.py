@@ -60,7 +60,16 @@ class AttachResult:
 
 
 class UeNas(SignalingNode):
-    """Baseline UE: EPS-AKA + SMC + attach, via the eNodeB."""
+    """Baseline UE: EPS-AKA + SMC + attach, via the eNodeB.
+
+    Attach legs are supervised by a retransmission timer: the last uplink
+    NAS message of an in-progress attach is re-sent on timeout with
+    capped exponential backoff (seeded jitter), and the attempt is
+    abandoned cleanly — EMM state reset, ``attach_timeouts`` bumped, the
+    failure delivered via ``on_attach_done`` — once the per-leg budget is
+    spent.  A loss-free attach completes well inside the first timeout,
+    so the supervision never fires on the clean path.
+    """
 
     processing_costs = {
         AuthenticationRequest: UE_COSTS[AuthenticationRequest],
@@ -70,6 +79,12 @@ class UeNas(SignalingNode):
         # charged like an accept (deciphering included).
         ProtectedNas: UE_COSTS[AttachAccept],
     }
+    # -- attach retransmission knobs --
+    attach_retx_timeout = 0.4
+    attach_retx_backoff = 2.0
+    attach_retx_max_timeout = 3.0
+    attach_retx_jitter = 0.1
+    attach_max_attempts = 5
 
     def __init__(self, host: Host, enb_ip: str, imsi: Imsi | str,
                  usim: UsimState, serving_network: str,
@@ -85,6 +100,16 @@ class UeNas(SignalingNode):
         self.attach_started_at: Optional[float] = None
         self.on_attach_done: Optional[Callable[[AttachResult], None]] = None
         self.on_detached: Optional[Callable[[], None]] = None
+        # -- attach supervision state --
+        self._attach_resend: Optional[Callable[[], None]] = None
+        self._attach_timer_event = None
+        self._attach_attempts = 0
+        self._attach_timeout_cur = 0.0
+        self._initial_request_cache = None
+        self._last_auth_rand: Optional[bytes] = None
+        self._auth_response = None
+        self.nas_retransmissions = 0
+        self.attach_timeouts = 0
 
         self.on(AuthenticationRequest, self._on_auth_request)
         self.on(SecurityModeCommand, self._on_smc)
@@ -102,21 +127,97 @@ class UeNas(SignalingNode):
             raise RuntimeError(f"attach() in state {self.state}")
         self.state = "ATTACHING"
         self.attach_started_at = self.sim.now
+        self.security = None  # a fresh attempt starts from clean EMM state
+        self._last_auth_rand = None
+        self._auth_response = None
         craft = UE_COSTS["craft_attach_request"]
         self.charge(craft)
         self.sim.schedule(craft, self._send_attach_request)
 
     def _send_attach_request(self) -> None:
+        # The request is crafted ONCE per attach attempt and the same
+        # bytes are retransmitted: for the CellBricks UE this keeps the
+        # SAP nonce stable so the broker's idempotency cache (not its
+        # replay window) catches the duplicate.
         request = self.initial_request()
+        self._initial_request_cache = request
         self.send(self.enb_ip, request, size=message_size(request))
+        self._supervise_attach(self._resend_initial_request)
+
+    def _resend_initial_request(self) -> None:
+        request = self._initial_request_cache
+        if request is not None:
+            self.send(self.enb_ip, request, size=message_size(request))
 
     def initial_request(self):
         """The first NAS message (overridden by the CellBricks UE)."""
         return AttachRequest(imsi=self.imsi)
 
+    # -- attach retransmission supervision -------------------------------------
+    def _supervise_attach(self, resend: Callable[[], None]) -> None:
+        """(Re)arm the retransmission timer around the given attach leg.
+
+        Each leg (initial request, auth response, SMC complete) gets a
+        fresh attempt budget: any downlink progress proves the path was
+        recently alive.
+        """
+        self._attach_resend = resend
+        self._attach_attempts = 1
+        self._attach_timeout_cur = self.attach_retx_timeout
+        self._arm_attach_timer()
+
+    def _arm_attach_timer(self) -> None:
+        self._cancel_attach_timer()
+        jitter = 1.0 + self.attach_retx_jitter \
+            * (2.0 * self._retx_rng.random() - 1.0)
+        self._attach_timer_event = self.sim.schedule(
+            self._attach_timeout_cur * jitter, self._attach_timer_fired)
+
+    def _cancel_attach_timer(self) -> None:
+        if self._attach_timer_event is not None:
+            self._attach_timer_event.cancel()
+            self._attach_timer_event = None
+
+    def _stop_attach_supervision(self) -> None:
+        self._cancel_attach_timer()
+        self._attach_resend = None
+
+    def _attach_timer_fired(self) -> None:
+        self._attach_timer_event = None
+        if self.state != "ATTACHING" or self._attach_resend is None:
+            return
+        if self._attach_attempts >= self.attach_max_attempts:
+            self.attach_timeouts += 1
+            self._attach_resend = None
+            self._on_attach_give_up()
+            self._fail(f"attach timed out after "
+                       f"{self.attach_max_attempts} attempts")
+            return
+        self._attach_attempts += 1
+        self._attach_timeout_cur = min(
+            self._attach_timeout_cur * self.attach_retx_backoff,
+            self.attach_retx_max_timeout)
+        self.nas_retransmissions += 1
+        self._attach_resend()
+        self._arm_attach_timer()
+
+    def _on_attach_give_up(self) -> None:
+        """Hook: reset EMM state when an attach attempt is abandoned."""
+        self.security = None
+        self.ue_ip = None
+
     # -- EPS-AKA ------------------------------------------------------------------
     def _on_auth_request(self, src_ip: str,
                          request: AuthenticationRequest) -> None:
+        if self.state != "ATTACHING":
+            return  # stale challenge from an abandoned attempt
+        if request.rand == self._last_auth_rand \
+                and self._auth_response is not None:
+            # Duplicate challenge (our response was lost): replaying the
+            # stored response avoids re-running AKA, whose SQN check
+            # would reject the repeated vector.
+            self._resend_auth_response()
+            return
         try:
             res, kasme = usim_authenticate(
                 self.usim, request.rand, request.autn, self.serving_network)
@@ -124,18 +225,36 @@ class UeNas(SignalingNode):
             self._fail(f"network authentication failed: {exc}")
             return
         self.security = SecurityContext(kasme=kasme)
-        self.send(self.enb_ip, AuthenticationResponse(res=res),
-                  size=message_size(AuthenticationResponse(res=res)))
+        self._last_auth_rand = request.rand
+        self._auth_response = AuthenticationResponse(res=res)
+        self._resend_auth_response()
+        self._supervise_attach(self._resend_auth_response)
+
+    def _resend_auth_response(self) -> None:
+        response = self._auth_response
+        if response is not None:
+            self.send(self.enb_ip, response, size=message_size(response))
 
     # -- SMC (shared by baseline and CellBricks) -----------------------------------
     def _on_smc(self, src_ip: str, command: SecurityModeCommand) -> None:
+        if self.state != "ATTACHING":
+            return  # stale command from an abandoned attempt
         if self.security is None:
-            self._fail("SMC before key agreement")
+            # The key-agreement downlink (AKA challenge / SAP response)
+            # was lost and the SMC overtook its retransmission: drop it.
+            # Our own resend of the previous uplink makes the network
+            # replay both legs, so the attach still converges.
             return
         expected = smc_mac(self.security.k_nas_int,
                            command.enc_alg, command.int_alg)
         if command.mac != expected:
             self._fail("SMC MAC verification failed")
+            return
+        self._send_smc_complete()
+        self._supervise_attach(self._send_smc_complete)
+
+    def _send_smc_complete(self) -> None:
+        if self.security is None:
             return
         reply = SecurityModeComplete(
             mac=smc_mac(self.security.k_nas_int, 0xFF, 0xFF))
@@ -162,6 +281,14 @@ class UeNas(SignalingNode):
 
     # -- completion -------------------------------------------------------------------
     def _on_attach_accept(self, src_ip: str, accept: AttachAccept) -> None:
+        if self.state == "ATTACHED":
+            # Duplicate accept: our AttachComplete was lost — re-send it
+            # (freshly protected) without re-firing the completion hook.
+            self.send_protected(AttachComplete())
+            return
+        if self.state != "ATTACHING":
+            return  # stale accept from an abandoned attempt
+        self._stop_attach_supervision()
         self.ue_ip = accept.ue_ip
         self.state = "ATTACHED"
         self.send_protected(AttachComplete())
@@ -171,9 +298,12 @@ class UeNas(SignalingNode):
                 success=True, ue_ip=accept.ue_ip, latency=latency))
 
     def _on_reject(self, src_ip: str, reject) -> None:
+        if self.state != "ATTACHING":
+            return  # stale reject (e.g. we already timed out and moved on)
         self._fail(getattr(reject, "cause", "rejected"))
 
     def _fail(self, cause: str) -> None:
+        self._stop_attach_supervision()
         self.state = "REJECTED"
         latency = (self.sim.now - self.attach_started_at
                    if self.attach_started_at is not None else 0.0)

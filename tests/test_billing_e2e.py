@@ -61,6 +61,36 @@ class TestBillingOverTheWire:
         assert 0 in ledger.btelco_reports
         assert ledger.btelco_reports[0].dl_bytes == 5_000_000
 
+    def test_lost_report_upload_retried_until_acked(self):
+        """A report eaten by the broker link must be retransmitted, not
+        silently skew the §4.3 cross-check: the broker ends up with the
+        pair matched, ``reports_retried`` counts the recovery, and
+        ``reports_lost`` stays 0."""
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        agw = net.sites["btelco-a"].agw
+        session_id = manager.ue.session_id
+        bearer = agw.spgw.bearer_for(agw.sessions[session_id].id_u_opaque)
+        bearer.usage.dl_bytes = 1_000_000
+        manager.ue.meter.record_dl(1_000_000)
+
+        net.links["btelco-a-broker"].interrupt(0.3)   # eats the upload
+        assert agw.upload_reports() == 1
+        net.brokerd.billing.ingest(manager.ue.meter.emit(sim.now),
+                                   now=sim.now)
+        sim.run(until=sim.now + 5.0)
+
+        stats = net.brokerd.stats()
+        assert stats["reports_retried"] >= 1
+        assert stats["reports_lost"] == 0
+        assert agw.stats()["reports_acked"] == 1
+        ledger = net.brokerd.billing.sessions[session_id]
+        assert ledger.checked_pairs == 1
+        assert ledger.mismatches == 0
+
     def test_inflating_btelco_detected_over_the_wire(self):
         sim, net, manager, agw, session_id = attach_and_meter(
             telco_fraud=1.5)

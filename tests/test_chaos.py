@@ -1,0 +1,173 @@
+"""Fault-injection harness tests: the control plane under loss/outages.
+
+The acceptance bars from the reliability work: attaches converge (or
+fail cleanly with an EMM reset) under loss and broker outages, revoked
+sessions are never served past the run (unauthorized-session-seconds is
+exactly 0), a fault-free run issues zero retransmissions and keeps the
+Fig 7 latency envelope, and all retry/dedup state is bounded.
+"""
+
+import pytest
+
+from repro.core.mobility import build_cellbricks_network
+from repro.emulation import (
+    ChaosMonkey,
+    ChaosSchedule,
+    brownout,
+    loss_burst,
+    outage,
+    partition,
+    run_chaos,
+)
+from repro.net import Simulator
+
+
+class TestChaosMonkey:
+    """Unit tests for the fault injectors themselves."""
+
+    def build(self):
+        sim = Simulator()
+        network = build_cellbricks_network(sim, site_names=("btelco-a",))
+        return sim, network
+
+    def test_loss_burst_applies_and_restores(self):
+        sim, network = self.build()
+        link = network.links["btelco-a-sig-radio"]
+        monkey = ChaosMonkey(sim, network.links)
+        monkey.arm(ChaosSchedule().add(
+            loss_burst(1.0, 2.0, 0.3, target="*-sig-radio")))
+        sim.run(until=1.5)
+        assert link.a_to_b.loss_rate == 0.3
+        assert link.b_to_a.loss_rate == 0.3
+        sim.run(until=4.0)
+        assert link.a_to_b.loss_rate == 0.0
+        assert link.b_to_a.loss_rate == 0.0
+        assert monkey.faults_injected == 1
+
+    def test_outage_matches_glob_and_recovers(self):
+        sim, network = self.build()
+        broker_link = network.links["btelco-a-broker"]
+        radio = network.links["btelco-a-sig-radio"]
+        monkey = ChaosMonkey(sim, network.links)
+        monkey.arm(ChaosSchedule().add(outage(1.0, 1.0,
+                                              target="*-broker")))
+        sim.run(until=1.5)
+        assert not broker_link.a_to_b.up and not broker_link.b_to_a.up
+        assert radio.a_to_b.up             # untargeted link untouched
+        sim.run(until=3.0)
+        assert broker_link.a_to_b.up and broker_link.b_to_a.up
+
+    def test_partition_downs_exactly_one_half(self):
+        sim, network = self.build()
+        link = network.links["btelco-a-backhaul"]
+        monkey = ChaosMonkey(sim, network.links)
+        monkey.arm(ChaosSchedule().add(
+            partition(1.0, 1.0, target="*-backhaul",
+                      direction="b_to_a")))
+        sim.run(until=1.5)
+        assert link.a_to_b.up and not link.b_to_a.up
+        sim.run(until=3.0)
+        assert link.b_to_a.up
+
+    def test_brownout_shadows_instance_not_class(self):
+        sim, network = self.build()
+        brokerd = network.brokerd
+        klass = type(brokerd)
+        baseline = dict(klass.processing_costs)
+        monkey = ChaosMonkey(sim, network.links, brokerd=brokerd)
+        monkey.arm(ChaosSchedule().add(brownout(1.0, 1.0, factor=10.0)))
+        sim.run(until=1.5)
+        assert "processing_costs" in brokerd.__dict__
+        for message, cost in baseline.items():
+            assert brokerd.processing_costs[message] == \
+                pytest.approx(cost * 10.0)
+        assert klass.processing_costs == baseline   # class dict untouched
+        sim.run(until=3.0)
+        assert "processing_costs" not in brokerd.__dict__
+        assert klass.processing_costs == baseline
+
+    def test_unknown_kind_rejected(self):
+        sim, network = self.build()
+        monkey = ChaosMonkey(sim, network.links)
+        from repro.emulation.chaos import ChaosEvent
+        monkey.arm(ChaosSchedule().add(
+            ChaosEvent(at=0.5, kind="earthquake")))
+        with pytest.raises(ValueError, match="earthquake"):
+            sim.run()
+
+
+class TestLossyAttachMatrix:
+    """Every attach either succeeds or fails cleanly; loss only costs
+    retransmissions, never wedged state."""
+
+    @pytest.mark.parametrize("loss", [0.0, 0.05, 0.2])
+    def test_attach_matrix(self, loss):
+        report = run_chaos(attaches=30, base_loss=loss, seed=11)
+        assert report.attempts == 30
+        assert report.successes + report.failures == 30
+        if loss == 0.0:
+            assert report.successes == 30
+            assert report.retransmissions == 0
+        elif loss == 0.05:
+            assert report.success_rate >= 0.95
+            assert report.retransmissions >= 1
+        else:
+            # 20% loss: heavy retransmission, and the rare give-up must
+            # be a clean EMM reset (counted, with a cause), not a wedge.
+            assert report.success_rate >= 0.6
+            assert report.retransmissions >= 10
+            for cause in report.failure_causes:
+                assert "timed out" in cause or "unreachable" in cause
+        # Bounded state everywhere once the run drains.
+        assert report.broker_stats["requests_outstanding"] == 0
+        assert report.broker_stats["revocation_batches_outstanding"] == 0
+        for stats in report.site_stats.values():
+            assert stats["requests_outstanding"] == 0
+
+    def test_mid_attach_broker_outage_recovers(self):
+        schedule = ChaosSchedule().add(outage(2.0, 2.0,
+                                              target="*-broker"))
+        report = run_chaos(attaches=40, schedule=schedule, seed=11)
+        assert report.attempts == 40
+        assert report.successes + report.failures == 40
+        # A 2s outage sits well inside the retry budget (~8.8s): the
+        # attaches in flight ride it out on retransmissions.
+        assert report.success_rate >= 0.95
+        assert report.retransmissions >= 1
+        assert report.broker_stats["requests_outstanding"] == 0
+
+
+class TestRevocationUnderLoss:
+    def test_unauthorized_session_seconds_is_zero(self):
+        schedule = ChaosSchedule().add(
+            loss_burst(1.0, 3.0, 0.3, target="*-broker"))
+        report = run_chaos(attaches=40, schedule=schedule,
+                           revoke_every=5, seed=3, base_loss=0.05)
+        assert report.revocations > 0
+        assert report.unauthorized_session_seconds == 0.0
+        stats = report.broker_stats
+        assert stats["revocation_batches_sent"] >= 1
+        assert stats["revocation_batches_acked"] == \
+            stats["revocation_batches_sent"]
+        assert stats["revocation_batches_outstanding"] == 0
+        assert stats["revocation_batches_failed"] == 0
+
+    def test_zero_fault_run_is_silent_and_fast(self):
+        report = run_chaos(attaches=25, seed=7)
+        assert report.successes == 25
+        assert report.retransmissions == 0
+        assert report.unauthorized_session_seconds == 0.0
+        # Fig 7 envelope: the reliability layer must not change the
+        # fault-free attach latency.
+        assert 20.0 <= report.attach_p50_ms <= 80.0
+        assert 20.0 <= report.attach_p99_ms <= 80.0
+
+    def test_report_is_deterministic_under_fixed_seed(self):
+        def once():
+            schedule = ChaosSchedule().add(
+                loss_burst(0.5, 2.0, 0.2))
+            return run_chaos(attaches=15, schedule=schedule,
+                             revoke_every=4, seed=5,
+                             base_loss=0.05).to_dict()
+
+        assert once() == once()

@@ -14,7 +14,10 @@ class TestParser:
         parser = build_parser()
         for argv in (["fig7"], ["attach"], ["table1"], ["fig8"],
                      ["fig9"], ["fig10"], ["fig10", "--single-drive"],
-                     ["report", "--scale", "0.2"]):
+                     ["report", "--scale", "0.2"], ["churn"],
+                     ["chaos"], ["chaos", "--smoke"],
+                     ["chaos", "--loss", "0.05", "--revoke-every", "10",
+                      "--outage-at", "2.0", "--json"]):
             args = parser.parse_args(argv)
             assert callable(args.func)
 
@@ -35,6 +38,25 @@ class TestExecution:
         assert main(["fig7", "--trials", "2"]) == 0
         out = capsys.readouterr().out
         assert "us-east-1" in out
+
+    def test_chaos_command_runs_and_checks_invariants(self, capsys):
+        assert main(["chaos", "--attaches", "10", "--loss", "0.05",
+                     "--revoke-every", "5", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out
+        assert "unauthorized" in out
+        assert "INVARIANT VIOLATED" not in out
+
+    def test_chaos_smoke_writes_bench_json(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_chaos.json"
+        assert main(["chaos", "--smoke", "--attaches", "30",
+                     "--output", str(output)]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["violations"] == []
+        assert payload["unauthorized_session_seconds"] == 0.0
+        assert payload["success_rate"] >= 0.95
 
     def test_table1_subset_runs(self, capsys):
         assert main(["table1", "--scale", "0.1", "--routes",

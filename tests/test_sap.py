@@ -153,13 +153,33 @@ class TestBrokerChecks:
         with pytest.raises(SapError, match="UE signature"):
             world["broker"].process_request(req_t, now=10.0)
 
-    def test_replayed_nonce_denied(self, world):
+    def test_retransmitted_request_reserves_same_grant(self, world):
+        """A bit-identical duplicate (a retransmission) is NOT a replay
+        attack: the broker re-serves the original grant idempotently."""
+        ue = UeSap(world["creds"])
+        req_u = ue.craft_request("t1.example")
+        req_t = world["telco"].augment_request(req_u)
+        before = world["broker"].dup_requests_served
+        sealed_t, sealed_u, grant = world["broker"].process_request(
+            req_t, now=10.0)
+        replay_t, replay_u, replay_grant = world["broker"].process_request(
+            req_t, now=11.0)
+        assert replay_grant.session_id == grant.session_id
+        assert replay_t is sealed_t and replay_u is sealed_u
+        assert world["broker"].dup_requests_served == before + 1
+        assert world["broker"].attach_denied["replay"] == 0
+
+    def test_modified_request_reusing_nonce_denied(self, world):
+        """Reusing a seen nonce inside anything other than the original
+        datagram (different digest) is still a replay attack."""
         ue = UeSap(world["creds"])
         req_u = ue.craft_request("t1.example")
         req_t = world["telco"].augment_request(req_u)
         world["broker"].process_request(req_t, now=10.0)
+        tampered = world["telco"].augment_request(req_u,
+                                                  lawful_intercept=True)
         with pytest.raises(SapError, match="replayed"):
-            world["broker"].process_request(req_t, now=11.0)
+            world["broker"].process_request(tampered, now=11.0)
 
     def test_expired_btelco_certificate_denied(self, world):
         key = generate_keypair(rng=random.Random(5))
@@ -268,12 +288,17 @@ class TestSessionLifecycle:
     def test_replay_window_evicts_but_still_blocks_inside_window(self, world):
         broker = fresh_broker(world, session_ttl=10.0)
         ue, req_t, _ = attach(world, broker, now=0.0)
-        # Reuse inside the window is rejected even after other requests
-        # have come and gone (eviction must not forget live nonces).
+        # An attacker reusing the nonce in a *different* request (here:
+        # re-signed with the LI bit flipped, so the digest differs and
+        # the idempotency cache cannot answer) is rejected inside the
+        # window, even after other requests have come and gone (eviction
+        # must not forget live nonces).
+        evil = world["telco"].augment_request(req_t.auth_req_u,
+                                              lawful_intercept=True)
         for now in (1.0, 5.0, 9.9):
             attach(world, broker, now=now)
             with pytest.raises(SapError, match="replayed"):
-                broker.process_request(req_t, now=now)
+                broker.process_request(evil, now=now)
         assert broker.replay_hits == 3
         assert broker.attach_denied["replay"] == 3
 

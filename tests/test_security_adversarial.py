@@ -248,3 +248,90 @@ class TestRevocation:
         assert stats["grants_revoked"] == 1
         assert stats["grants_active"] == 0
         assert stats["revocations_sent"] == 1
+        # The fan-out completed the ack handshake: nothing outstanding.
+        assert stats["revocation_batches_acked"] == 1
+        assert stats["revocation_batches_outstanding"] == 0
+
+    def test_duplicate_revocation_notice_reacked_not_reapplied(self):
+        """A retransmitted (or maliciously replayed) batch for an
+        already-revoked session is re-acked but applies nothing: no
+        double detach, no counter drift."""
+        from repro.core.messages import (
+            SessionRevocation,
+            SessionRevocationBatch,
+        )
+
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        agw = net.sites["btelco-a"].agw
+        (session_id,) = agw.sessions
+        net.brokerd.revoke_subscriber("alice")
+        sim.run(until=2.0)
+        assert agw.revoked_sessions == 1
+
+        acks_before = agw.revocation_acks_sent
+        duplicate = SessionRevocationBatch(
+            batch_id=999, id_b=net.brokerd.id_b,
+            revocations=(SessionRevocation(session_id=session_id),))
+        agw._handle_revocation_batch(net.broker_host.address, duplicate)
+        sim.run(until=3.0)
+        assert agw.revocation_dups == 1
+        assert agw.revoked_sessions == 1          # not applied twice
+        assert agw.revocation_acks_sent == acks_before + 1
+
+    def test_lost_revocation_retransmitted_until_acked(self):
+        """The broker link is dark when the revocation is pushed: the
+        batch must ride retransmission until the signed ack lands —
+        a lost notice must never leave the session running."""
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        agw = net.sites["btelco-a"].agw
+        (session_id,) = agw.sessions
+
+        net.links["btelco-a-broker"].interrupt(1.5)
+        revoked_at = sim.now
+        net.brokerd.revoke_subscriber("alice")
+        sim.run(until=revoked_at + 0.5)
+        # Still dark: the session survives, the batch is outstanding.
+        assert session_id in agw.sessions
+        assert net.brokerd.stats()["revocation_batches_outstanding"] == 1
+        sim.run(until=revoked_at + 10.0)
+        stats = net.brokerd.stats()
+        assert session_id not in agw.sessions
+        assert stats["revocation_batches_retried"] >= 1
+        assert stats["revocation_batches_acked"] == 1
+        assert stats["revocation_batches_outstanding"] == 0
+
+    def test_forged_revocation_ack_rejected(self):
+        """An on-path attacker must not be able to silence the fan-out
+        with an unsigned/forged ack and keep a revoked session alive."""
+        from repro.core.messages import RevocationAck
+
+        sim = Simulator()
+        net = build_cellbricks_network(sim)
+        manager = MobilityManager(net)
+        manager.start("btelco-a")
+        sim.run(until=1.0)
+        agw = net.sites["btelco-a"].agw
+        (session_id,) = agw.sessions
+
+        net.links["btelco-a-broker"].interrupt(1.5)
+        net.brokerd.revoke_subscriber("alice")
+        (batch_id,) = net.brokerd._outstanding_batches
+        forged = RevocationAck(batch_id=batch_id, id_t="btelco-a",
+                               session_ids=(session_id,),
+                               signature=b"\x00" * 64)
+        net.brokerd._handle_revocation_ack(
+            net.sites["btelco-a"].agw_host.address, forged)
+        assert net.brokerd.revocation_acks_bad == 1
+        assert net.brokerd.stats()["revocation_batches_outstanding"] == 1
+        # The genuine handshake still completes once the link heals.
+        sim.run(until=10.0)
+        assert session_id not in agw.sessions
+        assert net.brokerd.stats()["revocation_batches_acked"] == 1
