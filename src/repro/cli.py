@@ -8,6 +8,8 @@ Usage::
     python -m repro fig9 [--duration S]
     python -m repro fig10 [--duration S] [--single-drive]
     python -m repro attach [--arch BL|CB] [--placement local|us-west-1|...]
+    python -m repro trace [--scenario attach|chaos] [--format jsonl|chrome|summary]
+    python -m repro metrics [--scenario attach|chaos]
     python -m repro report [--scale S] [--output report.md]
 
 Each subcommand prints the same rows/series the corresponding benchmark
@@ -23,6 +25,8 @@ import sys
 def _cmd_fig7(args: argparse.Namespace) -> int:
     from repro.testbed import run_figure7
 
+    if args.trace:
+        return _fig7_traced(args)
     print(f"Fig 7 - attachment latency breakdown ({args.trials} trials)")
     print(f"{'placement':11s} {'arch':4s} {'total':>8s} {'agw+brokerd':>12s} "
           f"{'enb':>6s} {'ue':>6s} {'other':>8s}")
@@ -31,6 +35,134 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
               f"{result.total_ms:8.2f} {result.agw_brokerd_ms:12.2f} "
               f"{result.enb_ms:6.2f} {result.ue_ms:6.2f} "
               f"{result.other_ms:8.2f}")
+    return 0
+
+
+def _fig7_traced(args: argparse.Namespace) -> int:
+    """Fig 7 from the *trace*: per-leg breakdown measured out of the
+    recorded span trees rather than the module-time accounting.  The four
+    legs sum exactly to the end-to-end latency by construction; with
+    ``--obs-output`` the per-leg p50/p99 land in ``BENCH_obs.json``."""
+    import json
+
+    from repro.analysis import percentile
+    from repro.obs.export import LEG_NAMES, attach_leg_breakdown, \
+        mean_leg_breakdown
+    from repro.testbed import run_traced_attach
+
+    print(f"Fig 7 - traced per-leg breakdown ({args.trials} trials)")
+    print(f"{'placement':11s} {'arch':4s} {'total':>8s} {'ue':>7s} "
+          f"{'transit':>8s} {'btelco':>7s} {'broker':>7s} {'(enb)':>7s}")
+    bench: dict = {}
+    for placement in ("local", "us-west-1", "us-east-1"):
+        for arch in ("BL", "CB"):
+            _, obs, _ = run_traced_attach(arch=arch, placement=placement,
+                                          trials=args.trials)
+            breakdowns = attach_leg_breakdown(obs.tracer.spans())
+            legs = mean_leg_breakdown(breakdowns)
+            if legs is None:
+                print(f"{placement:11s} {arch:4s}  (no completed attaches "
+                      "in trace)")
+                continue
+            print(f"{placement:11s} {arch:4s} {legs['total_ms']:8.2f} "
+                  f"{legs['ue_crypto_ms']:7.2f} "
+                  f"{legs['radio_nas_transit_ms']:8.2f} "
+                  f"{legs['btelco_verify_ms']:7.2f} "
+                  f"{legs['broker_verify_sign_ms']:7.2f} "
+                  f"{legs['enb_ms']:7.2f}")
+            cell = {"trials": len(breakdowns), "mean": legs}
+            for key in ("total_ms",) + LEG_NAMES:
+                values = [b[key] for b in breakdowns]
+                cell[key] = {"p50": round(percentile(values, 50), 6),
+                             "p99": round(percentile(values, 99), 6)}
+            bench[f"{arch}@{placement}"] = cell
+    if args.obs_output:
+        with open(args.obs_output, "w") as handle:
+            handle.write(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.obs_output}")
+    return 0
+
+
+def _chaos_obs_run(args: argparse.Namespace, obs) -> None:
+    """One seeded chaos run (the --smoke fault script) recording into
+    ``obs`` — shared by the ``trace`` and ``metrics`` subcommands."""
+    from repro.emulation import ChaosSchedule, brownout, outage, run_chaos
+
+    schedule = ChaosSchedule()
+    schedule.add(outage(2.0, 2.0, target="*-broker"))
+    schedule.add(brownout(8.0, 2.0))
+    run_chaos(attaches=args.attaches, schedule=schedule, revoke_every=10,
+              seed=args.seed, base_loss=args.loss, obs=obs)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a traced scenario and export its span tree."""
+    import json
+
+    from repro.obs import Obs
+    from repro.obs.export import (
+        LEG_NAMES,
+        attach_leg_breakdown,
+        mean_leg_breakdown,
+        spans_to_chrome,
+        spans_to_jsonl,
+        summarize,
+    )
+
+    obs = Obs()
+    if args.scenario == "attach":
+        from repro.testbed import run_traced_attach
+
+        run_traced_attach(arch=args.arch, placement=args.placement,
+                          trials=args.trials, seed=args.seed, obs=obs)
+    else:
+        _chaos_obs_run(args, obs)
+
+    spans = obs.tracer.spans()
+    if args.format == "jsonl":
+        text = spans_to_jsonl(spans)
+    elif args.format == "chrome":
+        text = json.dumps(spans_to_chrome(spans), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+    else:
+        lines = [summarize(spans)]
+        legs = mean_leg_breakdown(attach_leg_breakdown(spans))
+        if legs is not None:
+            lines.append("")
+            lines.append(f"mean attach legs ({args.scenario}): "
+                         f"total {legs['total_ms']:.2f} ms")
+            for key in LEG_NAMES:
+                lines.append(f"  {key:24s} {legs[key]:8.2f} ms")
+        if obs.tracer.spans_dropped:
+            lines.append(f"({obs.tracer.spans_dropped} oldest spans "
+                         "dropped by the ring buffer)")
+        text = "\n".join(lines) + "\n"
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(spans)} spans)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a scenario metrics-only and print the fleet-wide registry
+    snapshot (counters/gauges as numbers, histograms as summaries)."""
+    import json
+
+    from repro.obs import Obs
+
+    obs = Obs(tracing=False)
+    if args.scenario == "attach":
+        from repro.testbed import run_traced_attach
+
+        run_traced_attach(arch=args.arch, placement=args.placement,
+                          trials=args.trials, seed=args.seed, obs=obs)
+    else:
+        _chaos_obs_run(args, obs)
+    print(json.dumps(obs.metrics.snapshot(), indent=2, sort_keys=True))
     return 0
 
 
@@ -266,6 +398,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"{report.broker_stats['revocation_batches_retried']}, "
               f"outstanding "
               f"{report.broker_stats['revocation_batches_outstanding']})")
+        hist = report.latency_histogram
+        if hist.get("count"):
+            print(f"  latency histogram   n={hist['count']}, mean "
+                  f"{hist['mean']:.2f} ms, p50/p99 {hist['p50']:.2f}/"
+                  f"{hist['p99']:.2f} ms, max {hist['max']:.2f} ms")
         print(f"  unauthorized        "
               f"{report.unauthorized_session_seconds:.3f} session-seconds")
         for cause, count in sorted(report.failure_causes.items()):
@@ -355,6 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig7", help="attachment latency breakdown")
     p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--trace", action="store_true",
+                   help="measure the per-leg breakdown from recorded "
+                        "span trees instead of module-time accounting")
+    p.add_argument("--obs-output", default=None,
+                   help="with --trace: write per-leg p50/p99 JSON here "
+                        "(e.g. BENCH_obs.json)")
     p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("attach", help="one attach-benchmark cell")
@@ -426,6 +569,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "fails on invariant violations")
     p.add_argument("--output", default="BENCH_chaos.json")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("trace", help="run a traced scenario and export "
+                                     "its span tree")
+    p.add_argument("--scenario", choices=("attach", "chaos"),
+                   default="attach")
+    p.add_argument("--arch", choices=("BL", "CB"), default="CB")
+    p.add_argument("--placement", default="us-west-1")
+    p.add_argument("--trials", type=int, default=20,
+                   help="attach trials (scenario=attach)")
+    p.add_argument("--attaches", type=int, default=150,
+                   help="attach attempts (scenario=chaos)")
+    p.add_argument("--loss", type=float, default=0.05,
+                   help="steady loss rate (scenario=chaos)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--format", choices=("jsonl", "chrome", "summary"),
+                   default="summary")
+    p.add_argument("--output", default=None,
+                   help="write the export to a file instead of stdout")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("metrics", help="run a scenario metrics-only and "
+                                       "print the fleet registry snapshot")
+    p.add_argument("--scenario", choices=("attach", "chaos"),
+                   default="attach")
+    p.add_argument("--arch", choices=("BL", "CB"), default="CB")
+    p.add_argument("--placement", default="us-west-1")
+    p.add_argument("--trials", type=int, default=20)
+    p.add_argument("--attaches", type=int, default=150)
+    p.add_argument("--loss", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("fig10", help="day vs night rate limiting")
     p.add_argument("--duration", type=float, default=500.0)

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.crypto import PrivateKey, PublicKey, generate_keypair
-from repro.lte.signaling import SignalingNode
+from repro.lte.signaling import CounterAttr, SignalingNode
 from repro.net import Host
 
 from .billing import BillingVerifier, TrafficReportUpload
@@ -53,6 +53,27 @@ class Brokerd(SignalingNode):
         TrafficReportUpload: REPORT_PROCESSING,
         RevocationAck: ACK_PROCESSING,
     }
+    obs_category = "cloud"
+    _SPAN_NAMES = {
+        BrokerAuthRequest: "sap.broker_verify",
+        TrafficReportUpload: "billing.report_verify",
+        RevocationAck: "revocation.ack_verify",
+    }
+    requests_approved = CounterAttr("broker.requests_approved")
+    requests_denied = CounterAttr("broker.requests_denied")
+    revocations_sent = CounterAttr("broker.revocations_sent")
+    revocation_batches_sent = CounterAttr("broker.revocation_batches_sent")
+    revocation_batches_acked = CounterAttr("broker.revocation_batches_acked")
+    revocation_batches_retried = \
+        CounterAttr("broker.revocation_batches_retried")
+    revocation_batches_failed = \
+        CounterAttr("broker.revocation_batches_failed")
+    revocation_acks_bad = CounterAttr("broker.revocation_acks_bad")
+    reports_retried = CounterAttr("broker.reports_retried")
+
+    def span_name(self, message: object) -> str:
+        name = self._SPAN_NAMES.get(type(message))
+        return name if name is not None else super().span_name(message)
 
     def __init__(self, host: Host, id_b: str, ca_public_key: PublicKey,
                  key: Optional[PrivateKey] = None,
@@ -60,9 +81,12 @@ class Brokerd(SignalingNode):
         super().__init__(host, name)
         self.id_b = id_b
         self.key = key or generate_keypair()
+        # SAP counters land in this node's registry (one snapshot per
+        # brokerd, fleet-mergeable).
         self.sap = BrokerSap(id_b=id_b, key=self.key,
                              ca_public_key=ca_public_key,
-                             session_ttl=session_ttl)
+                             session_ttl=session_ttl,
+                             metrics=self.metrics)
         self.reputation = ReputationSystem()
         self.billing = BillingVerifier(broker_key=self.key,
                                        reputation=self.reputation)

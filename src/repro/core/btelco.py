@@ -22,6 +22,7 @@ from typing import Optional
 from repro.crypto import Certificate, PrivateKey, PublicKey
 from repro.lte import s6a
 from repro.lte.agw import Agw, UeContext
+from repro.lte.signaling import CounterAttr
 from repro.lte.nas import (
     NasMessage,
     SapAttachChallenge,
@@ -58,6 +59,32 @@ CELLBRICKS_COSTS = {
 
 class CellBricksAgw(Agw):
     """A bTelco site: AGW with SAP in place of EPS-AKA + S6a."""
+
+    expired_sessions = CounterAttr("btelco.expired_sessions")
+    revoked_sessions = CounterAttr("btelco.revoked_sessions")
+    revocation_dups = CounterAttr("btelco.revocation_dups")
+    revocation_acks_sent = CounterAttr("btelco.revocation_acks_sent")
+    dup_attach_requests = CounterAttr("btelco.dup_attach_requests")
+    broker_timeouts = CounterAttr("btelco.broker_timeouts")
+    reports_retried = CounterAttr("btelco.reports_retried")
+    reports_lost = CounterAttr("btelco.reports_lost")
+    reports_acked = CounterAttr("btelco.reports_acked")
+
+    def nas_span_name(self, nas: NasMessage) -> str:
+        if isinstance(nas, SapAttachRequest):
+            return "sap.btelco_sign"
+        return super().nas_span_name(nas)
+
+    def span_name(self, message: object) -> str:
+        if isinstance(message, BrokerAuthResponse):
+            return "sap.btelco_verify"
+        if isinstance(message, SessionRevocationBatch):
+            return "revocation.btelco_batch"
+        if isinstance(message, SessionRevocation):
+            return "revocation.btelco_apply"
+        if isinstance(message, ReportAck):
+            return "billing.report_ack"
+        return super().span_name(message)
 
     def __init__(self, host: Host, broker_ip: str, id_t: str,
                  key: PrivateKey, certificate: Certificate,
@@ -398,17 +425,25 @@ class CellBricksAgw(Agw):
             upload = meter.emit(self.sim.now)
             destination = self.broker_endpoint(
                 self.session_brokers.get(session_id, ""))
+            # Per-report retry tally: if the report is eventually lost,
+            # its retries are rolled back from ``reports_retried`` so the
+            # counter means "retries that preceded a delivery" and never
+            # drifts when a retried report fails anyway.
+            tally = [0]
             self.send_request(
                 destination, upload, size=upload.wire_size,
-                on_give_up=lambda _msg: self._report_gave_up(),
-                on_retransmit=lambda _msg, _n: self._note_report_retry())
+                on_give_up=lambda _msg, t=tally: self._report_gave_up(t),
+                on_retransmit=lambda _msg, _n, t=tally:
+                    self._note_report_retry(t))
             sent += 1
         return sent
 
-    def _note_report_retry(self) -> None:
+    def _note_report_retry(self, tally: list) -> None:
+        tally[0] += 1
         self.reports_retried += 1
 
-    def _report_gave_up(self) -> None:
+    def _report_gave_up(self, tally: list) -> None:
+        self.reports_retried -= tally[0]
         self.reports_lost += 1
 
     def _handle_report_ack(self, src_ip: str, ack: ReportAck) -> None:

@@ -22,9 +22,10 @@ from __future__ import annotations
 import hashlib
 import heapq
 import secrets
-from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Optional
+
+from repro.obs import CounterAttr, MetricsRegistry
 
 from repro.crypto import (
     Certificate,
@@ -294,9 +295,21 @@ class BrokerSap:
     #: requests (idempotency window; clamped to ``session_ttl``).
     response_cache_ttl = 30.0
 
+    # -- registry-backed lifecycle counters --------------------------------
+    attach_ok = CounterAttr("sap.attach_ok")
+    replay_hits = CounterAttr("sap.replay_hits")
+    grants_expired = CounterAttr("sap.grants_expired")
+    grants_revoked = CounterAttr("sap.grants_revoked")
+    dup_requests_served = CounterAttr("sap.dup_requests_served")
+
     def __init__(self, id_b: str, key: PrivateKey,
                  ca_public_key: PublicKey,
-                 session_ttl: float = 3600.0):
+                 session_ttl: float = 3600.0,
+                 metrics: Optional[MetricsRegistry] = None):
+        #: counters land here; the hosting daemon passes its own registry
+        #: so SAP tallies appear in the node's fleet-mergeable snapshot.
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(node=f"sap:{id_b}")
         self.id_b = id_b
         self.key = key
         self.ca_public_key = ca_public_key
@@ -328,7 +341,10 @@ class BrokerSap:
         self.on_grant_revoked: Optional[Callable[[SapGrant], None]] = None
         # -- lifecycle counters (see stats()) --
         self.attach_ok = 0
-        self.attach_denied: Counter = Counter()   # DenialCause value -> n
+        #: DenialCause value -> n, as a registry-backed counter family
+        #: (keeps the Counter-style ``[cause] += 1`` / ``dict(...)`` API).
+        self.attach_denied = self.metrics.counter_vec(
+            "sap.attach_denied", "cause")
         self.replay_hits = 0
         self.grants_expired = 0
         self.grants_revoked = 0

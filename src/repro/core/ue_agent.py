@@ -35,6 +35,10 @@ CB_UE_COSTS = {
 class CellBricksUe(UeNas):
     """UE attaching on-demand to untrusted bTelcos via its broker."""
 
+    craft_span_name = "sap.ue_craft"
+    _SPAN_NAMES = dict(UeNas._SPAN_NAMES)
+    _SPAN_NAMES[SapAttachChallenge] = "sap.ue_verify"
+
     def __init__(self, host: Host, enb_ip: str,
                  credentials: UeSapCredentials, target_id_t: str,
                  name: str = "cb-ue"):
@@ -62,6 +66,7 @@ class CellBricksUe(UeNas):
         self.session_id = None
         craft = CB_UE_COSTS["craft_sap_request"]
         self.charge(craft)
+        self._obs_begin_attach(craft)
         self.sim.schedule(craft, self._send_attach_request)
 
     def initial_request(self) -> SapAttachRequest:

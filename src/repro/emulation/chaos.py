@@ -32,6 +32,8 @@ from typing import Callable, Optional
 
 from repro.analysis import percentile
 from repro.net import Link, Simulator
+from repro.obs import CounterAttr, MetricsRegistry, Obs
+from repro.obs import install as install_obs
 
 from .scenario import ARCH_CELLBRICKS
 
@@ -120,12 +122,18 @@ class ChaosMonkey:
     for *transient* faults layered on top.
     """
 
+    faults_injected = CounterAttr("chaos.faults_injected")
+
     def __init__(self, sim: Simulator, links: dict,
                  brokerd=None):
         self.sim = sim
         self.links = links
         self.brokerd = brokerd
+        self.metrics = MetricsRegistry(node="chaos")
         self.faults_injected = 0
+        #: per-kind fault tally (registry-backed; ``dict(...)`` works)
+        self.faults_by_kind = self.metrics.counter_vec(
+            "chaos.faults", "kind")
         #: (time, kind, target) log of every fault begun
         self.log: list = []
 
@@ -147,7 +155,16 @@ class ChaosMonkey:
             raise ValueError(f"unknown chaos kind {event.kind!r}")
         begin(event)
         self.faults_injected += 1
+        self.faults_by_kind[event.kind] += 1
         self.log.append((self.sim.now, event.kind, event.target))
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.tracing:
+            obs.tracer.instant(
+                f"chaos.{event.kind}", "chaos-monkey", self.sim.now,
+                category="chaos",
+                data={"target": event.target,
+                      "duration": round(event.duration, 9),
+                      "value": round(event.value, 9)})
 
     # -- fault kinds ----------------------------------------------------
     def _begin_loss(self, event: ChaosEvent) -> None:
@@ -223,6 +240,9 @@ class ChaosReport:
     failure_causes: dict
     broker_stats: dict
     site_stats: dict
+    #: bucketed attach-latency summary straight from the UE's
+    #: MetricsRegistry (count/sum/min/max/mean/p50/p99, milliseconds).
+    latency_histogram: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -246,6 +266,7 @@ class ChaosReport:
             "failure_causes": self.failure_causes,
             "broker_stats": self.broker_stats,
             "site_stats": self.site_stats,
+            "latency_histogram": self.latency_histogram,
         }
 
 
@@ -347,19 +368,26 @@ def run_chaos(attaches: int = 200,
               think_time: float = 0.05,
               revoke_hold: float = 1.0,
               rotate_sites: bool = True,
-              on_network_built: Optional[Callable] = None) -> ChaosReport:
+              on_network_built: Optional[Callable] = None,
+              obs: Optional[Obs] = None) -> ChaosReport:
     """Attach/revoke churn under a fault script; returns the metrics the
     reliability acceptance criteria are written against.
 
     ``base_loss`` applies a steady loss rate to every signaling link
     before the run starts (the "lossy radio" baseline); ``schedule``
     layers transient faults on top.  ``on_network_built`` (network →
-    None) lets tests tweak the world before the churn starts.
+    None) lets tests tweak the world before the churn starts.  Passing
+    ``obs`` installs sim-clock tracing for the whole run (spans for
+    every control-plane leg, instants for faults/retransmissions) —
+    tracing records into virtual time only, so a traced seeded run stays
+    bit-identical to an untraced one.
     """
     from repro.core.mobility import build_cellbricks_network
     from repro.core.ue_agent import CellBricksUe
 
     sim = Simulator()
+    if obs is not None:
+        install_obs(sim, obs)
     network = build_cellbricks_network(sim, site_names=site_names,
                                        seed=seed)
     if base_loss:
@@ -393,6 +421,15 @@ def run_chaos(attaches: int = 200,
         accept_retx += site.agw.accept_retransmissions
         signaling_retx += site.agw.reliable_stats()["retransmissions"]
         site_stats[name] = site.agw.stats()
+    latency_hist = ue.metrics.find_histogram("attach.latency_ms")
+    if obs is not None:
+        # Fold every node's registry into the run's fleet-wide snapshot.
+        obs.metrics.merge_from(ue.metrics)
+        obs.metrics.merge_from(network.brokerd.metrics)
+        obs.metrics.merge_from(monkey.metrics)
+        for site in network.sites.values():
+            obs.metrics.merge_from(site.agw.metrics)
+            obs.metrics.merge_from(site.enb.metrics)
 
     return ChaosReport(
         arch=ARCH_CELLBRICKS,
@@ -417,4 +454,6 @@ def run_chaos(attaches: int = 200,
         failure_causes=dict(churn.failure_causes),
         broker_stats=network.brokerd.stats(),
         site_stats=site_stats,
+        latency_histogram=(latency_hist.snapshot()
+                           if latency_hist is not None else {}),
     )

@@ -44,7 +44,7 @@ from .nas_transport import ProtectedNas
 from .nas_transport import protect as protect_nas
 from .nas_transport import unprotect as unprotect_nas
 from .security import NAS_MAC_SIZE, SecurityContext, SecurityError
-from .signaling import SignalingNode
+from .signaling import CounterAttr, SignalingNode
 
 # Handler processing costs (seconds) — see DESIGN.md §6 for the
 # calibration that reproduces Fig 7's module breakdown.
@@ -97,6 +97,33 @@ class Agw(SignalingNode):
     accept_retx_timeout = 0.4
     accept_retx_backoff = 2.0
     accept_max_retx = 3
+    obs_category = "agw"
+    _NAS_SPAN_NAMES = {
+        AttachRequest: "nas.agw_attach_req",
+        AuthenticationResponse: "nas.agw_auth_resp",
+        SecurityModeComplete: "nas.agw_smc_complete",
+        AttachComplete: "nas.agw_attach_complete",
+        ProtectedNas: "nas.agw_protected",
+    }
+    attaches_completed = CounterAttr("agw.attaches_completed")
+    attaches_rejected = CounterAttr("agw.attaches_rejected")
+    accept_retransmissions = CounterAttr("agw.accept_retransmissions")
+    accept_give_ups = CounterAttr("agw.accept_give_ups")
+
+    def span_name(self, message: object) -> str:
+        if isinstance(message, S1UplinkNas):
+            name = self._NAS_SPAN_NAMES.get(type(message.nas))
+            return name if name is not None else \
+                self.nas_span_name(message.nas)
+        if isinstance(message, s6a.AuthenticationInformationAnswer):
+            return "s6a.agw_aia"
+        if isinstance(message, s6a.UpdateLocationAnswer):
+            return "s6a.agw_ula"
+        return super().span_name(message)
+
+    def nas_span_name(self, nas: NasMessage) -> str:
+        """Span-name hook for NAS types added by subclasses."""
+        return f"nas.agw_{type(nas).__name__}"
 
     def __init__(self, host: Host, subscriber_db_ip: str,
                  name: str = "agw", plmn: Plmn = TEST_PLMN,

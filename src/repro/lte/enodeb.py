@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from repro.net import Host
 
 from .nas import NasMessage, message_size
-from .signaling import SignalingNode
+from .signaling import CounterAttr, SignalingNode
 
 # Per-relay-pass processing (seconds); ~7 passes per baseline attach gives
 # the ~4.5 ms "eNB Proc." share of Fig 7.
@@ -51,6 +51,16 @@ class ENodeB(SignalingNode):
     """Relays NAS between UEs (by source address) and the AGW."""
 
     default_processing_cost = RELAY_PROCESSING
+    obs_category = "enb"
+    relayed_uplink = CounterAttr("enb.relayed_uplink")
+    relayed_downlink = CounterAttr("enb.relayed_downlink")
+
+    def span_name(self, message: object) -> str:
+        if isinstance(message, S1DownlinkNas):
+            return "nas.enb_relay_down"
+        if isinstance(message, S1UeContextRelease):
+            return "nas.enb_release"
+        return "nas.enb_relay_up"
 
     def __init__(self, host: Host, agw_ip: str, name: str = "enb"):
         super().__init__(host, name)

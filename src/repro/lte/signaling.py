@@ -26,6 +26,20 @@ facility (:meth:`SignalingNode.send_request`):
 Plain :meth:`SignalingNode.send` datagrams are untouched, so the layer is
 strictly pay-for-use: a loss-free run issues zero retransmissions and
 identical wire traffic.
+
+Observability
+-------------
+
+Every node owns a :class:`~repro.obs.MetricsRegistry` (``self.metrics``)
+— the single source of truth for its counters; the legacy integer
+attributes are descriptor views onto it and ``reliable_stats()`` stays a
+thin dict view.  When an :class:`repro.obs.Obs` is installed on the
+simulator, each handler execution is recorded as a span (named by
+:meth:`SignalingNode.span_name`) whose causal parent rides the envelope
+alongside the correlation id, and retransmissions / duplicate deliveries
+/ dedup-cache replays are annotated as instants.  Without an installed
+``Obs`` (the default) the only cost is one failed ``getattr`` per
+datagram — no spans, no events, no behavioural change.
 """
 
 from __future__ import annotations
@@ -37,6 +51,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.net import Host, UdpSocket
+from repro.obs import CounterAttr, MetricsRegistry
 
 SIGNALING_PORT = 36412  # S1AP's SCTP port, reused for our UDP transport
 
@@ -54,6 +69,10 @@ class SignalingEnvelope:
     correlation_id: int = 0
     kind: str = KIND_DATAGRAM
     attempt: int = 1
+    #: trace propagation (0 = untraced): the sender's trace id and the
+    #: span under which the receiver's processing span parents itself.
+    trace_id: int = 0
+    parent_span: int = 0
 
 
 @dataclass
@@ -71,6 +90,9 @@ class _PendingRequest:
     timer_event: object = None
     on_give_up: Optional[Callable] = None
     on_retransmit: Optional[Callable] = None
+    #: trace context captured at send_request time so retransmissions
+    #: stay causally linked to the originating span.
+    trace_ctx: Optional[tuple] = None
 
 
 @dataclass
@@ -120,11 +142,31 @@ class SignalingNode:
     retx_jitter = 0.1
     #: receiver-side duplicate-suppression cache TTL (seconds).
     response_cache_ttl = 30.0
+    #: span category this node's processing is attributed to in the
+    #: Fig 7 leg decomposition ("ue" / "enb" / "agw" / "cloud").
+    obs_category = "node"
+
+    # -- registry-backed counters (attribute style preserved; the node's
+    # MetricsRegistry is the single source of truth) ----------------------
+    messages_handled = CounterAttr("signaling.messages_handled")
+    messages_sent = CounterAttr("signaling.messages_sent")
+    requests_sent = CounterAttr("signaling.requests_sent")
+    retransmissions = CounterAttr("signaling.retransmissions")
+    requests_failed = CounterAttr("signaling.requests_failed")
+    requests_completed = CounterAttr("signaling.requests_completed")
+    requests_cancelled = CounterAttr("signaling.requests_cancelled")
+    dup_requests = CounterAttr("signaling.dup_requests")
+    dup_responses_replayed = CounterAttr("signaling.dup_responses_replayed")
+    responses_unmatched = CounterAttr("signaling.responses_unmatched")
+    retransmitted_deliveries = \
+        CounterAttr("signaling.retransmitted_deliveries")
 
     def __init__(self, host: Host, name: str, port: int = SIGNALING_PORT):
         self.host = host
         self.sim = host.sim
         self.name = name
+        #: per-node metrics; merge registries for a fleet-wide view.
+        self.metrics = MetricsRegistry(node=name)
         self.socket = UdpSocket(host, port)
         self.socket.on_datagram = self._on_datagram
         self.port = self.socket.port
@@ -139,6 +181,9 @@ class SignalingNode:
         # queue behind each other (what makes attach latency grow under
         # load in the XTRA-SCALE benchmark).
         self._busy_until = 0.0
+        #: active trace context (trace_id, span_id) stamped onto sends;
+        #: set around handler execution and by long-running procedures.
+        self._obs_ctx: Optional[tuple] = None
         # -- reliable-request state (sender side) ------------------------
         self._correlation_ids = itertools.count(1)
         self._pending_requests: dict[int, _PendingRequest] = {}
@@ -154,6 +199,7 @@ class SignalingNode:
         self.retransmissions = 0
         self.requests_failed = 0
         self.requests_completed = 0
+        self.requests_cancelled = 0
         self.dup_requests = 0
         self.dup_responses_replayed = 0
         self.responses_unmatched = 0
@@ -162,6 +208,18 @@ class SignalingNode:
     # -- registration -------------------------------------------------------
     def on(self, message_type: type, handler: Callable) -> None:
         self._handlers[message_type] = handler
+
+    # -- observability ------------------------------------------------------
+    def obs(self):
+        """The simulator's installed telemetry handle, or None (the
+        zero-cost default: one attribute miss, nothing recorded)."""
+        return getattr(self.sim, "obs", None)
+
+    def span_name(self, message: object) -> str:
+        """Span name for processing ``message`` at this node.  Subclasses
+        override to map message types onto protocol legs (e.g.
+        ``sap.broker_verify``)."""
+        return f"handle.{type(message).__name__}"
 
     # -- sending --------------------------------------------------------------
     def send(self, dst_ip: str, message: object, size: int = 256,
@@ -174,6 +232,8 @@ class SignalingNode:
         """
         self.messages_sent += 1
         envelope = SignalingEnvelope(message)
+        if self._obs_ctx is not None:
+            envelope.trace_id, envelope.parent_span = self._obs_ctx
         context = self._reply_context
         if context is not None and dst_ip == context.src_ip:
             envelope.correlation_id = context.correlation_id
@@ -204,28 +264,37 @@ class SignalingNode:
             max_attempts=(max_attempts if max_attempts is not None
                           else self.request_max_attempts),
             deadline=deadline, on_give_up=on_give_up,
-            on_retransmit=on_retransmit)
+            on_retransmit=on_retransmit, trace_ctx=self._obs_ctx)
         self._pending_requests[correlation_id] = pending
         self.requests_sent += 1
         self._transmit_request(correlation_id, pending)
         return correlation_id
 
     def cancel_request(self, correlation_id: int) -> bool:
-        """Stop retransmitting a request (e.g. its purpose lapsed)."""
+        """Stop retransmitting a request (e.g. its purpose lapsed).
+
+        A cancelled request is neither completed nor failed: it gets its
+        own counter so ``requests_sent == completed + failed + cancelled
+        + outstanding`` holds at quiescence.
+        """
         pending = self._pending_requests.pop(correlation_id, None)
         if pending is None:
             return False
         if pending.timer_event is not None:
             pending.timer_event.cancel()
+        self.requests_cancelled += 1
         return True
 
     def _transmit_request(self, correlation_id: int,
                           pending: _PendingRequest) -> None:
         self.messages_sent += 1
-        self.socket.send_to(
-            pending.dst_ip, pending.dst_port, pending.size,
-            SignalingEnvelope(pending.message, correlation_id=correlation_id,
-                              kind=KIND_REQUEST, attempt=pending.attempts))
+        envelope = SignalingEnvelope(
+            pending.message, correlation_id=correlation_id,
+            kind=KIND_REQUEST, attempt=pending.attempts)
+        if pending.trace_ctx is not None:
+            envelope.trace_id, envelope.parent_span = pending.trace_ctx
+        self.socket.send_to(pending.dst_ip, pending.dst_port, pending.size,
+                            envelope)
         delay = pending.timeout * (
             1.0 + self.retx_jitter * (2.0 * self._retx_rng.random() - 1.0))
         pending.timer_event = self.sim.schedule(
@@ -238,9 +307,19 @@ class SignalingNode:
         out_of_attempts = pending.attempts >= pending.max_attempts
         past_deadline = (pending.deadline is not None
                          and self.sim.now >= pending.deadline)
+        obs = self.obs()
+        tracer = obs.tracer if obs is not None and obs.tracing else None
+        ctx = pending.trace_ctx or (0, 0)
         if out_of_attempts or past_deadline:
             del self._pending_requests[correlation_id]
             self.requests_failed += 1
+            if tracer is not None:
+                tracer.instant(
+                    "signaling.give_up", self.name, self.sim.now,
+                    trace_id=ctx[0], parent_id=ctx[1],
+                    category=self.obs_category,
+                    data={"corr_id": correlation_id,
+                          "attempts": pending.attempts})
             if pending.on_give_up is not None:
                 pending.on_give_up(pending.message)
             return
@@ -248,6 +327,13 @@ class SignalingNode:
         pending.timeout = min(pending.timeout * self.retx_backoff,
                               self.retx_max_timeout)
         self.retransmissions += 1
+        if tracer is not None:
+            tracer.instant(
+                "signaling.retransmit", self.name, self.sim.now,
+                trace_id=ctx[0], parent_id=ctx[1],
+                category=self.obs_category,
+                data={"corr_id": correlation_id,
+                      "attempt": pending.attempts})
         if pending.on_retransmit is not None:
             pending.on_retransmit(pending.message, pending.attempts)
         self._transmit_request(correlation_id, pending)
@@ -265,6 +351,8 @@ class SignalingNode:
                      sent_at: float) -> None:
         if not isinstance(body, SignalingEnvelope):
             return
+        obs = self.obs()
+        tracer = obs.tracer if obs is not None and obs.tracing else None
         if body.kind == KIND_RESPONSE:
             pending = self._pending_requests.pop(body.correlation_id, None)
             if pending is None:
@@ -279,6 +367,13 @@ class SignalingNode:
         elif body.kind == KIND_REQUEST:
             if body.attempt > 1:
                 self.retransmitted_deliveries += 1
+                if tracer is not None:
+                    tracer.instant(
+                        "signaling.retx_delivery", self.name, self.sim.now,
+                        trace_id=body.trace_id, parent_id=body.parent_span,
+                        category=self.obs_category,
+                        data={"corr_id": body.correlation_id,
+                              "attempt": body.attempt})
                 self.note_retransmitted_request(body.message)
             self._evict_request_cache()
             key = (src_ip, body.correlation_id)
@@ -288,6 +383,14 @@ class SignalingNode:
                 # re-executing the handler (idempotent receive).
                 self.dup_requests += 1
                 if entry.handled:
+                    if tracer is not None:
+                        tracer.instant(
+                            "signaling.dedup_replay", self.name,
+                            self.sim.now, trace_id=body.trace_id,
+                            parent_id=body.parent_span,
+                            category=self.obs_category,
+                            data={"corr_id": body.correlation_id,
+                                  "responses": len(entry.responses)})
                     for dst_ip, dst_port, message, size in entry.responses:
                         self.dup_responses_replayed += 1
                         self.messages_sent += 1
@@ -295,7 +398,9 @@ class SignalingNode:
                             dst_ip, dst_port, size,
                             SignalingEnvelope(
                                 message, correlation_id=body.correlation_id,
-                                kind=KIND_RESPONSE))
+                                kind=KIND_RESPONSE,
+                                trace_id=body.trace_id,
+                                parent_span=body.parent_span))
                 return
             entry = _CachedRequest()
             self._request_cache[key] = entry
@@ -312,27 +417,53 @@ class SignalingNode:
         start = max(self.sim.now, self._busy_until)
         finish = start + cost
         self._busy_until = finish
+        ctx = None
+        if tracer is not None and (body.trace_id or cost > 0.0):
+            span = tracer.begin(
+                self.span_name(message), self.name, self.obs_category,
+                start=start, end=finish, trace_id=body.trace_id,
+                parent_id=body.parent_span, corr_id=body.correlation_id)
+            ctx = span.context
         if body.kind == KIND_REQUEST:
             runner = self._run_request_handler
-            args = (handler, src_ip, body.correlation_id, entry, message)
+            args = (handler, src_ip, body.correlation_id, entry, message,
+                    ctx)
         else:
-            runner = handler
-            args = (src_ip, message)
+            runner = self._run_traced_handler
+            args = (handler, src_ip, message, ctx)
         if finish > self.sim.now:
             self.sim.schedule(finish - self.sim.now, runner, *args)
         else:
             runner(*args)
 
+    def _run_traced_handler(self, handler: Callable, src_ip: str,
+                            message: object,
+                            ctx: Optional[tuple]) -> None:
+        """Execute a plain handler with the trace context active, so any
+        sends it makes carry the causal parent."""
+        saved = self._obs_ctx
+        if ctx is not None:
+            self._obs_ctx = ctx
+        try:
+            handler(src_ip, message)
+        finally:
+            self._obs_ctx = saved
+
     def _run_request_handler(self, handler: Callable, src_ip: str,
                              correlation_id: int, entry: _CachedRequest,
-                             message: object) -> None:
+                             message: object,
+                             ctx: Optional[tuple] = None) -> None:
         """Execute a request handler with reply capture active."""
         self._reply_context = _ReplyContext(
             src_ip=src_ip, correlation_id=correlation_id, entry=entry)
+        saved = self._obs_ctx
+        if ctx is not None:
+            self._obs_ctx = ctx
         try:
             handler(src_ip, message)
         finally:
             self._reply_context = None
+            self._obs_ctx = saved
             entry.handled = True
 
     def _evict_request_cache(self) -> None:
@@ -353,6 +484,7 @@ class SignalingNode:
             "requests_sent": self.requests_sent,
             "requests_completed": self.requests_completed,
             "requests_failed": self.requests_failed,
+            "requests_cancelled": self.requests_cancelled,
             "requests_outstanding": len(self._pending_requests),
             "retransmissions": self.retransmissions,
             "dup_requests": self.dup_requests,

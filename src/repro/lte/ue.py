@@ -38,7 +38,7 @@ from .nas_transport import ProtectedNas
 from .nas_transport import protect as protect_nas
 from .nas_transport import unprotect as unprotect_nas
 from .security import SecurityContext, SecurityError
-from .signaling import SignalingNode
+from .signaling import CounterAttr, SignalingNode
 
 # UE-side processing costs (seconds); sum ≈ 3.0 ms per baseline attach.
 UE_COSTS = {
@@ -79,6 +79,18 @@ class UeNas(SignalingNode):
         # charged like an accept (deciphering included).
         ProtectedNas: UE_COSTS[AttachAccept],
     }
+    obs_category = "ue"
+    #: span name for the initial-request crafting work ("sap.ue_craft"
+    #: on the CellBricks UE).
+    craft_span_name = "nas.ue_craft"
+    _SPAN_NAMES = {
+        AuthenticationRequest: "nas.ue_auth",
+        SecurityModeCommand: "nas.ue_smc",
+        AttachAccept: "nas.ue_attach_accept",
+        ProtectedNas: "nas.ue_protected",
+    }
+    nas_retransmissions = CounterAttr("ue.nas_retransmissions")
+    attach_timeouts = CounterAttr("ue.attach_timeouts")
     # -- attach retransmission knobs --
     attach_retx_timeout = 0.4
     attach_retx_backoff = 2.0
@@ -108,6 +120,7 @@ class UeNas(SignalingNode):
         self._initial_request_cache = None
         self._last_auth_rand: Optional[bytes] = None
         self._auth_response = None
+        self._attach_span = None
         self.nas_retransmissions = 0
         self.attach_timeouts = 0
 
@@ -119,6 +132,40 @@ class UeNas(SignalingNode):
         self.on(DetachAccept, self._on_detach_accept)
         self.on(DetachRequest, self._on_network_detach)
         self.on(ProtectedNas, self._on_protected)
+
+    # -- observability --------------------------------------------------------
+    def span_name(self, message: object) -> str:
+        name = self._SPAN_NAMES.get(type(message))
+        return name if name is not None else super().span_name(message)
+
+    def _obs_begin_attach(self, craft: float) -> None:
+        """Open the root ``attach`` span plus its crafting child; every
+        send in this procedure then carries the root trace context."""
+        obs = self.obs()
+        if obs is None or not obs.tracing:
+            return
+        tracer = obs.tracer
+        root = tracer.start_trace("attach", self.name, self.obs_category,
+                                  start=self.sim.now)
+        self._attach_span = root
+        self._obs_ctx = root.context
+        tracer.begin(self.craft_span_name, self.name, self.obs_category,
+                     start=self.sim.now, end=self.sim.now + craft,
+                     trace_id=root.trace_id, parent_id=root.span_id)
+
+    def _obs_end_attach(self, status: str, latency: float) -> None:
+        """Close the root span and record the outcome in the registry."""
+        span = self._attach_span
+        if span is not None:
+            self._attach_span = None
+            obs = self.obs()
+            if obs is not None and obs.tracing:
+                obs.tracer.finish(span, self.sim.now, status=status)
+        if status == "ok":
+            self.metrics.histogram("attach.latency_ms").observe(
+                latency * 1000.0)
+        else:
+            self.metrics.counter("attach.failures").inc()
 
     # -- attach ---------------------------------------------------------------
     def attach(self) -> None:
@@ -132,6 +179,7 @@ class UeNas(SignalingNode):
         self._auth_response = None
         craft = UE_COSTS["craft_attach_request"]
         self.charge(craft)
+        self._obs_begin_attach(craft)
         self.sim.schedule(craft, self._send_attach_request)
 
     def _send_attach_request(self) -> None:
@@ -198,6 +246,14 @@ class UeNas(SignalingNode):
             self._attach_timeout_cur * self.attach_retx_backoff,
             self.attach_retx_max_timeout)
         self.nas_retransmissions += 1
+        obs = self.obs()
+        if obs is not None and obs.tracing and self._attach_span is not None:
+            obs.tracer.instant(
+                "nas.retransmit", self.name, self.sim.now,
+                trace_id=self._attach_span.trace_id,
+                parent_id=self._attach_span.span_id,
+                category=self.obs_category,
+                data={"attempt": self._attach_attempts})
         self._attach_resend()
         self._arm_attach_timer()
 
@@ -293,6 +349,7 @@ class UeNas(SignalingNode):
         self.state = "ATTACHED"
         self.send_protected(AttachComplete())
         latency = self.sim.now - self.attach_started_at
+        self._obs_end_attach("ok", latency)
         if self.on_attach_done is not None:
             self.on_attach_done(AttachResult(
                 success=True, ue_ip=accept.ue_ip, latency=latency))
@@ -307,6 +364,7 @@ class UeNas(SignalingNode):
         self.state = "REJECTED"
         latency = (self.sim.now - self.attach_started_at
                    if self.attach_started_at is not None else 0.0)
+        self._obs_end_attach("error", latency)
         if self.on_attach_done is not None:
             self.on_attach_done(AttachResult(
                 success=False, ue_ip=None, latency=latency, cause=cause))

@@ -30,6 +30,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.obs import CounterAttr, MetricsRegistry
+
 from .node import Host
 from .packet import UNSPECIFIED
 from .sim import Timer
@@ -107,9 +109,14 @@ class _ConnReceiver:
 class MptcpEndpoint:
     """Common machinery for both ends of an MPTCP connection."""
 
+    subflows_added = CounterAttr("mptcp.subflows_added")
+    subflows_failed = CounterAttr("mptcp.subflows_failed")
+    subflows_removed = CounterAttr("mptcp.subflows_removed")
+
     def __init__(self, host: Host, mss: int = DEFAULT_MSS):
         self.host = host
         self.sim = host.sim
+        self.metrics = MetricsRegistry(node=f"mptcp:{host.name}")
         self.mss = mss
         self.subflows: list[TcpConnection] = []
         self.active_subflow: Optional[TcpConnection] = None
@@ -147,10 +154,22 @@ class MptcpEndpoint:
         if self.active_subflow is not None:
             self.active_subflow.close()
 
+    # -- observability ------------------------------------------------------
+    def _obs_instant(self, name: str, **data) -> None:
+        """Annotate a subflow-lifecycle event when tracing is installed."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.tracing:
+            obs.tracer.instant(name, f"mptcp:{self.host.name}",
+                               self.sim.now, category="mptcp",
+                               data=data or None)
+
     # -- subflow plumbing ---------------------------------------------------
     def _wire_subflow(self, subflow: TcpConnection) -> None:
         self.subflows.append(subflow)
         self.subflow_count += 1
+        self.subflows_added += 1
+        self._obs_instant("mptcp.subflow_add",
+                          local=subflow.local_ip, remote=subflow.remote_ip)
         subflow.on_data = self._on_subflow_data
         subflow.on_close = self._on_subflow_close
         subflow.on_fail = lambda reason, sf=subflow: \
@@ -176,6 +195,10 @@ class MptcpEndpoint:
                     and subflow is not self.active_subflow:
                 subflow.abort("REMOVE_ADDR")
                 self.subflows.remove(subflow)
+                self.subflows_removed += 1
+                self._obs_instant("mptcp.subflow_remove",
+                                  remote=subflow.remote_ip,
+                                  reason="REMOVE_ADDR")
 
     def _on_subflow_close(self) -> None:
         if not self.closed:
@@ -186,6 +209,9 @@ class MptcpEndpoint:
     def _on_subflow_fail(self, subflow: TcpConnection, reason: str) -> None:
         if subflow in self.subflows:
             self.subflows.remove(subflow)
+            self.subflows_failed += 1
+            self._obs_instant("mptcp.subflow_fail",
+                              remote=subflow.remote_ip, reason=reason)
 
     # -- re-injection -------------------------------------------------------
     def _salvage(self, subflow: TcpConnection) -> list[tuple[int, DssMapping]]:
@@ -203,6 +229,8 @@ class MptcpEndpoint:
 
 class MptcpConnection(MptcpEndpoint):
     """Client (UE) side: owns subflow lifecycle and address management."""
+
+    handover_count = CounterAttr("mptcp.handovers")
 
     def __init__(self, host: Host, remote_ip: str, remote_port: int,
                  mss: int = DEFAULT_MSS,
@@ -304,6 +332,9 @@ class MptcpConnection(MptcpEndpoint):
         if self.active_subflow is None:
             self._pending_remove = self._previous_address
             self.handover_count += 1
+            self._obs_instant("mptcp.handover",
+                              new_local=self.host.address,
+                              salvaged=len(salvaged))
             self._open_and_reinject(salvaged)
 
     def _open_and_reinject(self, salvaged: list[tuple[int, DssMapping]]) -> None:

@@ -1,0 +1,164 @@
+"""Trace exporters and the Fig 7 per-leg breakdown analysis.
+
+Three formats:
+
+* **JSONL** — one sorted-key JSON object per span, in recording order.
+  Deterministic: two identical seeded runs produce byte-identical files
+  (virtual timestamps only, stable id allocation, sorted keys).
+* **Chrome trace_event** — load into ``chrome://tracing`` / Perfetto;
+  spans become complete ("X") events on one row per node, instants
+  become "i" events.
+* **text summary** — per-span-name count / total / mean table for quick
+  terminal inspection.
+
+:func:`attach_leg_breakdown` turns an attach trace into the paper's
+Fig 7 decomposition: per-category processing time clipped to the root
+``attach`` span's window, with transit as the exact remainder — so the
+four legs sum to the end-to-end latency by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+# Chrome trace_event timestamps are microseconds.
+_US = 1e6
+
+#: Fig 7 leg names, in display order.  ``radio_nas_transit_ms`` includes
+#: eNodeB relay processing (the paper's radio leg) and is computed as the
+#: remainder, so the legs always sum exactly to ``total_ms``.
+LEG_NAMES = ("ue_crypto_ms", "radio_nas_transit_ms", "btelco_verify_ms",
+             "broker_verify_sign_ms")
+
+# span.category -> leg (everything else, including "enb", lands in the
+# transit remainder).
+_CATEGORY_LEG = {
+    "ue": "ue_crypto_ms",
+    "agw": "btelco_verify_ms",
+    "cloud": "broker_verify_sign_ms",
+}
+
+
+def spans_to_jsonl(spans) -> str:
+    """One JSON object per line, sorted keys — byte-stable across runs."""
+    lines = [json.dumps(span.to_dict(), sort_keys=True,
+                        separators=(",", ":"))
+             for span in spans]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(spans, path: str) -> int:
+    """Write the JSONL trace; returns the number of spans written."""
+    text = spans_to_jsonl(spans)
+    with open(path, "w") as handle:
+        handle.write(text)
+    return len(text.splitlines())
+
+
+def spans_to_chrome(spans) -> dict:
+    """Chrome ``trace_event`` JSON (open in chrome://tracing)."""
+    events = []
+    for span in spans:
+        base = {
+            "name": span.name,
+            "cat": span.category or "obs",
+            "pid": span.trace_id,
+            "tid": span.node,
+            "ts": round(span.start * _US, 3),
+            "args": {"span_id": span.span_id,
+                     "parent_id": span.parent_id},
+        }
+        if span.corr_id:
+            base["args"]["corr_id"] = span.corr_id
+        if span.data:
+            base["args"].update(span.data)
+        if span.kind == "instant":
+            base["ph"] = "i"
+            base["s"] = "t"
+        else:
+            base["ph"] = "X"
+            base["dur"] = round((span.duration) * _US, 3)
+        events.append(base)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans, path: str) -> int:
+    payload = spans_to_chrome(spans)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    return len(payload["traceEvents"])
+
+
+def summarize(spans) -> str:
+    """Per-span-name text table: count, total ms, mean ms, instants."""
+    totals: dict[str, list] = {}
+    for span in spans:
+        entry = totals.setdefault(span.name, [0, 0.0, 0])
+        if span.kind == "instant":
+            entry[2] += 1
+        else:
+            entry[0] += 1
+            entry[1] += span.duration
+    lines = [f"{'span':32s} {'count':>7s} {'total ms':>10s} "
+             f"{'mean ms':>9s} {'events':>7s}"]
+    for name in sorted(totals):
+        count, total, instants = totals[name]
+        mean = total / count * 1000.0 if count else 0.0
+        lines.append(f"{name:32s} {count:7d} {total * 1000.0:10.3f} "
+                     f"{mean:9.4f} {instants:7d}")
+    return "\n".join(lines)
+
+
+def _clipped(span, start: float, end: float) -> float:
+    """Span duration restricted to the [start, end] window."""
+    if span.end is None:
+        return 0.0
+    return max(0.0, min(span.end, end) - max(span.start, start))
+
+
+def attach_leg_breakdown(spans, root_name: str = "attach") -> list:
+    """Per-attach leg decomposition from a recorded trace.
+
+    Returns one dict per completed root span, each with ``total_ms``,
+    the four ``LEG_NAMES`` (summing exactly to ``total_ms``), plus an
+    informational ``enb_ms`` (contained inside the transit leg).
+    """
+    by_trace: dict[int, list] = {}
+    roots: list = []
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+        if span.name == root_name and span.parent_id == 0 \
+                and span.end is not None and span.status == "ok":
+            roots.append(span)
+
+    breakdowns = []
+    for root in roots:
+        total = root.duration
+        sums = {"ue": 0.0, "agw": 0.0, "cloud": 0.0, "enb": 0.0}
+        for span in by_trace[root.trace_id]:
+            if span is root or span.kind == "instant":
+                continue
+            if span.category in sums:
+                sums[span.category] += _clipped(span, root.start, root.end)
+        transit = max(0.0, total - sums["ue"] - sums["agw"] - sums["cloud"])
+        breakdowns.append({
+            "trace_id": root.trace_id,
+            "total_ms": total * 1000.0,
+            "ue_crypto_ms": sums["ue"] * 1000.0,
+            "radio_nas_transit_ms": transit * 1000.0,
+            "btelco_verify_ms": sums["agw"] * 1000.0,
+            "broker_verify_sign_ms": sums["cloud"] * 1000.0,
+            "enb_ms": sums["enb"] * 1000.0,
+        })
+    return breakdowns
+
+
+def mean_leg_breakdown(breakdowns) -> Optional[dict]:
+    """Average the per-attach breakdowns (None if there are none)."""
+    if not breakdowns:
+        return None
+    keys = ("total_ms",) + LEG_NAMES + ("enb_ms",)
+    return {key: sum(b[key] for b in breakdowns) / len(breakdowns)
+            for key in keys}

@@ -7,6 +7,7 @@ from .attach_bench import (
     AttachSample,
     run_attach_benchmark,
     run_figure7,
+    run_traced_attach,
 )
 from .placement import PLACEMENTS, TestbedTopology
 
@@ -19,4 +20,5 @@ __all__ = [
     "TestbedTopology",
     "run_attach_benchmark",
     "run_figure7",
+    "run_traced_attach",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from statistics import mean
+from typing import Optional
 from repro.core import Brokerd, CellBricksAgw, CellBricksUe, UeSapCredentials
 from repro.core.qos import QosCapabilities
 from repro.crypto import CertificateAuthority
@@ -26,6 +27,7 @@ from repro.lte import (
     UsimState,
 )
 from repro.net import Simulator
+from repro.obs import Obs, install as install_obs
 
 from .placement import (
     AGW_ADDRESS,
@@ -86,10 +88,13 @@ class AttachBenchmarkResult:
 class _BenchHarness:
     """One simulator instance running repeated attach/detach cycles."""
 
-    def __init__(self, arch: str, placement: str, seed: int = 0):
+    def __init__(self, arch: str, placement: str, seed: int = 0,
+                 obs: Optional[Obs] = None):
         self.arch = arch
         self.placement = placement
         self.sim = Simulator()
+        if obs is not None:
+            install_obs(self.sim, obs)
         self.topology = TestbedTopology.build(self.sim, placement)
         rng = random.Random(seed)
 
@@ -179,6 +184,28 @@ def run_attach_benchmark(arch: str, placement: str, trials: int = 100,
     result = AttachBenchmarkResult(arch=arch, placement=placement)
     result.samples = harness.run_trials(trials)
     return result
+
+
+def run_traced_attach(arch: str = ARCH_CELLBRICKS,
+                      placement: str = "us-west-1", trials: int = 20,
+                      seed: int = 0, obs: Optional[Obs] = None):
+    """One Fig 7 cell with tracing installed.
+
+    Returns ``(result, obs, harness)``: the averaged module breakdown,
+    the telemetry handle holding the span tree of every attach, and the
+    harness (whose nodes expose their metric registries).
+    """
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}")
+    if obs is None:
+        obs = Obs()
+    harness = _BenchHarness(arch, placement, seed=seed, obs=obs)
+    result = AttachBenchmarkResult(arch=arch, placement=placement)
+    result.samples = harness.run_trials(trials)
+    # Fold the nodes' registries into the run's fleet-wide snapshot.
+    for node in (harness.ue, harness.enb, harness.agw, harness.cloud_node):
+        obs.metrics.merge_from(node.metrics)
+    return result, obs, harness
 
 
 def run_figure7(trials: int = 100, seed: int = 0) -> list:

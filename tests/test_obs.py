@@ -1,0 +1,265 @@
+"""Tests for repro.obs: registry, tracer, exporters, instrumentation.
+
+Covers the ISSUE acceptance bars that are not determinism-specific:
+the fault-free attach produces a span tree with the exact expected leg
+sequence, the measured legs sum to the end-to-end latency within 1%,
+counters keep their legacy accessors while living in the registry, and
+an un-instrumented run records no spans (zero-cost when disabled).
+"""
+
+import pytest
+
+from repro.obs import (
+    CounterAttr,
+    MetricsRegistry,
+    Obs,
+)
+from repro.obs.export import (
+    LEG_NAMES,
+    attach_leg_breakdown,
+    mean_leg_breakdown,
+    spans_to_chrome,
+    spans_to_jsonl,
+    summarize,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Tracer
+from repro.testbed import ARCH_BASELINE, ARCH_CELLBRICKS, run_traced_attach
+
+
+# -- metrics registry ---------------------------------------------------------
+
+class TestMetricsRegistry:
+    def test_counter_and_gauge_roundtrip(self):
+        reg = MetricsRegistry(node="n")
+        reg.counter("a").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("depth").set(7)
+        snap = reg.snapshot()
+        assert snap["a"] == 3
+        assert snap["depth"] == 7
+
+    def test_histogram_percentiles_clamped_to_observed(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (2.0, 3.0, 4.0, 5.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.min == 2.0 and hist.max == 5.0
+        # Bucket interpolation cannot leave the observed range.
+        assert 2.0 <= hist.percentile(50.0) <= 5.0
+        assert hist.percentile(99.0) <= 5.0
+        assert hist.percentile(0.0) >= 2.0
+
+    def test_histogram_overflow_bucket(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(1000.0)
+        assert hist.counts[-1] == 1
+        assert hist.percentile(99.0) == 1000.0
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = MetricsRegistry(node="a"), MetricsRegistry(node="b")
+        a.counter("x").inc(2)
+        b.counter("x").inc(3)
+        a.histogram("lat").observe(1.0)
+        b.histogram("lat").observe(100.0)
+        fleet = MetricsRegistry.merged([a, b])
+        snap = fleet.snapshot()
+        assert snap["x"] == 5
+        assert snap["lat"]["count"] == 2
+        assert snap["lat"]["min"] == 1.0 and snap["lat"]["max"] == 100.0
+
+    def test_counter_vec_keeps_dict_interface(self):
+        reg = MetricsRegistry(node="n")
+        vec = reg.counter_vec("denied", "cause")
+        vec["expired"] += 1
+        vec["expired"] += 1
+        vec["replay"] += 1
+        assert dict(vec) == {"expired": 2, "replay": 1}
+        assert reg.snapshot()["denied{cause=expired}"] == 2
+
+    def test_counter_attr_descriptor(self):
+        class Thing:
+            hits = CounterAttr("thing.hits")
+
+            def __init__(self):
+                self.metrics = MetricsRegistry(node="t")
+                self.hits = 0
+
+        thing = Thing()
+        thing.hits += 1
+        thing.hits += 1
+        assert thing.hits == 2
+        assert thing.metrics.snapshot()["thing.hits"] == 2
+
+
+# -- tracer -------------------------------------------------------------------
+
+class TestTracer:
+    def test_ring_buffer_bounds_memory(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.instant(f"e{i}", "n", at=float(i))
+        assert len(tracer.spans()) == 4
+        assert tracer.spans_dropped == 6
+        assert tracer.spans_recorded == 10
+
+    def test_zero_trace_id_roots_fresh_trace(self):
+        tracer = Tracer()
+        span = tracer.begin("x", "n", "c", start=0.0, end=1.0, trace_id=0)
+        assert span.trace_id > 0
+        assert span.parent_id == 0
+
+    def test_exporters_roundtrip(self):
+        tracer = Tracer()
+        root = tracer.start_trace("attach", "ue", "ue", start=0.0)
+        tracer.begin("child", "ue", "ue", start=0.0, end=0.5,
+                     trace_id=root.trace_id, parent_id=root.span_id)
+        tracer.finish(root, 1.0)
+        jsonl = spans_to_jsonl(tracer.spans())
+        assert jsonl.count("\n") == 2
+        chrome = spans_to_chrome(tracer.spans())
+        assert len(chrome["traceEvents"]) == 2
+        assert "attach" in summarize(tracer.spans())
+
+
+# -- instrumented attach ------------------------------------------------------
+
+# The causal order of the CellBricks fault-free attach, as recorded by
+# the tracer (span creation order).  This is the SAP + NAS smc exchange
+# of §4.1 end to end.
+EXPECTED_CB_SEQUENCE = [
+    "attach",
+    "sap.ue_craft",
+    "nas.enb_relay_up",
+    "sap.btelco_sign",
+    "sap.broker_verify",
+    "sap.btelco_verify",
+    "nas.enb_relay_down",
+    "nas.enb_relay_down",
+    "sap.ue_verify",
+    "nas.ue_smc",
+    "nas.enb_relay_up",
+    "nas.agw_smc_complete",
+    "nas.enb_relay_down",
+    "nas.ue_protected",
+]
+
+
+class TestTracedAttach:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        return run_traced_attach(arch=ARCH_CELLBRICKS,
+                                 placement="us-west-1", trials=3)
+
+    def test_fault_free_attach_span_sequence(self, traced):
+        _, obs, _ = traced
+        traces = obs.tracer.traces()
+        roots = [spans for spans in traces.values()
+                 if spans and spans[0].name == "attach"]
+        assert len(roots) == 3
+        for spans in roots:
+            names = [s.name for s in spans if s.kind == "span"]
+            # The attach sequence is a prefix: detach spans may follow
+            # in the same trace context.
+            assert names[:len(EXPECTED_CB_SEQUENCE)] == EXPECTED_CB_SEQUENCE
+
+    def test_spans_form_a_connected_tree(self, traced):
+        _, obs, _ = traced
+        for spans in obs.tracer.traces().values():
+            ids = {s.span_id for s in spans}
+            for span in spans:
+                assert span.parent_id == 0 or span.parent_id in ids
+
+    def test_legs_sum_to_total_within_1pct(self, traced):
+        _, obs, _ = traced
+        breakdowns = attach_leg_breakdown(obs.tracer.spans())
+        assert len(breakdowns) == 3
+        for b in breakdowns:
+            legsum = sum(b[leg] for leg in LEG_NAMES)
+            assert legsum == pytest.approx(b["total_ms"], rel=0.01)
+
+    def test_mean_breakdown_matches_module_accounting(self, traced):
+        result, obs, _ = traced
+        legs = mean_leg_breakdown(attach_leg_breakdown(obs.tracer.spans()))
+        assert legs["total_ms"] == pytest.approx(result.total_ms, rel=0.01)
+        assert legs["ue_crypto_ms"] == pytest.approx(result.ue_ms, rel=0.01)
+
+    def test_latency_histogram_always_recorded(self, traced):
+        _, obs, harness = traced
+        hist = harness.ue.metrics.find_histogram("attach.latency_ms")
+        assert hist is not None and hist.count == 3
+        # ... and merged into the fleet registry.
+        assert obs.metrics.snapshot()["attach.latency_ms"]["count"] == 3
+
+    def test_baseline_arch_also_traces(self):
+        _, obs, _ = run_traced_attach(arch=ARCH_BASELINE,
+                                      placement="local", trials=1)
+        names = {s.name for s in obs.tracer.spans()}
+        assert "attach" in names
+        assert "s6a.hss_air" in names
+        breakdowns = attach_leg_breakdown(obs.tracer.spans())
+        assert len(breakdowns) == 1
+
+
+# -- zero-cost when disabled --------------------------------------------------
+
+class TestDisabled:
+    def test_untraced_run_records_nothing(self):
+        from repro.testbed.attach_bench import run_attach_benchmark
+
+        result = run_attach_benchmark(ARCH_CELLBRICKS, "local", trials=2)
+        assert len(result.samples) == 2
+        # No Obs was installed, so there is no sim.obs anywhere to have
+        # recorded into; metrics still work (they are per-node).
+
+    def test_tracing_disabled_obs_records_no_spans(self):
+        obs = Obs(tracing=False)
+        _, obs, harness = run_traced_attach(
+            arch=ARCH_CELLBRICKS, placement="local", trials=2, obs=obs)
+        assert obs.tracer.spans() == []
+        hist = harness.ue.metrics.find_histogram("attach.latency_ms")
+        assert hist is not None and hist.count == 2
+
+    def test_disabled_latency_envelope_unchanged(self):
+        from repro.testbed.attach_bench import run_attach_benchmark
+
+        plain = run_attach_benchmark(ARCH_CELLBRICKS, "us-west-1", trials=3)
+        traced, _, _ = run_traced_attach(arch=ARCH_CELLBRICKS,
+                                         placement="us-west-1", trials=3)
+        # The tracer is passive: virtual-time latency must be identical.
+        assert traced.total_ms == pytest.approx(plain.total_ms, abs=1e-9)
+
+
+# -- stat-drift fixes ---------------------------------------------------------
+
+class TestStatIdentities:
+    def test_reliable_request_identity_holds(self):
+        """sent == completed + failed + cancelled + outstanding."""
+        from repro.emulation import ChaosSchedule, outage, run_chaos
+
+        schedule = ChaosSchedule()
+        schedule.add(outage(1.0, 2.0, target="*-broker"))
+        report = run_chaos(attaches=30, schedule=schedule, revoke_every=5,
+                           seed=3, base_loss=0.1)
+        stats = report.broker_stats
+        assert stats["requests_sent"] == (
+            stats["requests_completed"] + stats["requests_failed"]
+            + stats["requests_cancelled"] + stats["requests_outstanding"])
+
+    def test_cancel_counts_as_cancelled_not_failed(self):
+        from repro.lte.signaling import SignalingNode
+        from repro.net import Host, Simulator
+
+        class Msg:
+            pass
+
+        sim = Simulator()
+        node = SignalingNode(Host(sim, "a", address="10.0.0.1"), "a")
+        corr = node.send_request("10.0.0.2", Msg(), size=10)
+        node.cancel_request(corr)
+        stats = node.reliable_stats()
+        assert stats["requests_cancelled"] == 1
+        assert stats["requests_failed"] == 0
+        assert stats["requests_sent"] == (
+            stats["requests_completed"] + stats["requests_failed"]
+            + stats["requests_cancelled"] + stats["requests_outstanding"])
