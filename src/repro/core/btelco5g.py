@@ -6,6 +6,21 @@ refactoring to the 5G control plane.  The baseline 5G registration pays
 *two* visited↔home round trips (AUSF/UDM authenticate + the RES*
 confirmation); SAP replaces both with one broker round trip, so the
 Fig 7-style win grows under 5G — quantified in the XTRA-5G benchmark.
+
+Reliability/lifecycle parity with the LTE bTelco
+(:class:`repro.core.btelco.CellBricksAgw`):
+
+* the broker leg rides ``send_request`` — a lost ``BrokerAuthRequest``
+  or ``BrokerAuthResponse`` retransmits with backoff instead of wedging
+  the context in ``WAIT_BROKER``, and a broker that stays unreachable
+  past the budget yields a clean reject (``_pending_sap`` never leaks);
+* grants are enforced: expiry tears the session down with a
+  network-initiated deregistration, and the broker's signed
+  ``SessionRevocationBatch``/``RevocationAck`` cascade is honoured
+  (idempotently), so a revoked 5G session converges to zero
+  unauthorized-session-seconds even under loss;
+* retransmitted SAP registrations are absorbed by replaying the cached
+  challenge + SMC instead of consulting the broker again.
 """
 
 from __future__ import annotations
@@ -15,16 +30,29 @@ from typing import Optional
 
 from repro.crypto import Certificate, PrivateKey, PublicKey
 from repro.fivegc import nas5g
-from repro.fivegc.nf import AMF_COSTS, Amf, UeContext5G
+from repro.fivegc.nf import Amf, UeContext5G
 from repro.fivegc.ue5g import Ue5G
-from repro.lte.agw import smc_mac
 from repro.lte.nas import NasMessage
 from repro.lte.security import SecurityContext
+from repro.lte.signaling import CounterAttr
 from repro.net import Host
 
-from .messages import BrokerAuthRequest, BrokerAuthResponse
+from .messages import (
+    BrokerAuthRequest,
+    BrokerAuthResponse,
+    RevocationAck,
+    SessionRevocation,
+    SessionRevocationBatch,
+)
 from .qos import QosCapabilities
-from .sap import BtelcoSap, BtelcoSapConfig, SapError, UeSap, UeSapCredentials
+from .sap import (
+    AuthorizedSession,
+    BtelcoSap,
+    BtelcoSapConfig,
+    SapError,
+    UeSap,
+    UeSapCredentials,
+)
 
 CB_AMF_COSTS = {
     "sap_registration": 0.0055,
@@ -35,6 +63,29 @@ CB_AMF_COSTS = {
 class CellBricksAmf(Amf):
     """A 5G bTelco site: AMF with SAP, no AUSF/UDM dependency."""
 
+    # Same metric names as the LTE bTelco so fleet-wide registry merges
+    # aggregate per-protocol counters across generations.
+    expired_sessions = CounterAttr("btelco.expired_sessions")
+    revoked_sessions = CounterAttr("btelco.revoked_sessions")
+    revocation_dups = CounterAttr("btelco.revocation_dups")
+    revocation_acks_sent = CounterAttr("btelco.revocation_acks_sent")
+    dup_attach_requests = CounterAttr("btelco.dup_attach_requests")
+    broker_timeouts = CounterAttr("btelco.broker_timeouts")
+
+    def nas_span_name(self, nas: NasMessage) -> str:
+        if isinstance(nas, nas5g.SapRegistrationRequest):
+            return "sap.btelco_sign"
+        return super().nas_span_name(nas)
+
+    def span_name(self, message: object) -> str:
+        if isinstance(message, BrokerAuthResponse):
+            return "sap.btelco_verify"
+        if isinstance(message, SessionRevocationBatch):
+            return "revocation.btelco_batch"
+        if isinstance(message, SessionRevocation):
+            return "revocation.btelco_apply"
+        return super().span_name(message)
+
     def __init__(self, host: Host, broker_ip: str, smf_ip: str, id_t: str,
                  key: PrivateKey, certificate: Certificate,
                  ca_public_key: PublicKey,
@@ -43,14 +94,26 @@ class CellBricksAmf(Amf):
         super().__init__(host, ausf_ip="0.0.0.0", smf_ip=smf_ip, name=name)
         self.broker_ip = broker_ip
         self.id_t = id_t
+        self.key = key
         self.sap = BtelcoSap(BtelcoSapConfig(
             id_t=id_t, key=key, certificate=certificate,
             qos_capabilities=qos_capabilities or QosCapabilities(),
             ca_public_key=ca_public_key))
         self.broker_public_keys: dict[str, PublicKey] = {}
+        self.sessions: dict[str, AuthorizedSession] = {}
+        self.session_brokers: dict[str, str] = {}   # session -> id_b
         self._pending_sap: dict[int, UeContext5G] = {}
         self._tokens = itertools.count(1)
+        self.expired_sessions = 0
+        self.revoked_sessions = 0
+        self.revocation_dups = 0
+        self.revocation_acks_sent = 0
+        self.dup_attach_requests = 0
+        self.broker_timeouts = 0
+        self.sap_costs = dict(CB_AMF_COSTS)
         self.on(BrokerAuthResponse, self._handle_broker_response)
+        self.on(SessionRevocation, self._handle_session_revocation)
+        self.on(SessionRevocationBatch, self._handle_revocation_batch)
 
     def trust_broker(self, id_b: str, public_key: PublicKey) -> None:
         self.broker_public_keys[id_b] = public_key
@@ -58,15 +121,19 @@ class CellBricksAmf(Amf):
     # -- cost model -------------------------------------------------------------
     def nas_processing_cost(self, nas: NasMessage) -> float:
         if isinstance(nas, nas5g.SapRegistrationRequest):
-            return CB_AMF_COSTS["sap_registration"]
+            return self.sap_costs["sap_registration"]
         return super().nas_processing_cost(nas)
 
     def processing_cost(self, message: object) -> float:
         if isinstance(message, BrokerAuthResponse):
-            return CB_AMF_COSTS["broker_auth_response"]
+            return self.sap_costs["broker_auth_response"]
         return super().processing_cost(message)
 
     # -- SAP flow ------------------------------------------------------------------
+    def nas_initiates(self, nas: NasMessage) -> bool:
+        return super().nas_initiates(nas) \
+            or isinstance(nas, nas5g.SapRegistrationRequest)
+
     def handle_extension_nas(self, context: UeContext5G,
                              nas: NasMessage) -> None:
         if isinstance(nas, nas5g.SapRegistrationRequest):
@@ -74,24 +141,59 @@ class CellBricksAmf(Amf):
 
     def _on_sap_registration(self, context: UeContext5G,
                              request: nas5g.SapRegistrationRequest) -> None:
+        key = request.auth_req_u.auth_vec_encrypted
+        if context.sap_request_key == key:
+            # A retransmission of the attempt we are already serving: the
+            # ran_ue_id is stable per UE, so the context tells us exactly
+            # which leg to replay (idempotent — nothing re-executes).
+            self.dup_attach_requests += 1
+            if context.state == "WAIT_BROKER":
+                return  # broker leg in flight and retransmitting itself
+            if context.state == "WAIT_SMC_COMPLETE" \
+                    and context.sap_challenge is not None:
+                # The challenge and/or SMC downlink was lost: replay both.
+                self.downlink(context, context.sap_challenge)
+                self.send_smc5g(context)
+            return
+        # Fresh attempt (new nonce): drop any stale broker leg first.
+        if context.broker_token is not None:
+            self._pending_sap.pop(context.broker_token, None)
+            self.cancel_request(context.broker_corr_id)
+            context.broker_token = None
+        context.sap_request_key = key
+        context.sap_challenge = None
+        context.sap_session = None
         context.state = "WAIT_BROKER"
         context.registration_started_at = self.sim.now
         context.broker_id = request.auth_req_u.id_b
-        # Allocate the correlation id the inherited SMF plumbing keys on.
-        context.correlation = next(self._correlations)
-        self._by_correlation[context.correlation] = context.ran_ue_id
+        self._watch_registration(context)
         auth_req_t = self.sap.augment_request(request.auth_req_u)
         token = next(self._tokens)
         self._pending_sap[token] = context
-        self.send(self.broker_ip, BrokerAuthRequest(
-            auth_req_t=auth_req_t, reply_token=token),
-            size=auth_req_t.wire_size + 32)
+        context.broker_token = token
+        wire = BrokerAuthRequest(auth_req_t=auth_req_t, reply_token=token)
+        # Reliable leg: the broker round-trip crosses the backhaul/cloud
+        # path, so it is retransmitted with backoff; if the broker stays
+        # unreachable past the budget the UE gets a clean reject and the
+        # pending entry is reclaimed (no WAIT_BROKER wedge).
+        context.broker_corr_id = self.send_request(
+            self.broker_ip, wire, size=auth_req_t.wire_size + 32,
+            on_give_up=lambda _msg, t=token: self._broker_gave_up(t))
+
+    def _broker_gave_up(self, token: int) -> None:
+        context = self._pending_sap.pop(token, None)
+        if context is None or context.state != "WAIT_BROKER":
+            return
+        self.broker_timeouts += 1
+        context.broker_token = None
+        self.reject(context, "broker unreachable")
 
     def _handle_broker_response(self, src_ip: str,
                                 response: BrokerAuthResponse) -> None:
         context = self._pending_sap.pop(response.reply_token, None)
         if context is None or context.state != "WAIT_BROKER":
             return
+        context.broker_token = None
         if not response.approved:
             self.reject(context, response.cause)
             return
@@ -109,18 +211,158 @@ class CellBricksAmf(Amf):
         context.supi = session.id_u_opaque   # pseudonym, never the SUPI
         context.security = SecurityContext(kasme=session.ss)
         context.sap_session = session
-        self.downlink(context, nas5g.SapRegistrationChallenge(
-            auth_resp_u=response.auth_resp_u))
+        self.sessions[session.session_id] = session
+        self.session_brokers[session.session_id] = \
+            getattr(context, "broker_id", "")
+        # Step 4: forward authRespU, then activate security.  The
+        # challenge is cached on the context so a retransmitted SAP
+        # registration can replay this leg without re-asking the broker.
+        challenge = nas5g.SapRegistrationChallenge(
+            auth_resp_u=response.auth_resp_u)
+        context.sap_challenge = challenge
+        self.downlink(context, challenge)
         context.state = "WAIT_SMC_COMPLETE"
-        security = context.security
-        self.downlink(context, nas5g.SecurityModeCommand5G(
-            enc_alg=security.enc_alg, int_alg=security.int_alg,
-            mac=smc_mac(security.k_nas_int, security.enc_alg,
-                        security.int_alg)))
+        self.send_smc5g(context)
+
+    # -- grant lifecycle ------------------------------------------------------------
+    def after_security_established(self, context: UeContext5G) -> None:
+        super().after_security_established(context)
+        session = context.sap_session
+        if session is not None:
+            # The broker's authorization has a lifetime; serving past it
+            # would be unauthorized service.  Schedule enforcement.
+            delay = max(0.0, session.expires_at - self.sim.now)
+            self.sim.schedule(delay, self._expire_session,
+                              session.session_id, context.ran_ue_id)
+
+    def _expire_session(self, session_id: str, ran_ue_id: int) -> None:
+        """Authorization lifetime reached: network-initiated teardown."""
+        context = self.contexts.get(ran_ue_id)
+        session = self.sessions.get(session_id)
+        if context is None or session is None:
+            return
+        if getattr(context.sap_session, "session_id", None) != session_id:
+            return  # the UE re-registered under a newer authorization
+        if context.state not in ("REGISTERED", "WAIT_SMF"):
+            return
+        self.expired_sessions += 1
+        self._teardown_session(context, session_id)
+
+    def _teardown_session(self, context: UeContext5G,
+                          session_id: str) -> None:
+        """Network-initiated deregistration: drop every resource the
+        session holds (the downlink precedes the S1 release so it still
+        routes through the gNB's ue-id mapping)."""
+        self.sessions.pop(session_id, None)
+        self.session_brokers.pop(session_id, None)
+        context.sap_session = None
+        self.downlink(context, nas5g.DeregistrationRequest5G())
+        context.state = "DEREGISTERED"
+        self._release_ue(context)
+
+    # -- revocation cascade ----------------------------------------------------------
+    def _handle_session_revocation(self, src_ip: str,
+                                   notice: SessionRevocation) -> None:
+        """Legacy single-notice revocation (kept for compatibility with
+        brokers that do not batch)."""
+        self._apply_revocation(notice)
+
+    def _handle_revocation_batch(self, src_ip: str,
+                                 batch: SessionRevocationBatch) -> None:
+        """Apply every revocation in the batch and return a signed ack.
+
+        Idempotent per notice: a batch retransmitted past the transport's
+        dedup window re-acks without double-deregistering anything, so
+        the broker's retry loop always converges.
+        """
+        session_ids = []
+        for notice in batch.revocations:
+            self._apply_revocation(notice)
+            session_ids.append(notice.session_id)
+        ack_ids = tuple(sorted(session_ids))
+        unsigned = RevocationAck(batch_id=batch.batch_id, id_t=self.id_t,
+                                 session_ids=ack_ids)
+        ack = RevocationAck(batch_id=batch.batch_id, id_t=self.id_t,
+                            session_ids=ack_ids,
+                            signature=self.key.sign(unsigned.signed_bytes()))
+        self.revocation_acks_sent += 1
+        self.send(src_ip, ack, size=96 + 16 * len(ack_ids))
+
+    def _apply_revocation(self, notice: SessionRevocation) -> None:
+        """Broker withdrew an authorization we hold: serving this session
+        any further would be unauthorized service, so deregister it now
+        and refuse the grant if it is ever presented again."""
+        if not self.sap.session_authorized(notice.session_id):
+            # Already applied (duplicate notice): nothing to tear down.
+            self.revocation_dups += 1
+            return
+        self.sap.revoke_session(notice.session_id)
+        if notice.session_id not in self.sessions:
+            return
+        self.revoked_sessions += 1
+        context = next(
+            (c for c in self.contexts.values()
+             if getattr(getattr(c, "sap_session", None), "session_id",
+                        None) == notice.session_id),
+            None)
+        if context is not None \
+                and context.state in ("REGISTERED", "WAIT_SMF"):
+            self._teardown_session(context, notice.session_id)
+        else:
+            # Mid-registration or already torn down: just drop the
+            # bookkeeping; _on_registration_complete refuses revoked
+            # sessions.
+            self.sessions.pop(notice.session_id, None)
+            self.session_brokers.pop(notice.session_id, None)
+
+    def _on_registration_complete(self, context: UeContext5G) -> None:
+        super()._on_registration_complete(context)
+        session = getattr(context, "sap_session", None)
+        if session is not None and context.state == "REGISTERED" \
+                and not self.sap.session_authorized(session.session_id):
+            # The grant was revoked while the registration was in flight.
+            self.revoked_sessions += 1
+            self._teardown_session(context, session.session_id)
+
+    # -- terminal cleanup --------------------------------------------------------------
+    def context_released(self, context: UeContext5G) -> None:
+        """Any terminal transition (reject, abandon, deregister, deadline
+        GC) reclaims the broker leg and the session bookkeeping, so
+        ``_pending_sap``/``sessions`` cannot leak."""
+        if context.broker_token is not None:
+            self._pending_sap.pop(context.broker_token, None)
+            self.cancel_request(context.broker_corr_id)
+            context.broker_token = None
+        session = getattr(context, "sap_session", None)
+        if session is not None:
+            self.sessions.pop(session.session_id, None)
+            self.session_brokers.pop(session.session_id, None)
+            context.sap_session = None
+        super().context_released(context)
+
+    # -- introspection -----------------------------------------------------------------
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats.update({
+            "sessions_active": len(self.sessions),
+            "pending_sap": len(self._pending_sap),
+            "expired_sessions": self.expired_sessions,
+            "revoked_sessions": self.revoked_sessions,
+            "revocation_dups": self.revocation_dups,
+            "revocation_acks_sent": self.revocation_acks_sent,
+            "dup_attach_requests": self.dup_attach_requests,
+            "broker_timeouts": self.broker_timeouts,
+        })
+        stats.update(self.reliable_stats())
+        return stats
 
 
 class CellBricksUe5G(Ue5G):
     """5G UE running SAP instead of 5G-AKA."""
+
+    craft_span_name = "sap.ue_craft"
+    _SPAN_NAMES = dict(Ue5G._SPAN_NAMES)
+    _SPAN_NAMES[nas5g.SapRegistrationChallenge] = "sap.ue_verify"
 
     def __init__(self, host: Host, gnb_ip: str,
                  credentials: UeSapCredentials, target_id_t: str,
@@ -136,21 +378,37 @@ class CellBricksUe5G(Ue5G):
         self.processing_costs[nas5g.SapRegistrationChallenge] = 0.0006
         self.on(nas5g.SapRegistrationChallenge, self._on_sap_challenge)
 
+    def craft_cost(self) -> float:
+        return 0.0016  # authReqU crafting: hybrid encrypt + sign
+
     def register(self) -> None:
-        if self.state not in ("DEREGISTERED", "REJECTED"):
-            raise RuntimeError(f"register() in state {self.state}")
-        self.state = "REGISTERING"
-        self._registration_started = self.sim.now
-        craft = 0.0016  # authReqU crafting: hybrid encrypt + sign
-        self.charge(craft)
-        self.sim.schedule(craft, self._send_registration)
+        # A fresh attempt must not inherit the previous session's id (the
+        # security context is already cleared by the base class).
+        self.session_id = None
+        super().register()
 
     def initial_request(self):
         auth_req_u = self.sap.craft_request(self.target_id_t)
         return nas5g.SapRegistrationRequest(auth_req_u=auth_req_u)
 
+    def _on_registration_give_up(self) -> None:
+        super()._on_registration_give_up()
+        self.sap.abandon()
+        self.session_id = None
+
+    def retarget(self, gnb_ip: str, serving_network: str) -> None:
+        super().retarget(gnb_ip, serving_network)
+        self.target_id_t = serving_network
+
     def _on_sap_challenge(self, src_ip: str,
                           challenge: nas5g.SapRegistrationChallenge) -> None:
+        if self.state != "REGISTERING":
+            return  # late replay after success/failure: absorb, don't fail
+        if self.security is not None:
+            # Duplicate within the attempt (bTelco replayed the leg):
+            # process_response already consumed the nonce — re-running it
+            # would raise a spurious mismatch against a fresh nonce.
+            return
         try:
             response = self.sap.process_response(challenge.auth_resp_u)
         except SapError as exc:

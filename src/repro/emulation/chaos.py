@@ -218,6 +218,7 @@ class ChaosReport:
     """What :func:`run_chaos` measured."""
 
     arch: str
+    rat: str
     attaches_requested: int
     attempts: int
     successes: int
@@ -247,6 +248,7 @@ class ChaosReport:
     def to_dict(self) -> dict:
         return {
             "arch": self.arch,
+            "rat": self.rat,
             "attaches_requested": self.attaches_requested,
             "attempts": self.attempts,
             "successes": self.successes,
@@ -343,8 +345,9 @@ class _AttachChurn:
     def _detach_and_continue(self) -> None:
         # After a revocation the bTelco normally network-detaches the UE
         # (state already DEREGISTERED); if that signal was lost, the UE
-        # side still has to move on.
-        if self.ue.state == "ATTACHED":
+        # side still has to move on.  "ATTACHED" is the LTE UE's serving
+        # state, "REGISTERED" the 5G one — the churn drives both RATs.
+        if self.ue.state in ("ATTACHED", "REGISTERED"):
             self.ue.detach_and_forget()
         self._start_next()
 
@@ -369,7 +372,8 @@ def run_chaos(attaches: int = 200,
               revoke_hold: float = 1.0,
               rotate_sites: bool = True,
               on_network_built: Optional[Callable] = None,
-              obs: Optional[Obs] = None) -> ChaosReport:
+              obs: Optional[Obs] = None,
+              rat: str = "lte") -> ChaosReport:
     """Attach/revoke churn under a fault script; returns the metrics the
     reliability acceptance criteria are written against.
 
@@ -381,15 +385,25 @@ def run_chaos(attaches: int = 200,
     every control-plane leg, instants for faults/retransmissions) —
     tracing records into virtual time only, so a traced seeded run stays
     bit-identical to an untraced one.
-    """
-    from repro.core.mobility import build_cellbricks_network
-    from repro.core.ue_agent import CellBricksUe
 
+    ``rat`` selects the control plane under test: ``"lte"`` builds the
+    eNodeB/AGW network, ``"5g"`` the gNB/AMF one.  Everything else —
+    schedule, fault surface (link names match), churn driver, report —
+    is RAT-agnostic.
+    """
     sim = Simulator()
     if obs is not None:
         install_obs(sim, obs)
-    network = build_cellbricks_network(sim, site_names=site_names,
-                                       seed=seed)
+    if rat == "5g":
+        from repro.core.btelco5g import CellBricksUe5G as UeClass
+        from repro.fivegc.network5g import \
+            build_cellbricks_network_5g as build
+    elif rat == "lte":
+        from repro.core.mobility import build_cellbricks_network as build
+        from repro.core.ue_agent import CellBricksUe as UeClass
+    else:
+        raise ValueError(f"unknown rat {rat!r} (expected 'lte' or '5g')")
+    network = build(sim, site_names=site_names, seed=seed)
     if base_loss:
         for link in network.links.values():
             link.a_to_b.loss_rate = base_loss
@@ -398,8 +412,8 @@ def run_chaos(attaches: int = 200,
         on_network_built(network)
 
     first = network.sites[site_names[0]]
-    ue = CellBricksUe(network.ue_host, first.enb_address,
-                      network.credentials, target_id_t=first.name)
+    ue = UeClass(network.ue_host, first.enb_address,
+                 network.credentials, target_id_t=first.name)
     churn = _AttachChurn(network, ue, think_time=think_time,
                          attaches=attaches, revoke_every=revoke_every,
                          revoke_hold=revoke_hold,
@@ -433,6 +447,7 @@ def run_chaos(attaches: int = 200,
 
     return ChaosReport(
         arch=ARCH_CELLBRICKS,
+        rat=rat,
         attaches_requested=attaches,
         attempts=churn.attempts,
         successes=churn.successes,

@@ -59,6 +59,24 @@ class RegistrationReject(NasMessage):
     cause: str
 
 
+# -- NAS: deregistration (TS 24.501 §5.5.2) --------------------------------------
+#
+# Needed for lifecycle parity with LTE: the UE's switch-off departure and
+# the network-initiated teardown (grant expiry, revocation) both ride it.
+
+@dataclass(frozen=True)
+class DeregistrationRequest5G(NasMessage):
+    """UE- or network-originated deregistration.  ``switch_off`` requests
+    no acknowledgement (the UE is leaving immediately)."""
+
+    switch_off: bool = False
+
+
+@dataclass(frozen=True)
+class DeregistrationAccept5G(NasMessage):
+    pass
+
+
 # -- NAS: PDU session -----------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -188,6 +206,8 @@ MESSAGE_SIZES.update({
     RegistrationAccept: 96,
     RegistrationComplete: 16,
     RegistrationReject: 24,
+    DeregistrationRequest5G: 20,
+    DeregistrationAccept5G: 16,
     PduSessionEstablishmentRequest: 48,
     PduSessionEstablishmentAccept: 120,
     PduSessionEstablishmentReject: 32,

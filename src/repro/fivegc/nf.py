@@ -6,6 +6,16 @@ confirmation at the AUSF) before the local SMC and PDU-session steps —
 one more than 4G's AIR leg plus home-control semantics.  The CellBricks
 variant (:mod:`repro.core.btelco5g`) replaces all of it with one SAP
 round trip to the broker, so its relative win *grows* under 5G.
+
+Reliability follows the LTE split: SBI legs whose server answers inside
+its handler (AUSF→UDM, AMF→AUSF confirmation, AMF→SMF) ride
+:meth:`~repro.lte.signaling.SignalingNode.send_request` and self-heal
+under loss, while the AMF→AUSF *authenticate* leg — whose answer waits
+on the UDM round trip and so cannot be reply-captured — stays a plain
+datagram re-driven by the UE's NAS retransmission of the initial
+request.  The AMF also supervises its RegistrationAccept (the one
+downlink whose loss the UE cannot detect mid-registration) and holds a
+registration deadline so stragglers never pin contexts forever.
 """
 
 from __future__ import annotations
@@ -17,11 +27,11 @@ from typing import Callable, Optional
 from repro.crypto import PrivateKey
 from repro.lte.agw import smc_mac
 from repro.lte.bearer import SgwPgw
-from repro.lte.enodeb import S1DownlinkNas, S1UplinkNas
+from repro.lte.enodeb import S1DownlinkNas, S1UeContextRelease, S1UplinkNas
 from repro.lte.identifiers import Plmn, TEST_PLMN
 from repro.lte.nas import NasMessage, message_size
 from repro.lte.security import SecurityContext
-from repro.lte.signaling import SignalingNode
+from repro.lte.signaling import CounterAttr, SignalingNode
 from repro.net import Host
 
 from . import nas5g
@@ -45,6 +55,7 @@ AMF_COSTS = {
     "smf_response": 0.0020,
     "pdu_request": 0.0022,
     "registration_complete": 0.0015,
+    "deregistration": 0.0012,
 }
 
 
@@ -61,6 +72,12 @@ class Udm(SignalingNode):
     deconcealment, 5G vector generation."""
 
     processing_costs = {nas5g.UdmAuthDataRequest: UDM_AUTH_PROCESSING}
+    obs_category = "cloud"
+
+    def span_name(self, message: object) -> str:
+        if isinstance(message, nas5g.UdmAuthDataRequest):
+            return "sbi.udm_auth_data"
+        return super().span_name(message)
 
     def __init__(self, host: Host, home_network_key: PrivateKey,
                  name: str = "udm"):
@@ -98,18 +115,40 @@ class Udm(SignalingNode):
 
 
 class Ausf(SignalingNode):
-    """Authentication Server Function: the home network's gatekeeper."""
+    """Authentication Server Function: the home network's gatekeeper.
+
+    The UDM leg rides ``send_request`` (the UDM answers in-handler, so
+    its dedup cache both retransmits and absorbs duplicates — the SQN
+    never double-increments for one authentication).  Pending entries
+    carry a deadline so an abandoned registration cannot pin its vector
+    here forever.
+    """
 
     processing_costs = {
         nas5g.AusfAuthenticateRequest: AUSF_PROCESSING,
         nas5g.UdmAuthDataResponse: AUSF_PROCESSING,
         nas5g.AusfConfirmRequest: AUSF_CONFIRM_PROCESSING,
     }
+    obs_category = "cloud"
+    #: how long a pending authentication may sit without its RES*
+    #: confirmation before it is garbage-collected.
+    pending_ttl = 30.0
+    _SPAN_NAMES = {
+        nas5g.AusfAuthenticateRequest: "sbi.ausf_authenticate",
+        nas5g.UdmAuthDataResponse: "sbi.ausf_udm_resp",
+        nas5g.AusfConfirmRequest: "sbi.ausf_confirm",
+    }
+    pending_expired = CounterAttr("ausf.pending_expired")
+
+    def span_name(self, message: object) -> str:
+        name = self._SPAN_NAMES.get(type(message))
+        return name if name is not None else super().span_name(message)
 
     def __init__(self, host: Host, udm_ip: str, name: str = "ausf"):
         super().__init__(host, name)
         self.udm_ip = udm_ip
         self._pending: dict[int, dict] = {}
+        self.pending_expired = 0
         self.on(nas5g.AusfAuthenticateRequest, self._handle_authenticate)
         self.on(nas5g.UdmAuthDataResponse, self._handle_udm_response)
         self.on(nas5g.AusfConfirmRequest, self._handle_confirm)
@@ -119,10 +158,37 @@ class Ausf(SignalingNode):
         self._pending[request.correlation] = {
             "amf_ip": src_ip,
             "serving_network": request.serving_network,
+            "deadline": self.sim.now + self.pending_ttl,
         }
-        self.send(self.udm_ip, nas5g.UdmAuthDataRequest(
-            suci=request.suci, serving_network=request.serving_network,
-            correlation=request.correlation), size=460)
+        self.sim.schedule(self.pending_ttl, self._expire_pending,
+                          request.correlation)
+        self.send_request(
+            self.udm_ip, nas5g.UdmAuthDataRequest(
+                suci=request.suci, serving_network=request.serving_network,
+                correlation=request.correlation), size=460,
+            on_give_up=lambda _m, c=request.correlation:
+                self._udm_gave_up(c))
+
+    def _udm_gave_up(self, correlation: int) -> None:
+        state = self._pending.pop(correlation, None)
+        if state is None or "vector" in state:
+            return
+        self.send(state["amf_ip"], nas5g.AusfAuthenticateResponse(
+            correlation=correlation, success=False,
+            cause="UDM unreachable"), size=96)
+
+    def _expire_pending(self, correlation: int) -> None:
+        state = self._pending.get(correlation)
+        if state is None:
+            return
+        if self.sim.now >= state["deadline"]:
+            del self._pending[correlation]
+            self.pending_expired += 1
+        else:
+            # The entry was refreshed by a re-driven authentication;
+            # re-check at its new deadline.
+            self.sim.schedule(state["deadline"] - self.sim.now,
+                              self._expire_pending, correlation)
 
     def _handle_udm_response(self, src_ip: str,
                              response: nas5g.UdmAuthDataResponse) -> None:
@@ -168,6 +234,11 @@ class Smf(SignalingNode):
 
     processing_costs = {nas5g.SmfCreateSessionRequest: SMF_PROCESSING}
 
+    def span_name(self, message: object) -> str:
+        if isinstance(message, nas5g.SmfCreateSessionRequest):
+            return "sbi.smf_create"
+        return super().span_name(message)
+
     def __init__(self, host: Host, name: str = "smf",
                  ue_pool_prefix: str = "10.128.0"):
         super().__init__(host, name)
@@ -197,6 +268,7 @@ class UeContext5G:
     supi: Optional[str] = None
     correlation: int = 0
     rand: bytes = b""
+    autn: bytes = b""
     hxres_star: bytes = b""
     kseaf: bytes = b""
     res_star: bytes = b""
@@ -207,6 +279,13 @@ class UeContext5G:
     registration_started_at: float = 0.0
     broker_id: str = ""         # CellBricks: which broker authorized us
     sap_session: object = None  # CellBricks: the authorized session
+    # -- retransmission / reliability bookkeeping --
+    sap_request_key: Optional[bytes] = None  # dedup key for SAP attaches
+    sap_challenge: object = None      # cached challenge for leg replay
+    broker_token: Optional[int] = None     # outstanding broker reply token
+    broker_corr_id: int = 0                # reliable broker correlation id
+    sbi_corr_id: int = 0              # outstanding AUSF-confirm/SMF corr id
+    accept_retx: int = 0              # RegistrationAccept retransmissions
 
 
 class Amf(SignalingNode):
@@ -215,7 +294,55 @@ class Amf(SignalingNode):
     Registration: SUCI in, AUSF/UDM round trip, challenge, HRES* local
     check, AUSF confirmation round trip, SMC, accept.  Then PDU session
     establishment against the (local) SMF.
+
+    Both correlation maps are cleaned on *every* terminal transition
+    (complete, reject, abandon, deregister), so churny or lossy loads
+    cannot grow ``contexts``/``_by_correlation`` without bound.
     """
+
+    # RegistrationAccept retransmission supervision: the accept is the
+    # one downlink whose loss the UE cannot detect by itself (it stops
+    # resending SMC complete the moment the accept leaves our queue).
+    accept_retx_timeout = 0.4
+    accept_retx_backoff = 2.0
+    accept_max_retx = 3
+    #: hard ceiling on how long a context may sit mid-registration; a
+    #: straggler uplink that recreates state after the UE gave up is
+    #: garbage-collected once this deadline passes.
+    registration_ttl = 30.0
+    obs_category = "agw"
+    _NAS_SPAN_NAMES = {
+        nas5g.RegistrationRequest: "nas.amf_reg_req",
+        nas5g.AuthenticationResponse5G: "nas.amf_auth_resp",
+        nas5g.SecurityModeComplete5G: "nas.amf_smc_complete",
+        nas5g.RegistrationComplete: "nas.amf_reg_complete",
+        nas5g.DeregistrationRequest5G: "nas.amf_dereg",
+        nas5g.PduSessionEstablishmentRequest: "nas.amf_pdu_req",
+    }
+    registrations_completed = CounterAttr("amf.registrations_completed")
+    registrations_rejected = CounterAttr("amf.registrations_rejected")
+    accept_retransmissions = CounterAttr("amf.accept_retransmissions")
+    accept_give_ups = CounterAttr("amf.accept_give_ups")
+    registrations_expired = CounterAttr("amf.registrations_expired")
+    orphan_uplinks = CounterAttr("amf.orphan_uplinks")
+    deregistrations = CounterAttr("amf.deregistrations")
+
+    def span_name(self, message: object) -> str:
+        if isinstance(message, S1UplinkNas):
+            name = self._NAS_SPAN_NAMES.get(type(message.nas))
+            return name if name is not None else \
+                self.nas_span_name(message.nas)
+        if isinstance(message, nas5g.AusfAuthenticateResponse):
+            return "sbi.amf_ausf_auth"
+        if isinstance(message, nas5g.AusfConfirmResponse):
+            return "sbi.amf_ausf_confirm"
+        if isinstance(message, nas5g.SmfCreateSessionResponse):
+            return "sbi.amf_smf"
+        return super().span_name(message)
+
+    def nas_span_name(self, nas: NasMessage) -> str:
+        """Span-name hook for NAS types added by subclasses."""
+        return f"nas.amf_{type(nas).__name__}"
 
     def __init__(self, host: Host, ausf_ip: str, smf_ip: str,
                  name: str = "amf", plmn: Plmn = TEST_PLMN):
@@ -230,6 +357,14 @@ class Amf(SignalingNode):
         self._tmsi = itertools.count(0x5000)
         self.registrations_completed = 0
         self.registrations_rejected = 0
+        self.accept_retransmissions = 0
+        self.accept_give_ups = 0
+        self.registrations_expired = 0
+        self.orphan_uplinks = 0
+        self.deregistrations = 0
+        #: DenialCause-style breakdown of terminal rejections/abandons.
+        self.rejection_causes = self.metrics.counter_vec(
+            "amf.rejections", "cause")
         self.costs = dict(AMF_COSTS)
         self.on_registered: Optional[Callable[[UeContext5G], None]] = None
         self.on_session: Optional[Callable[[UeContext5G], None]] = None
@@ -253,6 +388,8 @@ class Amf(SignalingNode):
                 return self.costs["pdu_request"]
             if isinstance(nas, nas5g.RegistrationComplete):
                 return self.costs["registration_complete"]
+            if isinstance(nas, nas5g.DeregistrationRequest5G):
+                return self.costs["deregistration"]
             return self.nas_processing_cost(nas)
         if isinstance(message, nas5g.AusfAuthenticateResponse):
             return self.costs["ausf_response"]
@@ -265,6 +402,39 @@ class Amf(SignalingNode):
     def nas_processing_cost(self, nas: NasMessage) -> float:
         return self.default_processing_cost
 
+    # -- correlation-map hygiene ----------------------------------------------
+    def _assign_correlation(self, context: UeContext5G) -> int:
+        """Mint a fresh correlation for the context's next SBI exchange,
+        retiring any previous mapping so ``_by_correlation`` holds at
+        most one entry per context."""
+        if context.correlation:
+            self._by_correlation.pop(context.correlation, None)
+        context.correlation = next(self._correlations)
+        self._by_correlation[context.correlation] = context.ran_ue_id
+        return context.correlation
+
+    def _release_correlation(self, context: UeContext5G) -> None:
+        if context.correlation:
+            self._by_correlation.pop(context.correlation, None)
+            context.correlation = 0
+
+    def _release_ue(self, context: UeContext5G) -> None:
+        """Terminal cleanup shared by reject/abandon/deregister: both
+        AMF maps, any outstanding reliable request, and the RAN
+        association all go."""
+        if context.sbi_corr_id:
+            self.cancel_request(context.sbi_corr_id)
+            context.sbi_corr_id = 0
+        self._release_correlation(context)
+        self.contexts.pop(context.ran_ue_id, None)
+        self.send(context.ran_ip,
+                  S1UeContextRelease(enb_ue_id=context.ran_ue_id), size=32)
+        self.context_released(context)
+
+    def context_released(self, context: UeContext5G) -> None:
+        """Hook: a context left ``self.contexts`` (subclasses drop their
+        per-session state here)."""
+
     # -- RAN plumbing ------------------------------------------------------------
     def downlink(self, context: UeContext5G, nas: NasMessage) -> None:
         self.send(context.ran_ip,
@@ -273,17 +443,31 @@ class Amf(SignalingNode):
 
     def reject(self, context: UeContext5G, cause: str) -> None:
         self.registrations_rejected += 1
+        self.rejection_causes[cause.split(":")[0]] += 1
         context.state = "REJECTED"
         self.downlink(context, nas5g.RegistrationReject(cause=cause))
+        self._release_ue(context)
+
+    def nas_initiates(self, nas: NasMessage) -> bool:
+        """Whether this uplink NAS may create a fresh UE context.  Only
+        registration-initiating messages qualify; stragglers from torn
+        down UEs are dropped instead of resurrecting half-open state."""
+        return isinstance(nas, nas5g.RegistrationRequest)
 
     def _handle_uplink(self, ran_ip: str, wrapped: S1UplinkNas) -> None:
         context = self.contexts.get(wrapped.enb_ue_id)
+        nas = wrapped.nas
         if context is None:
+            if not self.nas_initiates(nas):
+                # The ack of a network-initiated deregistration lands
+                # after we released the context — expected, not orphaned.
+                if not isinstance(nas, nas5g.DeregistrationAccept5G):
+                    self.orphan_uplinks += 1
+                return
             context = UeContext5G(ran_ue_id=wrapped.enb_ue_id,
                                   ran_ip=ran_ip,
                                   registration_started_at=self.sim.now)
             self.contexts[wrapped.enb_ue_id] = context
-        nas = wrapped.nas
         if isinstance(nas, nas5g.RegistrationRequest):
             self._on_registration_request(context, nas)
         elif isinstance(nas, nas5g.AuthenticationResponse5G):
@@ -292,6 +476,8 @@ class Amf(SignalingNode):
             self._on_smc_complete(context, nas)
         elif isinstance(nas, nas5g.RegistrationComplete):
             self._on_registration_complete(context)
+        elif isinstance(nas, nas5g.DeregistrationRequest5G):
+            self._on_deregistration(context, nas)
         elif isinstance(nas, nas5g.PduSessionEstablishmentRequest):
             self._on_pdu_request(context, nas)
         else:
@@ -304,14 +490,59 @@ class Amf(SignalingNode):
     # -- registration state machine --------------------------------------------------
     def _on_registration_request(self, context: UeContext5G,
                                  request: nas5g.RegistrationRequest) -> None:
+        if context.suci == request.suci and context.state != "INITIAL":
+            # NAS-level retransmission of the initial request (the SUCI
+            # ciphertext is crafted once per attempt, so byte-equality
+            # identifies the attempt).  Re-drive whichever leg stalled;
+            # later states mean a straggler — absorb it.
+            if context.state == "WAIT_AUSF":
+                self._send_authenticate(context)
+            elif context.state == "WAIT_AUTH_RESPONSE":
+                self.downlink(context, nas5g.AuthenticationRequest5G(
+                    rand=context.rand, autn=context.autn))
+            return
+        # Fresh attempt (first request on this context, or a new SUCI
+        # after a prior attempt was abandoned): restart from scratch.
+        if context.sbi_corr_id:
+            self.cancel_request(context.sbi_corr_id)
+            context.sbi_corr_id = 0
         context.suci = request.suci
+        context.supi = None
+        context.security = None
+        context.rand = b""
+        context.autn = b""
+        context.res_star = b""
         context.state = "WAIT_AUSF"
-        context.correlation = next(self._correlations)
         context.registration_started_at = self.sim.now
-        self._by_correlation[context.correlation] = context.ran_ue_id
+        self._watch_registration(context)
+        self._send_authenticate(context)
+
+    def _send_authenticate(self, context: UeContext5G) -> None:
+        """(Re)issue the AUSF authenticate under a *fresh* correlation:
+        the AUSF keys its pending vector by correlation, so retiring the
+        old id on every re-drive guarantees challenge, RES* and
+        confirmation all refer to one vector even when an earlier
+        request's response is still in flight."""
+        correlation = self._assign_correlation(context)
         self.send(self.ausf_ip, nas5g.AusfAuthenticateRequest(
-            suci=request.suci, serving_network=self.serving_network,
-            correlation=context.correlation), size=500)
+            suci=context.suci, serving_network=self.serving_network,
+            correlation=correlation), size=500)
+
+    def _watch_registration(self, context: UeContext5G) -> None:
+        self.sim.schedule(self.registration_ttl, self._registration_deadline,
+                          context, context.registration_started_at)
+
+    def _registration_deadline(self, context: UeContext5G,
+                               started_at: float) -> None:
+        if self.contexts.get(context.ran_ue_id) is not context \
+                or context.registration_started_at != started_at:
+            return  # superseded by a newer attempt or already released
+        if context.state in ("REGISTERED", "WAIT_SMF"):
+            return
+        self.registrations_expired += 1
+        self.rejection_causes["registration deadline"] += 1
+        context.state = "ABANDONED"
+        self._release_ue(context)
 
     def _context_for(self, correlation: int) -> Optional[UeContext5G]:
         ue_id = self._by_correlation.get(correlation)
@@ -321,19 +552,31 @@ class Amf(SignalingNode):
                               response: nas5g.AusfAuthenticateResponse
                               ) -> None:
         context = self._context_for(response.correlation)
-        if context is None or context.state != "WAIT_AUSF":
-            return
+        if context is None or context.state != "WAIT_AUSF" \
+                or context.correlation != response.correlation:
+            return  # stale response from a retired correlation
         if not response.success:
             self.reject(context, f"authentication failed: {response.cause}")
             return
         context.hxres_star = response.hxres_star
+        context.rand = response.rand
+        context.autn = response.autn
         context.state = "WAIT_AUTH_RESPONSE"
         self.downlink(context, nas5g.AuthenticationRequest5G(
             rand=response.rand, autn=response.autn))
-        context.rand = response.rand
 
     def _on_auth_response(self, context: UeContext5G,
                           response: nas5g.AuthenticationResponse5G) -> None:
+        if context.state == "WAIT_AUSF_CONFIRM" \
+                and response.res_star == context.res_star:
+            # Duplicate RES*: the reliable confirm exchange is already
+            # re-driving the home network — nothing to do here.
+            return
+        if context.state == "WAIT_SMC_COMPLETE" \
+                and response.res_star == context.res_star:
+            # Duplicate RES*: our SMC was likely lost — replay it.
+            self.send_smc5g(context)
+            return
         if context.state != "WAIT_AUTH_RESPONSE":
             return
         # SEAF-local check: HRES* must match before bothering the home NW.
@@ -342,15 +585,26 @@ class Amf(SignalingNode):
             return
         context.res_star = response.res_star
         context.state = "WAIT_AUSF_CONFIRM"
-        self.send(self.ausf_ip, nas5g.AusfConfirmRequest(
-            correlation=context.correlation,
-            res_star=response.res_star), size=120)
+        context.sbi_corr_id = self.send_request(
+            self.ausf_ip, nas5g.AusfConfirmRequest(
+                correlation=context.correlation,
+                res_star=response.res_star), size=120,
+            on_give_up=lambda _m, c=context: self._confirm_gave_up(c))
+
+    def _confirm_gave_up(self, context: UeContext5G) -> None:
+        context.sbi_corr_id = 0
+        if self.contexts.get(context.ran_ue_id) is not context \
+                or context.state != "WAIT_AUSF_CONFIRM":
+            return
+        self.reject(context, "home network unreachable: "
+                             "RES* confirmation timed out")
 
     def _handle_ausf_confirm(self, src_ip: str,
                              response: nas5g.AusfConfirmResponse) -> None:
         context = self._context_for(response.correlation)
         if context is None or context.state != "WAIT_AUSF_CONFIRM":
             return
+        context.sbi_corr_id = 0
         if not response.success:
             self.reject(context, f"home network refused: {response.cause}")
             return
@@ -358,6 +612,9 @@ class Amf(SignalingNode):
         kamf = derive_kamf(response.kseaf, response.supi)
         context.security = SecurityContext(kasme=kamf)
         context.state = "WAIT_SMC_COMPLETE"
+        self.send_smc5g(context)
+
+    def send_smc5g(self, context: UeContext5G) -> None:
         security = context.security
         self.downlink(context, nas5g.SecurityModeCommand5G(
             enc_alg=security.enc_alg, int_alg=security.int_alg,
@@ -366,38 +623,107 @@ class Amf(SignalingNode):
 
     def _on_smc_complete(self, context: UeContext5G,
                          complete: nas5g.SecurityModeComplete5G) -> None:
+        if context.state == "WAIT_REGISTRATION_COMPLETE" \
+                and context.security is not None:
+            # Duplicate SMC complete: the UE never saw our accept —
+            # re-send it after re-verifying the MAC.
+            if complete.mac == smc_mac(context.security.k_nas_int,
+                                       0xFF, 0xFF):
+                self._send_registration_accept(context)
+            return
         if context.state != "WAIT_SMC_COMPLETE":
             return
         if complete.mac != smc_mac(context.security.k_nas_int, 0xFF, 0xFF):
             self.reject(context, "SMC integrity failure")
             return
+        self.after_security_established(context)
+
+    def after_security_established(self, context: UeContext5G) -> None:
+        """Mint the GUTI and send the supervised RegistrationAccept
+        (subclasses hook here for lifecycle scheduling)."""
         context.guti = Guti5G(self.plmn, amf_region=1, amf_set=1,
                               tmsi=next(self._tmsi))
         context.state = "WAIT_REGISTRATION_COMPLETE"
+        context.accept_retx = 0
+        self._send_registration_accept(context)
+        self.sim.schedule(self.accept_retx_timeout,
+                          self._check_registration_accept, context,
+                          self.accept_retx_timeout)
+
+    def _send_registration_accept(self, context: UeContext5G) -> None:
         self.downlink(context, nas5g.RegistrationAccept(guti=context.guti))
+
+    def _check_registration_accept(self, context: UeContext5G,
+                                   timeout: float) -> None:
+        """RegistrationAccept supervision: resend until the complete
+        arrives, then give up and release everything the half-open
+        registration holds."""
+        if self.contexts.get(context.ran_ue_id) is not context \
+                or context.state != "WAIT_REGISTRATION_COMPLETE":
+            return  # completed, torn down, or superseded — nothing to do
+        if context.accept_retx >= self.accept_max_retx:
+            self.accept_give_ups += 1
+            self.rejection_causes["accept unacknowledged"] += 1
+            context.state = "ABANDONED"
+            self._release_ue(context)
+            return
+        context.accept_retx += 1
+        self.accept_retransmissions += 1
+        self._send_registration_accept(context)
+        next_timeout = timeout * self.accept_retx_backoff
+        self.sim.schedule(next_timeout, self._check_registration_accept,
+                          context, next_timeout)
 
     def _on_registration_complete(self, context: UeContext5G) -> None:
         if context.state != "WAIT_REGISTRATION_COMPLETE":
             return
+        # Terminal transition: the SBI conversation is over, so the
+        # correlation mapping goes (a fresh one is minted per PDU leg).
+        self._release_correlation(context)
         context.state = "REGISTERED"
         self.registrations_completed += 1
         if self.on_registered is not None:
             self.on_registered(context)
 
+    # -- deregistration ----------------------------------------------------------------
+    def _on_deregistration(self, context: UeContext5G,
+                           request: nas5g.DeregistrationRequest5G) -> None:
+        self.deregistrations += 1
+        context.state = "DEREGISTERED"
+        if not request.switch_off:
+            # Switch-off deregistrations expect no ack (TS 24.501).
+            self.downlink(context, nas5g.DeregistrationAccept5G())
+        self._release_ue(context)
+
     # -- PDU session -------------------------------------------------------------------
     def _on_pdu_request(self, context: UeContext5G,
                         request: nas5g.PduSessionEstablishmentRequest
                         ) -> None:
+        if context.state == "WAIT_SMF":
+            return  # duplicate: the reliable SMF exchange is in flight
         if context.state != "REGISTERED":
             self.downlink(context, nas5g.PduSessionEstablishmentReject(
                 session_id=request.session_id, cause="not registered"))
             return
         context.state = "WAIT_SMF"
         context.pdu_session_id = request.session_id
-        self.send(self.smf_ip, nas5g.SmfCreateSessionRequest(
-            subscriber=context.supi or "anonymous", dnn=request.dnn,
-            session_id=request.session_id,
-            correlation=context.correlation), size=260)
+        correlation = self._assign_correlation(context)
+        context.sbi_corr_id = self.send_request(
+            self.smf_ip, nas5g.SmfCreateSessionRequest(
+                subscriber=context.supi or "anonymous", dnn=request.dnn,
+                session_id=request.session_id,
+                correlation=correlation), size=260,
+            on_give_up=lambda _m, c=context: self._smf_gave_up(c))
+
+    def _smf_gave_up(self, context: UeContext5G) -> None:
+        context.sbi_corr_id = 0
+        if self.contexts.get(context.ran_ue_id) is not context \
+                or context.state != "WAIT_SMF":
+            return
+        self._release_correlation(context)
+        context.state = "REGISTERED"
+        self.downlink(context, nas5g.PduSessionEstablishmentReject(
+            session_id=context.pdu_session_id, cause="SMF unreachable"))
 
     def _handle_smf_response(self, src_ip: str,
                              response: nas5g.SmfCreateSessionResponse
@@ -405,6 +731,8 @@ class Amf(SignalingNode):
         context = self._context_for(response.correlation)
         if context is None or context.state != "WAIT_SMF":
             return
+        context.sbi_corr_id = 0
+        self._release_correlation(context)
         context.state = "REGISTERED"
         context.ue_ip = response.ue_ip
         self.downlink(context, nas5g.PduSessionEstablishmentAccept(
@@ -413,3 +741,17 @@ class Amf(SignalingNode):
             ambr_ul_bps=response.ambr_ul_bps))
         if self.on_session is not None:
             self.on_session(context)
+
+    # -- introspection -----------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "registrations_completed": self.registrations_completed,
+            "registrations_rejected": self.registrations_rejected,
+            "accept_retransmissions": self.accept_retransmissions,
+            "accept_give_ups": self.accept_give_ups,
+            "registrations_expired": self.registrations_expired,
+            "orphan_uplinks": self.orphan_uplinks,
+            "deregistrations": self.deregistrations,
+            "contexts": len(self.contexts),
+            "by_correlation": len(self._by_correlation),
+        }

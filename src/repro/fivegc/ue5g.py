@@ -3,6 +3,15 @@
 The CellBricks 5G UE subclasses this in :mod:`repro.core.btelco5g`,
 replacing 5G-AKA with SAP exactly as the 4G UE does — the layering that
 lets the same SIM-resident credentials serve both generations.
+
+Registration legs are supervised the same way the LTE UE's attach legs
+are (:class:`repro.lte.ue.UeNas`): the last uplink NAS message of an
+in-progress registration is re-sent on timeout with capped exponential
+backoff (seeded jitter), duplicate downlinks are absorbed instead of
+re-running one-shot crypto, and the attempt is abandoned cleanly once
+the per-leg budget is spent.  A loss-free registration completes well
+inside the first timeout, so the supervision never fires on the clean
+path and a fault-free run issues zero retransmissions.
 """
 
 from __future__ import annotations
@@ -15,7 +24,7 @@ from repro.lte.agw import smc_mac
 from repro.lte.aka import AkaError, UsimState
 from repro.lte.nas import message_size
 from repro.lte.security import SecurityContext
-from repro.lte.signaling import SignalingNode
+from repro.lte.signaling import CounterAttr, SignalingNode
 from repro.net import Host
 
 from . import nas5g
@@ -47,7 +56,7 @@ class SessionResult:
 
 
 class Ue5G(SignalingNode):
-    """Baseline 5G UE."""
+    """Baseline 5G UE with supervised registration legs."""
 
     processing_costs = {
         nas5g.AuthenticationRequest5G:
@@ -58,6 +67,26 @@ class Ue5G(SignalingNode):
         nas5g.PduSessionEstablishmentAccept:
             UE5G_COSTS[nas5g.PduSessionEstablishmentAccept],
     }
+    obs_category = "ue"
+    #: span name for the initial-request crafting work ("sap.ue_craft"
+    #: on the CellBricks UE).
+    craft_span_name = "nas.ue_craft"
+    _SPAN_NAMES = {
+        nas5g.AuthenticationRequest5G: "nas.ue_auth",
+        nas5g.SecurityModeCommand5G: "nas.ue_smc",
+        nas5g.RegistrationAccept: "nas.ue_reg_accept",
+        nas5g.PduSessionEstablishmentAccept: "nas.ue_pdu_accept",
+    }
+    # Same metric names as the LTE UE so fleet-wide registry merges
+    # aggregate across generations.
+    nas_retransmissions = CounterAttr("ue.nas_retransmissions")
+    attach_timeouts = CounterAttr("ue.attach_timeouts")
+    # -- registration retransmission knobs (match the LTE UE) --
+    attach_retx_timeout = 0.4
+    attach_retx_backoff = 2.0
+    attach_retx_max_timeout = 3.0
+    attach_retx_jitter = 0.1
+    attach_max_attempts = 5
 
     def __init__(self, host: Host, gnb_ip: str, supi: Supi,
                  usim: Optional[UsimState],
@@ -76,35 +105,183 @@ class Ue5G(SignalingNode):
         self._registration_started: Optional[float] = None
         self._session_started: Optional[float] = None
         self.on_registration_done: Optional[Callable] = None
+        #: alias callback with the LTE UE's name, so RAT-generic harnesses
+        #: (mobility, chaos churn) drive both generations identically.
+        self.on_attach_done: Optional[Callable] = None
         self.on_session_done: Optional[Callable] = None
+        self.on_deregistered: Optional[Callable] = None
+        # -- registration supervision state --
+        self._reg_resend: Optional[Callable[[], None]] = None
+        self._reg_timer_event = None
+        self._reg_attempts = 0
+        self._reg_timeout_cur = 0.0
+        self._initial_request_cache = None
+        self._last_auth_rand: Optional[bytes] = None
+        self._auth_response = None
+        self._attach_span = None
+        self.nas_retransmissions = 0
+        self.attach_timeouts = 0
 
         self.on(nas5g.AuthenticationRequest5G, self._on_auth_request)
         self.on(nas5g.SecurityModeCommand5G, self._on_smc)
         self.on(nas5g.RegistrationAccept, self._on_accept)
         self.on(nas5g.RegistrationReject, self._on_reject)
+        self.on(nas5g.DeregistrationRequest5G,
+                self._on_network_deregistration)
         self.on(nas5g.PduSessionEstablishmentAccept, self._on_pdu_accept)
         self.on(nas5g.PduSessionEstablishmentReject, self._on_pdu_reject)
 
+    # -- observability --------------------------------------------------------
+    def span_name(self, message: object) -> str:
+        name = self._SPAN_NAMES.get(type(message))
+        return name if name is not None else super().span_name(message)
+
+    def _obs_begin_attach(self, craft: float) -> None:
+        """Open the root ``attach`` span plus its crafting child; every
+        send in this procedure then carries the root trace context.  The
+        root span is named ``attach`` in both generations so the Fig 7
+        leg-breakdown exporter works on 5G traces unchanged."""
+        obs = self.obs()
+        if obs is None or not obs.tracing:
+            return
+        tracer = obs.tracer
+        root = tracer.start_trace("attach", self.name, self.obs_category,
+                                  start=self.sim.now)
+        self._attach_span = root
+        self._obs_ctx = root.context
+        tracer.begin(self.craft_span_name, self.name, self.obs_category,
+                     start=self.sim.now, end=self.sim.now + craft,
+                     trace_id=root.trace_id, parent_id=root.span_id)
+
+    def _obs_end_attach(self, status: str, latency: float) -> None:
+        span = self._attach_span
+        if span is not None:
+            self._attach_span = None
+            obs = self.obs()
+            if obs is not None and obs.tracing:
+                obs.tracer.finish(span, self.sim.now, status=status)
+        if status == "ok":
+            self.metrics.histogram("attach.latency_ms").observe(
+                latency * 1000.0)
+        else:
+            self.metrics.counter("attach.failures").inc()
+
     # -- registration ------------------------------------------------------------
+    def craft_cost(self) -> float:
+        """Cost of crafting the initial request (SUCI concealment here;
+        the CellBricks UE's authReqU crafting overrides it)."""
+        return UE5G_COSTS["craft_registration"]
+
     def register(self) -> None:
         if self.state not in ("DEREGISTERED", "REJECTED"):
             raise RuntimeError(f"register() in state {self.state}")
         self.state = "REGISTERING"
         self._registration_started = self.sim.now
-        craft = UE5G_COSTS["craft_registration"]
+        # A fresh attempt starts from clean MM state: stale keys from an
+        # earlier registration must never validate this one's SMC.
+        self.security = None
+        self.kausf = None
+        self._last_auth_rand = None
+        self._auth_response = None
+        craft = self.craft_cost()
         self.charge(craft)
+        self._obs_begin_attach(craft)
         self.sim.schedule(craft, self._send_registration)
 
+    def attach(self) -> None:
+        """LTE-named alias so RAT-generic harnesses drive both UEs."""
+        self.register()
+
     def _send_registration(self) -> None:
+        # Crafted ONCE per attempt and the same bytes retransmitted: for
+        # the CellBricks UE this keeps the SAP nonce stable so the
+        # broker's idempotency cache (not its replay window) catches the
+        # duplicate.
         request = self.initial_request()
+        self._initial_request_cache = request
         self.send(self.gnb_ip, request, size=message_size(request))
+        self._supervise_registration(self._resend_initial_request)
+
+    def _resend_initial_request(self) -> None:
+        request = self._initial_request_cache
+        if request is not None:
+            self.send(self.gnb_ip, request, size=message_size(request))
 
     def initial_request(self):
         suci = conceal(self.supi, self.home_network_key)
         return nas5g.RegistrationRequest(suci=suci)
 
+    # -- registration retransmission supervision --------------------------------
+    def _supervise_registration(self, resend: Callable[[], None]) -> None:
+        """(Re)arm the retransmission timer around the given leg.  Each
+        leg (initial request, auth response, SMC complete) gets a fresh
+        attempt budget: downlink progress proves the path was alive."""
+        self._reg_resend = resend
+        self._reg_attempts = 1
+        self._reg_timeout_cur = self.attach_retx_timeout
+        self._arm_reg_timer()
+
+    def _arm_reg_timer(self) -> None:
+        self._cancel_reg_timer()
+        jitter = 1.0 + self.attach_retx_jitter \
+            * (2.0 * self._retx_rng.random() - 1.0)
+        self._reg_timer_event = self.sim.schedule(
+            self._reg_timeout_cur * jitter, self._reg_timer_fired)
+
+    def _cancel_reg_timer(self) -> None:
+        if self._reg_timer_event is not None:
+            self._reg_timer_event.cancel()
+            self._reg_timer_event = None
+
+    def _stop_registration_supervision(self) -> None:
+        self._cancel_reg_timer()
+        self._reg_resend = None
+
+    def _reg_timer_fired(self) -> None:
+        self._reg_timer_event = None
+        if self.state != "REGISTERING" or self._reg_resend is None:
+            return
+        if self._reg_attempts >= self.attach_max_attempts:
+            self.attach_timeouts += 1
+            self._reg_resend = None
+            self._on_registration_give_up()
+            self._fail(f"registration timed out after "
+                       f"{self.attach_max_attempts} attempts")
+            return
+        self._reg_attempts += 1
+        self._reg_timeout_cur = min(
+            self._reg_timeout_cur * self.attach_retx_backoff,
+            self.attach_retx_max_timeout)
+        self.nas_retransmissions += 1
+        obs = self.obs()
+        if obs is not None and obs.tracing and self._attach_span is not None:
+            obs.tracer.instant(
+                "nas.retransmit", self.name, self.sim.now,
+                trace_id=self._attach_span.trace_id,
+                parent_id=self._attach_span.span_id,
+                category=self.obs_category,
+                data={"attempt": self._reg_attempts})
+        self._reg_resend()
+        self._arm_reg_timer()
+
+    def _on_registration_give_up(self) -> None:
+        """Hook: reset MM state when a registration attempt is abandoned."""
+        self.security = None
+        self.kausf = None
+        self.ue_ip = None
+
+    # -- 5G-AKA ------------------------------------------------------------------
     def _on_auth_request(self, src_ip: str,
                          request: nas5g.AuthenticationRequest5G) -> None:
+        if self.state != "REGISTERING":
+            return  # stale challenge from an abandoned attempt
+        if request.rand == self._last_auth_rand \
+                and self._auth_response is not None:
+            # Duplicate challenge (our response was lost): replay the
+            # stored response instead of re-running 5G-AKA, whose SQN
+            # check would reject the repeated vector.
+            self._resend_auth_response()
+            return
         try:
             res_star, kausf = usim_authenticate_5g(
                 self.usim, request.rand, request.autn, self.serving_network)
@@ -115,43 +292,119 @@ class Ue5G(SignalingNode):
         kseaf = derive_kseaf(kausf, self.serving_network)
         kamf = derive_kamf(kseaf, str(self.supi))
         self.security = SecurityContext(kasme=kamf)
-        reply = nas5g.AuthenticationResponse5G(res_star=res_star)
-        self.send(self.gnb_ip, reply, size=message_size(reply))
+        self._last_auth_rand = request.rand
+        self._auth_response = nas5g.AuthenticationResponse5G(
+            res_star=res_star)
+        self._resend_auth_response()
+        self._supervise_registration(self._resend_auth_response)
 
+    def _resend_auth_response(self) -> None:
+        response = self._auth_response
+        if response is not None:
+            self.send(self.gnb_ip, response, size=message_size(response))
+
+    # -- SMC (shared by baseline and CellBricks) ----------------------------------
     def _on_smc(self, src_ip: str,
                 command: nas5g.SecurityModeCommand5G) -> None:
+        if self.state != "REGISTERING":
+            return  # stale command from an abandoned attempt
         if self.security is None:
-            self._fail("SMC before key agreement")
+            # The key-agreement downlink (AKA challenge / SAP response)
+            # was lost and the SMC overtook its replay: drop it.  Our own
+            # resend of the previous uplink makes the network replay both
+            # legs, so the registration still converges.
             return
         expected = smc_mac(self.security.k_nas_int, command.enc_alg,
                            command.int_alg)
         if command.mac != expected:
             self._fail("SMC MAC verification failed")
             return
+        self._send_smc_complete()
+        self._supervise_registration(self._send_smc_complete)
+
+    def _send_smc_complete(self) -> None:
+        if self.security is None:
+            return
         reply = nas5g.SecurityModeComplete5G(
             mac=smc_mac(self.security.k_nas_int, 0xFF, 0xFF))
         self.send(self.gnb_ip, reply, size=message_size(reply))
 
+    # -- completion ---------------------------------------------------------------
     def _on_accept(self, src_ip: str,
                    accept: nas5g.RegistrationAccept) -> None:
+        if self.state == "REGISTERED":
+            # Duplicate accept: our RegistrationComplete was lost —
+            # re-send it without re-firing the completion hook.
+            self._send_registration_complete()
+            return
+        if self.state != "REGISTERING":
+            return  # stale accept from an abandoned attempt
+        self._stop_registration_supervision()
         self.state = "REGISTERED"
+        self._send_registration_complete()
+        latency = self.sim.now - self._registration_started
+        self._obs_end_attach("ok", latency)
+        self._finish_registration(RegistrationResult(
+            success=True, latency=latency))
+
+    def _send_registration_complete(self) -> None:
         complete = nas5g.RegistrationComplete()
         self.send(self.gnb_ip, complete, size=message_size(complete))
+
+    def _finish_registration(self, result: RegistrationResult) -> None:
         if self.on_registration_done is not None:
-            self.on_registration_done(RegistrationResult(
-                success=True,
-                latency=self.sim.now - self._registration_started))
+            self.on_registration_done(result)
+        if self.on_attach_done is not None:
+            self.on_attach_done(result)
 
     def _on_reject(self, src_ip: str, reject) -> None:
+        if self.state != "REGISTERING":
+            return  # stale reject (e.g. we already timed out and moved on)
         self._fail(reject.cause)
 
     def _fail(self, cause: str) -> None:
+        self._stop_registration_supervision()
         self.state = "REJECTED"
         latency = (self.sim.now - self._registration_started
-                   if self._registration_started else 0.0)
-        if self.on_registration_done is not None:
-            self.on_registration_done(RegistrationResult(
-                success=False, latency=latency, cause=cause))
+                   if self._registration_started is not None else 0.0)
+        self._obs_end_attach("error", latency)
+        self._finish_registration(RegistrationResult(
+            success=False, latency=latency, cause=cause))
+
+    # -- deregistration -----------------------------------------------------------
+    def deregister_and_forget(self) -> None:
+        """Switch-off style deregistration (TS 24.501): tell the network
+        we are leaving and drop local state without waiting for an accept
+        — what a CellBricks UE does the instant it decides to move."""
+        if self.state == "REGISTERED":
+            request = nas5g.DeregistrationRequest5G(switch_off=True)
+            self.send(self.gnb_ip, request, size=message_size(request))
+        self.state = "DEREGISTERED"
+        self.ue_ip = None
+        self.security = None
+
+    def detach_and_forget(self) -> None:
+        """LTE-named alias so RAT-generic harnesses drive both UEs."""
+        self.deregister_and_forget()
+
+    def _on_network_deregistration(
+            self, src_ip: str,
+            request: nas5g.DeregistrationRequest5G) -> None:
+        """Network-initiated deregistration (grant expiry / revocation)."""
+        if self.state != "REGISTERED" or src_ip != self.gnb_ip:
+            return  # not registered, or a stale network we already left
+        reply = nas5g.DeregistrationAccept5G()
+        self.send(self.gnb_ip, reply, size=message_size(reply))
+        self.state = "DEREGISTERED"
+        self.ue_ip = None
+        self.security = None
+        if self.on_deregistered is not None:
+            self.on_deregistered()
+
+    def retarget(self, gnb_ip: str, serving_network: str) -> None:
+        """Point the UE at a different gNB (host-driven mobility)."""
+        self.gnb_ip = gnb_ip
+        self.serving_network = serving_network
 
     # -- PDU session --------------------------------------------------------------
     def establish_session(self, dnn: str = "internet") -> None:

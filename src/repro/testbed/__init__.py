@@ -9,6 +9,11 @@ from .attach_bench import (
     run_figure7,
     run_traced_attach,
 )
+from .attach_bench5g import (
+    run_attach_benchmark_5g,
+    run_figure7_5g,
+    run_traced_attach_5g,
+)
 from .placement import PLACEMENTS, TestbedTopology
 
 __all__ = [
@@ -19,6 +24,9 @@ __all__ = [
     "PLACEMENTS",
     "TestbedTopology",
     "run_attach_benchmark",
+    "run_attach_benchmark_5g",
     "run_figure7",
+    "run_figure7_5g",
     "run_traced_attach",
+    "run_traced_attach_5g",
 ]

@@ -1,0 +1,201 @@
+"""Fig 7 over the 5G control plane (``--rat 5g``).
+
+The 5G twin of :mod:`repro.testbed.attach_bench`: repeated registration
+cycles through the full NAS-5G stack — baseline (5G-AKA with the AUSF and
+UDM behind the placement link, two visited↔home round trips) vs
+CellBricks (SAP to brokerd, one) — reporting the same per-module
+breakdown the figure plots.  The "AGW + Brokerd Proc." column folds in
+the AMF plus whichever home-side functions the architecture uses (AUSF +
+UDM for the baseline, brokerd for CellBricks), so the columns stay
+comparable across generations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import Brokerd, UeSapCredentials
+from repro.core.qos import QosCapabilities
+from repro.crypto import CertificateAuthority
+from repro.crypto.keypool import pooled_keypair
+from repro.lte.aka import UsimState
+from repro.net import Simulator
+from repro.obs import Obs, install as install_obs
+
+from .attach_bench import (
+    ARCH_BASELINE,
+    ARCH_CELLBRICKS,
+    AttachBenchmarkResult,
+    AttachSample,
+)
+from .placement import PLACEMENTS
+
+_USIM_K = bytes(range(16))
+
+
+class _Bench5GHarness:
+    """One simulator instance running repeated 5G register/deregister
+    cycles (the NAS-5G mirror of :class:`_BenchHarness`)."""
+
+    def __init__(self, arch: str, placement: str, seed: int = 0,
+                 obs: Optional[Obs] = None):
+        # Imported lazily: repro.fivegc.topology5g pulls placement
+        # constants from this package, so a module-level import here
+        # would close an import cycle.
+        from repro.core.btelco5g import CellBricksAmf, CellBricksUe5G
+        from repro.fivegc import Amf, Ausf, Gnb, Smf, Udm, Ue5G, make_supi
+        from repro.fivegc.topology5g import (
+            AMF_ADDRESS,
+            AUSF_ADDRESS,
+            BROKER_ADDRESS,
+            GNB_ADDRESS,
+            SMF_ADDRESS,
+            Topology5G,
+            UDM_ADDRESS,
+        )
+
+        self.arch = arch
+        self.placement = placement
+        self.sim = Simulator()
+        if obs is not None:
+            install_obs(self.sim, obs)
+        self.topology = Topology5G.build(self.sim, placement)
+
+        if arch == ARCH_BASELINE:
+            home_key = pooled_keypair(820)
+            self.udm = Udm(self.topology.udm_host, home_network_key=home_key)
+            self.ausf = Ausf(self.topology.ausf_host, udm_ip=UDM_ADDRESS)
+            self.smf = Smf(self.topology.smf_host)
+            self.amf = Amf(self.topology.amf_host, ausf_ip=AUSF_ADDRESS,
+                           smf_ip=SMF_ADDRESS)
+            self.enb = Gnb(self.topology.gnb_host, agw_ip=AMF_ADDRESS)
+            supi = make_supi(7 + seed)
+            self.udm.provision(supi, _USIM_K)
+            self.ue = Ue5G(self.topology.ue_host, GNB_ADDRESS, supi,
+                           UsimState(k=_USIM_K), home_key.public_key,
+                           serving_network=self.amf.serving_network)
+            self.cloud_nodes = (self.ausf, self.udm)
+        elif arch == ARCH_CELLBRICKS:
+            ca = CertificateAuthority(key=pooled_keypair(821))
+            brokerd = Brokerd(self.topology.broker_host,
+                              id_b="brokerd.bench5g",
+                              ca_public_key=ca.public_key,
+                              key=pooled_keypair(822))
+            telco_key = pooled_keypair(823)
+            certificate = ca.issue("bench-telco5g", "btelco",
+                                   telco_key.public_key)
+            self.smf = Smf(self.topology.smf_host)
+            self.amf = CellBricksAmf(
+                self.topology.amf_host, broker_ip=BROKER_ADDRESS,
+                smf_ip=SMF_ADDRESS, id_t="bench-telco5g", key=telco_key,
+                certificate=certificate, ca_public_key=ca.public_key,
+                qos_capabilities=QosCapabilities(supported_qcis=(8, 9)))
+            self.amf.trust_broker("brokerd.bench5g", brokerd.public_key)
+            self.enb = Gnb(self.topology.gnb_host, agw_ip=AMF_ADDRESS)
+            ue_key = pooled_keypair(824)
+            credentials = UeSapCredentials(
+                id_u="bench-ue5g", id_b="brokerd.bench5g", ue_key=ue_key,
+                broker_public_key=brokerd.public_key)
+            brokerd.enroll_subscriber("bench-ue5g", ue_key.public_key)
+            self.ue = CellBricksUe5G(self.topology.ue_host, GNB_ADDRESS,
+                                     credentials,
+                                     target_id_t="bench-telco5g")
+            self.cloud_nodes = (brokerd,)
+        else:
+            raise ValueError(f"unknown architecture {arch!r}")
+
+        self.agw = self.amf  # RAT-generic alias for shared tooling
+        self._results: list = []
+        self.ue.on_attach_done = self._record_result
+
+    def _record_result(self, result) -> None:
+        # Snapshot module times the instant the registration completes so
+        # post-accept processing (RegistrationComplete, dereg) stays out.
+        self._results.append((result, self._module_snapshot()))
+
+    def _module_snapshot(self) -> tuple[float, float, float]:
+        home = self.amf.module_time + sum(node.module_time
+                                          for node in self.cloud_nodes)
+        return home, self.enb.module_time, self.ue.module_time
+
+    def run_trials(self, trials: int, settle: float = 0.5) -> list:
+        """Run ``trials`` register/deregister cycles; return samples."""
+        samples = []
+        for _ in range(trials):
+            before = self._module_snapshot()
+            before_count = len(self._results)
+            self.ue.attach()
+            deadline = self.sim.now + settle
+            while len(self._results) == before_count \
+                    and self.sim.now < deadline:
+                self.sim.run(until=self.sim.now + 0.01)
+            if len(self._results) == before_count:
+                raise RuntimeError(
+                    f"registration did not complete within {settle}s "
+                    f"({self.arch}/{self.placement})")
+            result, after = self._results[-1]
+            if not result.success:
+                raise RuntimeError(f"registration failed: {result.cause}")
+            samples.append(AttachSample(
+                total_ms=result.latency * 1000,
+                agw_brokerd_ms=(after[0] - before[0]) * 1000,
+                enb_ms=(after[1] - before[1]) * 1000,
+                ue_ms=(after[2] - before[2]) * 1000))
+            # Deregister and settle before the next trial.
+            self.ue.detach_and_forget()
+            self.sim.run(until=self.sim.now + 0.1)
+        return samples
+
+    def reliable_retransmissions(self) -> int:
+        """Total supervised retransmissions anywhere in the stack —
+        exactly zero on a fault-free run."""
+        total = self.ue.nas_retransmissions
+        total += self.amf.accept_retransmissions
+        for node in (self.amf,) + tuple(self.cloud_nodes):
+            stats = node.reliable_stats()
+            total += stats.get("retransmissions", 0)
+        return total
+
+
+def run_attach_benchmark_5g(arch: str, placement: str, trials: int = 100,
+                            seed: int = 0) -> AttachBenchmarkResult:
+    """Run one 5G Fig 7 cell and return the averaged breakdown."""
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}")
+    harness = _Bench5GHarness(arch, placement, seed=seed)
+    result = AttachBenchmarkResult(arch=arch, placement=placement)
+    result.samples = harness.run_trials(trials)
+    return result
+
+
+def run_traced_attach_5g(arch: str = ARCH_CELLBRICKS,
+                         placement: str = "us-west-1", trials: int = 20,
+                         seed: int = 0, obs: Optional[Obs] = None):
+    """One 5G Fig 7 cell with tracing installed.
+
+    Returns ``(result, obs, harness)`` exactly like
+    :func:`repro.testbed.run_traced_attach` so RAT-generic callers (the
+    CLI ``trace``/``metrics`` subcommands) need only pick the function.
+    """
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}")
+    if obs is None:
+        obs = Obs()
+    harness = _Bench5GHarness(arch, placement, seed=seed, obs=obs)
+    result = AttachBenchmarkResult(arch=arch, placement=placement)
+    result.samples = harness.run_trials(trials)
+    # Fold the nodes' registries into the run's fleet-wide snapshot.
+    for node in (harness.ue, harness.enb, harness.amf) \
+            + tuple(harness.cloud_nodes):
+        obs.metrics.merge_from(node.metrics)
+    return result, obs, harness
+
+
+def run_figure7_5g(trials: int = 100, seed: int = 0) -> list:
+    """All six 5G Fig 7 cells: {BL, CB} x {local, us-west-1, us-east-1}."""
+    results = []
+    for placement in ("local", "us-west-1", "us-east-1"):
+        for arch in (ARCH_BASELINE, ARCH_CELLBRICKS):
+            results.append(run_attach_benchmark_5g(
+                arch, placement, trials=trials, seed=seed))
+    return results
