@@ -251,6 +251,80 @@ def _cmd_fig10(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_broker_scale(args: argparse.Namespace) -> int:
+    """Sweep concurrent attaches x shard count through one brokerd.
+
+    Each (rat, concurrency) pair runs a serial single-shard baseline
+    cell plus pipelined cells at every ``--shards`` value; the report
+    (``BENCH_broker_scale.json``) carries every cell and the pipeline
+    vs baseline speedups.  ``--smoke`` runs the seeded CI subset and
+    fails if attaches/sec regresses more than 20% against the
+    committed baseline (``benchmarks/baselines/broker_scale_baseline
+    .json``)."""
+    import json
+
+    from repro.testbed.broker_scale import run_sweep, speedups
+
+    rats = ("lte", "5g") if args.rat == "both" else (args.rat,)
+    if args.smoke:
+        concurrencies = (64,)
+        shard_counts = (8,)
+    else:
+        concurrencies = tuple(int(c) for c in args.concurrency.split(","))
+        shard_counts = tuple(int(s) for s in args.shards.split(","))
+    report = run_sweep(rats=rats, concurrencies=concurrencies,
+                       shard_counts=shard_counts, sites=args.sites)
+
+    print(f"{'rat':4s} {'N':>4s} {'mode':9s} {'shards':>6s} {'ok':>4s} "
+          f"{'p50 ms':>8s} {'p99 ms':>8s} {'att/s':>8s}")
+    for cell in report["cells"]:
+        mode = "pipeline" if cell["pipeline"] else "serial"
+        print(f"{cell['rat']:4s} {cell['concurrency']:4d} {mode:9s} "
+              f"{cell['shards']:6d} "
+              f"{cell['attached']:4d} {cell['p50_ms']:8.2f} "
+              f"{cell['p99_ms']:8.2f} {cell['attaches_per_sec']:8.1f}")
+    for row in report["speedups"]:
+        print(f"speedup {row['rat']} N={row['concurrency']} "
+              f"shards={row['shards']}: {row['speedup']:.2f}x "
+              f"({row['baseline_attaches_per_sec']:.1f} -> "
+              f"{row['pipeline_attaches_per_sec']:.1f} att/s)")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+
+    if not args.smoke:
+        return 0
+    # CI regression gate: every smoke cell must hold >= 80% of the
+    # committed baseline's attaches/sec.
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)["cells"]
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; gate skipped")
+        return 0
+    failed = False
+    for cell in report["cells"]:
+        key = (f"{cell['rat']}/{cell['concurrency']}/"
+               f"{'pipeline' if cell['pipeline'] else 'serial'}/"
+               f"{cell['shards']}")
+        floor = baseline.get(key, 0.0) * 0.8
+        if cell["attaches_per_sec"] < floor:
+            print(f"FAIL {key}: {cell['attaches_per_sec']:.1f} att/s "
+                  f"< 80% of baseline {baseline[key]:.1f}")
+            failed = True
+        else:
+            print(f"ok   {key}: {cell['attaches_per_sec']:.1f} att/s "
+                  f"(baseline {baseline.get(key, 0.0):.1f})")
+    if cell := next((c for c in report["speedups"]
+                     if c["speedup"] < 3.0 and c["shards"] >= 8), None):
+        print(f"FAIL speedup {cell['rat']} N={cell['concurrency']}: "
+              f"{cell['speedup']:.2f}x < 3x")
+        failed = True
+    return 1 if failed else 0
+
+
 def _cmd_churn(args: argparse.Namespace) -> int:
     """Attach-churn the broker and print its lifecycle counters.
 
@@ -625,6 +699,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--rat", choices=("lte", "5g"), default="lte")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser("broker-scale", help="concurrent attaches x shard "
+                                            "count through one brokerd")
+    p.add_argument("--rat", choices=("lte", "5g", "both"), default="both",
+                   help="which stack(s) to sweep (default both)")
+    p.add_argument("--concurrency", default="16,64",
+                   help="comma-separated concurrent-attach counts")
+    p.add_argument("--shards", default="1,2,4,8",
+                   help="comma-separated shard counts for pipeline cells")
+    p.add_argument("--sites", type=int, default=16,
+                   help="bTelco sites the UEs round-robin across")
+    p.add_argument("--smoke", action="store_true",
+                   help="seeded CI subset (N=64, 8 shards, both paths); "
+                        "fails on >20%% attaches/sec regression vs the "
+                        "committed baseline")
+    p.add_argument("--baseline",
+                   default="benchmarks/baselines/broker_scale_baseline.json",
+                   help="baseline file for the --smoke regression gate")
+    p.add_argument("--output", default="BENCH_broker_scale.json",
+                   help="report path (default BENCH_broker_scale.json)")
+    p.set_defaults(func=_cmd_broker_scale)
 
     p = sub.add_parser("fig10", help="day vs night rate limiting")
     p.add_argument("--duration", type=float, default=500.0)

@@ -123,6 +123,23 @@ class Invoice:
     disputed: bool
 
 
+@dataclass(frozen=True)
+class ArchivedLedger:
+    """Immutable settlement record of a retired session ledger.
+
+    Once a session is settled, the broker has no reason to keep the raw
+    report streams in memory — but billing disputes need the verified
+    outcome long after the session ended.  The archive keeps exactly
+    that: the invoice plus the cross-check evidence counts."""
+
+    invoice: Invoice
+    checked_pairs: int
+    mismatches: int
+    ue_report_count: int
+    btelco_report_count: int
+    settled_at: float
+
+
 class BillingVerifier:
     """The broker's report cross-checker + settlement engine (Fig 5)."""
 
@@ -143,6 +160,13 @@ class BillingVerifier:
         #: lost uploads that would otherwise silently skew the Fig 5
         #: cross-check toward false accusations.
         self.reports_unmatched = 0
+        #: append-only settlement history (see :meth:`archive_session`).
+        self.archive: list[ArchivedLedger] = []
+        self._archive_by_session: dict[str, ArchivedLedger] = {}
+        self.ledgers_archived = 0
+        #: audit hook: called with each :class:`ArchivedLedger` the
+        #: moment it is written (an external audit log / dispute system).
+        self.on_archive = None
 
     # -- session lifecycle --------------------------------------------------
     def open_session(self, grant: SapGrant,
@@ -253,6 +277,45 @@ class BillingVerifier:
             id_t=ledger.grant.id_t, dl_bytes=ledger.billable_dl_bytes,
             ul_bytes=ledger.billable_ul_bytes, amount=round(amount, 6),
             disputed=ledger.mismatches > 0)
+
+    # -- archival ----------------------------------------------------------------
+    def archive_session(self, session_id: str, now: float = 0.0) -> Invoice:
+        """Settle a session and retire its ledger to the append-only archive.
+
+        The live ledger (raw report streams, checked-seq set) is dropped —
+        that is the memory the archive exists to reclaim — while the
+        verified outcome stays retrievable forever via :meth:`audit`.
+        Still-open sessions are closed first, so archiving an active
+        session is an explicit early settlement, not an error.
+        """
+        ledger = self.sessions.get(session_id)
+        if ledger is None:
+            raise BillingError(f"unknown session {session_id}")
+        if not ledger.closed:
+            self.close_session(session_id)
+        invoice = self.settle(session_id)
+        record = ArchivedLedger(
+            invoice=invoice, checked_pairs=ledger.checked_pairs,
+            mismatches=ledger.mismatches,
+            ue_report_count=len(ledger.ue_reports),
+            btelco_report_count=len(ledger.btelco_reports),
+            settled_at=now)
+        del self.sessions[session_id]
+        self.archive.append(record)
+        self._archive_by_session[session_id] = record
+        self.ledgers_archived += 1
+        if self.on_archive is not None:
+            self.on_archive(record)
+        return invoice
+
+    def audit(self, session_id: str) -> Optional[ArchivedLedger]:
+        """Retrieve the archived settlement record for a session."""
+        return self._archive_by_session.get(session_id)
+
+    def audit_subscriber(self, id_u: str) -> tuple:
+        """Every archived settlement for one subscriber, oldest first."""
+        return tuple(record for record in self.archive
+                     if record.invoice.id_u == id_u)
 
 
 @dataclass

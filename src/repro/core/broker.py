@@ -33,6 +33,20 @@ AUTH_REQUEST_PROCESSING = 0.0046
 REPORT_PROCESSING = 0.0003
 ACK_PROCESSING = 0.0002
 
+# Calibrated decomposition of AUTH_REQUEST_PROCESSING for the batching
+# pipeline.  The serial handler charges the lump sum; the pipeline
+# charges the same work split across its stages, so a single request
+# through an idle pipeline costs exactly AUTH_REQUEST_PROCESSING:
+#   INGRESS + CERT_VALIDATE + 2*SIG_VERIFY + AUTHVEC_DECRYPT
+#     + 2*SEAL_SIGN  =  0.0046
+INGRESS_PROCESSING = 0.0002      # envelope parse + batch enqueue
+CERT_VALIDATE_COST = 0.0008      # CA chain check (memoized per cert)
+SIG_VERIFY_COST = 0.0004         # one PSS verify (sig_t / sig_authvec)
+AUTHVEC_DECRYPT_COST = 0.0010    # RSA decrypt of the authVec
+SEAL_SIGN_COST = 0.0009          # one seal_and_sign (RSA private op)
+CACHED_VERIFY_COST = 0.00002     # verify-cache hit instead of a full check
+DENIAL_FINISH_COST = 0.0001      # replay/policy rejection (no minting)
+
 
 @dataclass
 class _OutstandingBatch:
@@ -43,6 +57,17 @@ class _OutstandingBatch:
     deadline: float              # latest grant expiry in the batch
     correlation_id: int = 0
     attempts: int = 0
+
+
+@dataclass
+class _PipelineItem:
+    """One auth request waiting in the current batch window."""
+
+    src_ip: str
+    request: BrokerAuthRequest
+    deferred: object             # DeferredReply from the ingress handler
+    arrived: float
+    corr_id: int = 0
 
 
 class Brokerd(SignalingNode):
@@ -70,8 +95,15 @@ class Brokerd(SignalingNode):
         CounterAttr("broker.revocation_batches_failed")
     revocation_acks_bad = CounterAttr("broker.revocation_acks_bad")
     reports_retried = CounterAttr("broker.reports_retried")
+    pipeline_batches = CounterAttr("broker.pipeline_batches")
+    pipeline_requests = CounterAttr("broker.pipeline_requests")
+    cert_cache_hits = CounterAttr("broker.cert_cache_hits")
 
     def span_name(self, message: object) -> str:
+        if self.pipeline_enabled and type(message) is BrokerAuthRequest:
+            # In pipeline mode the ingress handler only enqueues; the
+            # verify/mint work gets its own spans at flush time.
+            return "sap.broker_ingress"
         name = self._SPAN_NAMES.get(type(message))
         return name if name is not None else super().span_name(message)
 
@@ -105,6 +137,18 @@ class Brokerd(SignalingNode):
         #: the number of revocations with unexpired grants.
         self._outstanding_batches: dict[int, _OutstandingBatch] = {}
         self._batch_counter = 0
+        # -- batching pipeline (off by default: the serial handler is the
+        # byte-compatible historical path) --------------------------------
+        self.pipeline_enabled = False
+        self.batch_window = 0.002
+        self._worker_free: list[float] = []
+        self._shard_free: dict[int, float] = {}
+        self._auth_batch: list[_PipelineItem] = []
+        self._flush_event = None
+        self._verified_certs: set[str] = set()
+        self.pipeline_batches = 0
+        self.pipeline_requests = 0
+        self.cert_cache_hits = 0
         self.requests_approved = 0
         self.requests_denied = 0
         self.revocations_sent = 0
@@ -121,6 +165,44 @@ class Brokerd(SignalingNode):
     @property
     def public_key(self) -> PublicKey:
         return self.key.public_key
+
+    # -- batching pipeline ----------------------------------------------------
+    def configure_pipeline(self, *, enabled: bool = True,
+                           batch_window: float = 0.002,
+                           verify_workers: int = 4,
+                           shards: Optional[int] = None) -> None:
+        """Switch the auth hot path to the sharded, batching pipeline.
+
+        Requests arriving within ``batch_window`` of the first are
+        flushed as one batch: signature/certificate checks run on
+        ``verify_workers`` parallel workers (stage A), then each request
+        joins its shard's serialized replay/mint lane (stage B).  With
+        the pipeline off (the default) the historical one-at-a-time
+        handler runs and behavior is byte-identical to earlier builds.
+        """
+        if verify_workers < 1:
+            raise ValueError("verify_workers must be >= 1")
+        if batch_window < 0.0:
+            raise ValueError("batch_window must be >= 0")
+        if shards is not None:
+            self.sap.set_shard_count(shards)
+        self.pipeline_enabled = enabled
+        self.batch_window = batch_window
+        self._worker_free = [0.0] * verify_workers
+        self._shard_free = {}
+
+    def _cost_scale(self) -> float:
+        """Fault-injection compatibility: a brownout inflates the lump
+        AUTH_REQUEST_PROCESSING cost; the pipeline scales its calibrated
+        stage costs by the same factor."""
+        return self.processing_costs.get(
+            BrokerAuthRequest, AUTH_REQUEST_PROCESSING) \
+            / AUTH_REQUEST_PROCESSING
+
+    def processing_cost(self, message: object) -> float:
+        if self.pipeline_enabled and type(message) is BrokerAuthRequest:
+            return INGRESS_PROCESSING * self._cost_scale()
+        return super().processing_cost(message)
 
     # -- subscriber management ------------------------------------------------
     def enroll_subscriber(self, id_u: str, public_key: PublicKey,
@@ -200,6 +282,15 @@ class Brokerd(SignalingNode):
         self._session_btelco.pop(grant.session_id, None)
         self.billing.close_session(grant.session_id)
 
+    def archive_settled(self) -> list:
+        """End-of-cycle settlement sweep: every closed ledger is settled
+        and retired to the billing archive (retrievable via
+        ``billing.audit``).  Returns the invoices issued."""
+        closed = sorted(session_id for session_id, ledger
+                        in self.billing.sessions.items() if ledger.closed)
+        return [self.billing.archive_session(session_id, now=self.sim.now)
+                for session_id in closed]
+
     def stats(self) -> dict:
         """Lifecycle counters: SAP state sizes plus daemon-level tallies."""
         stats = self.sap.stats()
@@ -215,7 +306,12 @@ class Brokerd(SignalingNode):
                      revocation_acks_bad=self.revocation_acks_bad,
                      reports_retried=self.reports_retried,
                      reports_lost=self.billing.reports_unmatched,
-                     sessions_tracked=len(self._session_btelco))
+                     ledgers_archived=self.billing.ledgers_archived,
+                     sessions_tracked=len(self._session_btelco),
+                     pipeline_enabled=self.pipeline_enabled,
+                     pipeline_batches=self.pipeline_batches,
+                     pipeline_requests=self.pipeline_requests,
+                     cert_cache_hits=self.cert_cache_hits)
         stats.update(self.reliable_stats())
         return stats
 
@@ -237,6 +333,9 @@ class Brokerd(SignalingNode):
     # -- handlers --------------------------------------------------------------------
     def _handle_auth_request(self, src_ip: str,
                              request: BrokerAuthRequest) -> None:
+        if self.pipeline_enabled:
+            self._enqueue_auth_request(src_ip, request)
+            return
         try:
             sealed_t, sealed_u, grant = self.sap.process_request(
                 request.auth_req_t, now=self.sim.now)
@@ -246,6 +345,12 @@ class Brokerd(SignalingNode):
                 approved=False, cause=str(exc),
                 reply_token=request.reply_token), size=96)
             return
+        self._approve(src_ip, request, sealed_t, sealed_u, grant)
+
+    def _approve(self, src_ip: str, request: BrokerAuthRequest,
+                 sealed_t, sealed_u, grant: SapGrant,
+                 deferred=None) -> None:
+        """Bookkeeping + response for an approved attach (both paths)."""
         self.requests_approved += 1
         self._session_btelco[grant.session_id] = src_ip
         self._btelco_keys[src_ip] = \
@@ -255,12 +360,147 @@ class Brokerd(SignalingNode):
             # idempotency cache wiping an already-populated ledger.
             self.billing.open_session(
                 grant,
-                ue_public_key=self.sap.subscribers[grant.id_u].public_key,
+                ue_public_key=self.sap.subscriber(grant.id_u).public_key,
                 btelco_public_key=request.auth_req_t.t_certificate.public_key)
-        self.send(src_ip, BrokerAuthResponse(
+        response = BrokerAuthResponse(
             approved=True, auth_resp_t=sealed_t, auth_resp_u=sealed_u,
-            reply_token=request.reply_token),
-            size=sealed_t.wire_size + sealed_u.wire_size + 64)
+            reply_token=request.reply_token)
+        size = sealed_t.wire_size + sealed_u.wire_size + 64
+        if deferred is None:
+            self.send(src_ip, response, size=size)
+        else:
+            deferred.send(src_ip, response, size=size)
+            deferred.complete()
+
+    # -- the batching pipeline ------------------------------------------------
+    def _enqueue_auth_request(self, src_ip: str,
+                              request: BrokerAuthRequest) -> None:
+        """Pipeline ingress: park the request in the current batch
+        window; the reply is completed asynchronously at flush time."""
+        deferred = self.defer_reply()
+        corr_id = 0
+        if deferred.reply_context is not None:
+            corr_id = deferred.reply_context.correlation_id
+        self._auth_batch.append(_PipelineItem(
+            src_ip=src_ip, request=request, deferred=deferred,
+            arrived=self.sim.now, corr_id=corr_id))
+        if self._flush_event is None:
+            self._flush_event = self.sim.schedule(
+                self.batch_window, self._flush_auth_batch)
+
+    def _flush_auth_batch(self) -> None:
+        """Drain the batch through the two-stage cost model.
+
+        Stage A (parallel): certificate validation — charged once per
+        certificate thanks to the verify-result cache — plus the two
+        signature checks and the authVec decrypt, on the earliest-free
+        verify worker.  Stage B (serialized per shard): the replay
+        window, policy, and the two RSA seal+sign private ops on the
+        owning shard's lane.  All real crypto executes here (its results
+        are time-independent); replies are scheduled at each item's
+        modeled completion time, so identically-seeded runs replay the
+        exact same event sequence.
+        """
+        self._flush_event = None
+        batch, self._auth_batch = self._auth_batch, []
+        if not batch:
+            return
+        now = self.sim.now
+        scale = self._cost_scale()
+        obs = self.obs()
+        tracer = obs.tracer if obs is not None and obs.tracing else None
+        self.pipeline_batches += 1
+        self.pipeline_requests += len(batch)
+        sap = self.sap
+        sap.begin_window(now)
+        for item in batch:
+            request = item.request.auth_req_t
+            cached = sap.lookup_cached(sap._request_digest(request))
+            if cached is not None:
+                # Idempotent re-serve of a duplicate (fresh correlation,
+                # bit-identical request): no verify pass, reply now.
+                sealed_t, sealed_u, grant = cached
+                self._schedule_completion(item, now, approved=(
+                    sealed_t, sealed_u, grant))
+                continue
+            # -- stage A: parallel verification ---------------------------
+            fingerprint = item.request.auth_req_t.t_certificate \
+                .public_key.fingerprint()
+            cost_a = 2 * SIG_VERIFY_COST + AUTHVEC_DECRYPT_COST
+            if fingerprint in self._verified_certs:
+                self.cert_cache_hits += 1
+                cost_a += CACHED_VERIFY_COST
+            else:
+                self._verified_certs.add(fingerprint)
+                cost_a += CERT_VALIDATE_COST
+            cost_a *= scale
+            worker = min(range(len(self._worker_free)),
+                         key=lambda i: self._worker_free[i])
+            start_a = max(now, self._worker_free[worker])
+            end_a = start_a + cost_a
+            self._worker_free[worker] = end_a
+            self.charge(cost_a)
+            ctx = item.deferred.obs_ctx or (0, 0)
+            try:
+                prepared = sap.prevalidate(request, now)
+            except SapError as exc:
+                if tracer is not None:
+                    tracer.begin("sap.broker_verify", self.name,
+                                 self.obs_category, start=start_a,
+                                 end=end_a, trace_id=ctx[0],
+                                 parent_id=ctx[1], corr_id=item.corr_id)
+                self._schedule_completion(item, end_a, cause=str(exc))
+                continue
+            if tracer is not None:
+                tracer.begin("sap.broker_verify", self.name,
+                             self.obs_category, start=start_a, end=end_a,
+                             trace_id=ctx[0], parent_id=ctx[1],
+                             corr_id=item.corr_id)
+            # -- stage B: the shard's serialized replay/mint lane ---------
+            start_b = max(end_a, self._shard_free.get(prepared.shard_id,
+                                                      0.0))
+            try:
+                sealed_t, sealed_u, grant = sap.finish_request(
+                    prepared, start_b)
+            except SapError as exc:
+                end_b = start_b + DENIAL_FINISH_COST * scale
+                self._shard_free[prepared.shard_id] = end_b
+                self.charge(DENIAL_FINISH_COST * scale)
+                if tracer is not None:
+                    tracer.begin("sap.broker_mint", self.name,
+                                 self.obs_category, start=start_b,
+                                 end=end_b, trace_id=ctx[0],
+                                 parent_id=ctx[1], corr_id=item.corr_id)
+                self._schedule_completion(item, end_b, cause=str(exc))
+                continue
+            end_b = start_b + 2 * SEAL_SIGN_COST * scale
+            self._shard_free[prepared.shard_id] = end_b
+            self.charge(2 * SEAL_SIGN_COST * scale)
+            if tracer is not None:
+                tracer.begin("sap.broker_mint", self.name,
+                             self.obs_category, start=start_b, end=end_b,
+                             trace_id=ctx[0], parent_id=ctx[1],
+                             corr_id=item.corr_id)
+            self._schedule_completion(item, end_b, approved=(
+                sealed_t, sealed_u, grant))
+
+    def _schedule_completion(self, item: _PipelineItem, at: float,
+                             approved=None, cause: str = "") -> None:
+        self.sim.schedule(max(0.0, at - self.sim.now),
+                          self._complete_auth, item, approved, cause)
+
+    def _complete_auth(self, item: _PipelineItem, approved,
+                       cause: str) -> None:
+        if approved is None:
+            self.requests_denied += 1
+            item.deferred.send(item.src_ip, BrokerAuthResponse(
+                approved=False, cause=cause,
+                reply_token=item.request.reply_token), size=96)
+            item.deferred.complete()
+            return
+        sealed_t, sealed_u, grant = approved
+        self._approve(item.src_ip, item.request, sealed_t, sealed_u,
+                      grant, deferred=item.deferred)
 
     def _handle_report(self, src_ip: str,
                        upload: TrafficReportUpload) -> None:

@@ -19,6 +19,7 @@ Security goals realized here (paper's requirements i-iii):
 
 from __future__ import annotations
 
+import bisect
 import hashlib
 import heapq
 import secrets
@@ -274,6 +275,146 @@ class SapGrant:
     expires_at: float
 
 
+class ShardRouter:
+    """Deterministic consistent-hash ring mapping ``id_u`` to a shard id.
+
+    SHA-256 points with virtual nodes: adding or removing a shard moves
+    only ~1/N of the keyspace, and placement is a pure function of the
+    id — no randomness, no clock — so identically-seeded runs (and
+    distinct processes) agree on every assignment.
+    """
+
+    VIRTUAL_NODES = 64
+
+    def __init__(self, shard_ids=()):
+        self._shards: set[int] = set()
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    @staticmethod
+    def _point(token: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(token.encode("utf-8")).digest()[:8], "big")
+
+    def _rebuild(self, entries: list[tuple[int, int]]) -> None:
+        entries.sort()
+        self._points = [point for point, _ in entries]
+        self._owners = [owner for _, owner in entries]
+
+    def add(self, shard_id: int) -> None:
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id} already on the ring")
+        self._shards.add(shard_id)
+        entries = list(zip(self._points, self._owners))
+        entries.extend(
+            (self._point(f"shard:{shard_id}:{replica}"), shard_id)
+            for replica in range(self.VIRTUAL_NODES))
+        self._rebuild(entries)
+
+    def remove(self, shard_id: int) -> None:
+        if shard_id not in self._shards:
+            raise ValueError(f"shard {shard_id} not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.discard(shard_id)
+        self._rebuild([(point, owner)
+                       for point, owner in zip(self._points, self._owners)
+                       if owner != shard_id])
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def shard_for(self, id_u: str) -> int:
+        """The shard owning ``id_u`` (first ring point clockwise)."""
+        if not self._points:
+            raise ValueError("empty shard ring")
+        index = bisect.bisect_right(self._points, self._point(f"u:{id_u}"))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+
+class SapShard:
+    """One consistent-hash partition of the broker's SAP state.
+
+    Everything keyed (directly or transitively) by ``id_u`` lives here:
+    the subscriber records, their outstanding grants and expiry heap,
+    the replay window for their nonces, and revoked-session tombstones.
+    Each shard tallies its own labeled counters, so a fleet snapshot
+    shows per-shard load skew.
+    """
+
+    def __init__(self, shard_id: int, metrics: MetricsRegistry):
+        self.shard_id = shard_id
+        self.subscribers: dict[str, BrokerSubscriber] = {}
+        self.grants: dict[str, SapGrant] = {}   # session_id -> grant
+        #: replay window: nonce -> (end of window, owning subscriber).
+        #: The owner is carried so a rebalance can hand the entry to the
+        #: subscriber's new shard with its window intact.
+        self.seen_nonces: dict[bytes, tuple[float, str]] = {}
+        self.nonce_expiry: list[tuple[float, bytes]] = []    # min-heap
+        self.grant_expiry: list[tuple[float, str]] = []      # min-heap
+        self.sessions_by_ue: dict[str, set[str]] = {}
+        #: sessions revoked before natural expiry:
+        #: session_id -> (owner, original expiry) so the tombstone and
+        #: its eviction deadline survive a handoff.
+        self.revoked_sessions: dict[str, tuple[str, float]] = {}
+        label = str(shard_id)
+        self.attach_ok = metrics.counter("sap.shard.attach_ok", shard=label)
+        self.replay_hits = metrics.counter(
+            "sap.shard.replay_hits", shard=label)
+        self.grants_expired = metrics.counter(
+            "sap.shard.grants_expired", shard=label)
+        self.grants_revoked = metrics.counter(
+            "sap.shard.grants_revoked", shard=label)
+
+    def evict_nonces(self, now: float) -> None:
+        """Drop nonces whose replay window has closed (monotone sweep).
+
+        Heap entries whose nonce has moved to another shard (rebalance)
+        or was already evicted are skipped — stale entries are lazily
+        discarded rather than eagerly rewritten at handoff time.
+        """
+        heap = self.nonce_expiry
+        while heap and heap[0][0] <= now:
+            _, nonce = heapq.heappop(heap)
+            entry = self.seen_nonces.get(nonce)
+            if entry is not None and entry[0] <= now:
+                del self.seen_nonces[nonce]
+
+    def note_nonce(self, nonce: bytes, id_u: str, window_end: float) -> None:
+        self.seen_nonces[nonce] = (window_end, id_u)
+        heapq.heappush(self.nonce_expiry, (window_end, nonce))
+
+    def stats(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "attach_ok": self.attach_ok.value,
+            "replay_hits": self.replay_hits.value,
+            "grants_active": len(self.grants),
+            "grants_expired": self.grants_expired.value,
+            "grants_revoked": self.grants_revoked.value,
+            "replay_cache_size": len(self.seen_nonces),
+            "subscribers": len(self.subscribers),
+        }
+
+
+@dataclass
+class PreparedAuth:
+    """Output of :meth:`BrokerSap.prevalidate`: a request whose signatures
+    and authVec have been checked, routed to its shard, and now only
+    needs the shard-serialized replay/policy/mint stage."""
+
+    request: AuthReqT
+    digest: bytes
+    auth_vec: AuthVec
+    subscriber: BrokerSubscriber
+    shard_id: int
+
+
 class BrokerSap:
     """Broker-side SAP procedures: authenticate U and T, authorize, and
     mint the two sealed responses.
@@ -289,6 +430,23 @@ class BrokerSap:
       hot path;
     * :meth:`revoke` cascades to the subscriber's outstanding grants
       (``on_grant_revoked`` lets the hosting broker notify bTelcos).
+
+    Sharding: all per-subscriber state is partitioned into
+    :class:`SapShard` instances behind a :class:`ShardRouter`
+    (consistent hashing on ``id_u``), so a hosting daemon can serve
+    shards concurrently and rebalance them online
+    (:meth:`add_shard` / :meth:`remove_shard` hand state off with replay
+    windows intact).  ``num_shards=1`` (the default) is behaviorally
+    identical to the historical unsharded broker, and the legacy
+    attribute surface (``subscribers``, ``grants``, ``_seen_nonces``,
+    ...) is preserved as merged views over the shards.
+
+    The request path is split into two stages so a batching daemon can
+    overlap work: :meth:`prevalidate` (certificate + signature checks
+    and authVec decryption — parallelizable, no shard state touched)
+    and :meth:`finish_request` (replay window, policy, minting —
+    serialized per shard).  :meth:`process_request` composes the two
+    and remains the one-call API.
     """
 
     #: how long a minted response stays replayable for retransmitted
@@ -305,7 +463,10 @@ class BrokerSap:
     def __init__(self, id_b: str, key: PrivateKey,
                  ca_public_key: PublicKey,
                  session_ttl: float = 3600.0,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 num_shards: int = 1):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
         #: counters land here; the hosting daemon passes its own registry
         #: so SAP tallies appear in the node's fleet-mergeable snapshot.
         self.metrics = metrics if metrics is not None \
@@ -314,26 +475,26 @@ class BrokerSap:
         self.key = key
         self.ca_public_key = ca_public_key
         self.session_ttl = session_ttl
-        self.subscribers: dict[str, BrokerSubscriber] = {}
-        self.grants: dict[str, SapGrant] = {}   # session_id -> grant
         #: subscribers under a lawful-intercept mandate (court orders).
+        #: Broker-global: LI is a legal-process flag, not session state.
         self.li_targets: set[str] = set()
         self._session_counter = 0
-        #: replay window: nonce -> end of its acceptance window.
-        self._seen_nonces: dict[bytes, float] = {}
-        self._nonce_expiry: list[tuple[float, bytes]] = []   # min-heap
+        self.router = ShardRouter()
+        self._shards: dict[int, SapShard] = {}
+        for shard_id in range(num_shards):
+            self._shards[shard_id] = SapShard(shard_id, self.metrics)
+            self.router.add(shard_id)
+        self._next_shard_id = num_shards
         #: idempotency cache: request digest -> the minted response
         #: triple, so a *retransmitted* request (bit-identical, thus the
         #: same nonce) re-serves the original grant instead of tripping
         #: the replay window.  A *different* request reusing the nonce
-        #: (different digest) still lands in the replay check.
+        #: (different digest) still lands in the replay check.  Kept at
+        #: the router level: the digest is known before the authVec is
+        #: decrypted (i.e. before the owning shard is), and duplicates
+        #: must short-circuit ahead of any shard work.
         self._response_cache: dict[bytes, tuple] = {}
         self._response_cache_expiry: list[tuple[float, bytes]] = []  # heap
-        self._grant_expiry: list[tuple[float, str]] = []     # min-heap
-        self._sessions_by_ue: dict[str, set[str]] = {}
-        #: sessions invalidated by :meth:`revoke` before their natural
-        #: expiry (evicted once the original lifetime passes).
-        self.revoked_sessions: set[str] = set()
         #: policy hook: returns None to approve or a denial cause string.
         self.authorize_btelco: Callable[[str], Optional[str]] = lambda id_t: None
         #: lifecycle hooks for the hosting broker daemon.
@@ -350,9 +511,166 @@ class BrokerSap:
         self.grants_revoked = 0
         self.dup_requests_served = 0
 
+    # -- sharding ---------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[SapShard, ...]:
+        """The shards in id order (stable iteration for sweeps/stats)."""
+        return tuple(self._shards[i] for i in sorted(self._shards))
+
+    def shard_of(self, id_u: str) -> SapShard:
+        return self._shards[self.router.shard_for(id_u)]
+
+    def subscriber(self, id_u: str) -> Optional[BrokerSubscriber]:
+        """O(1) subscriber lookup (use instead of the merged view)."""
+        return self.shard_of(id_u).subscribers.get(id_u)
+
+    def shard_for_session(self, session_id: str) -> Optional[int]:
+        """Which shard owns a session (live grant or revoked tombstone)."""
+        for shard in self.shards:
+            if session_id in shard.grants \
+                    or session_id in shard.revoked_sessions:
+                return shard.shard_id
+        return None
+
+    def add_shard(self) -> int:
+        """Grow the ring by one shard and hand off the state it now owns."""
+        shard_id = self._next_shard_id
+        self._next_shard_id += 1
+        self._shards[shard_id] = SapShard(shard_id, self.metrics)
+        self.router.add(shard_id)
+        self._rebalance()
+        return shard_id
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Retire a shard, redistributing its state over the ring."""
+        if shard_id not in self._shards:
+            raise ValueError(f"no shard {shard_id}")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self.router.remove(shard_id)
+        retired = self._shards.pop(shard_id)
+        self._rebalance(extra=retired)
+
+    def set_shard_count(self, count: int) -> None:
+        """Deterministically grow/shrink to ``count`` shards."""
+        if count < 1:
+            raise ValueError("num_shards must be >= 1")
+        while len(self._shards) < count:
+            self.add_shard()
+        while len(self._shards) > count:
+            self.remove_shard(max(self._shards))
+
+    def _rebalance(self, extra: Optional[SapShard] = None) -> None:
+        """Move every subscriber whose router target changed.
+
+        Deterministic: shards and subscribers are visited in sorted
+        order, so two runs performing the same add/remove sequence land
+        every entry identically.
+        """
+        sources = list(self.shards)
+        if extra is not None:
+            sources.append(extra)
+        moves = []
+        for source in sources:
+            for id_u in sorted(source.subscribers):
+                target_id = self.router.shard_for(id_u)
+                if target_id != source.shard_id:
+                    moves.append((id_u, source, self._shards[target_id]))
+        for id_u, source, target in moves:
+            self._move_subscriber(id_u, source, target)
+
+    def _move_subscriber(self, id_u: str, source: SapShard,
+                         target: SapShard) -> None:
+        """Hand one subscriber's state to its new shard.
+
+        Replay-window entries move with their windows intact (a nonce
+        seen before the rebalance is still denied after it), and revoked
+        tombstones keep their original eviction deadline.  Heap entries
+        left behind in the source become stale and are skipped by the
+        lazy sweeps.
+        """
+        target.subscribers[id_u] = source.subscribers.pop(id_u)
+        sessions = source.sessions_by_ue.pop(id_u, None)
+        if sessions:
+            target.sessions_by_ue[id_u] = sessions
+            for session_id in sorted(sessions):
+                grant = source.grants.pop(session_id, None)
+                if grant is not None:
+                    target.grants[session_id] = grant
+                    heapq.heappush(target.grant_expiry,
+                                   (grant.expires_at, session_id))
+        tombstones = sorted(
+            session_id
+            for session_id, (owner, _) in source.revoked_sessions.items()
+            if owner == id_u)
+        for session_id in tombstones:
+            owner, expires_at = source.revoked_sessions.pop(session_id)
+            target.revoked_sessions[session_id] = (owner, expires_at)
+            heapq.heappush(target.grant_expiry, (expires_at, session_id))
+        moved_nonces = sorted(
+            nonce for nonce, (_, owner) in source.seen_nonces.items()
+            if owner == id_u)
+        for nonce in moved_nonces:
+            window_end, owner = source.seen_nonces.pop(nonce)
+            target.note_nonce(nonce, owner, window_end)
+
+    # -- legacy views ------------------------------------------------------------
+    # The unsharded broker exposed flat dicts; tests, benches, and the
+    # CLI read them.  Each is now a merged copy over the shards (records
+    # are shared, so mutating a looked-up subscriber still works).  Hot
+    # paths use the per-shard structures directly.
+    @property
+    def subscribers(self) -> dict[str, BrokerSubscriber]:
+        merged: dict[str, BrokerSubscriber] = {}
+        for shard in self.shards:
+            merged.update(shard.subscribers)
+        return merged
+
+    @property
+    def grants(self) -> dict[str, SapGrant]:
+        merged: dict[str, SapGrant] = {}
+        for shard in self.shards:
+            merged.update(shard.grants)
+        return merged
+
+    @property
+    def revoked_sessions(self) -> set[str]:
+        merged: set[str] = set()
+        for shard in self.shards:
+            merged.update(shard.revoked_sessions)
+        return merged
+
+    @property
+    def _seen_nonces(self) -> dict[bytes, float]:
+        return {nonce: window_end
+                for shard in self.shards
+                for nonce, (window_end, _) in shard.seen_nonces.items()}
+
+    @property
+    def _nonce_expiry(self) -> list[tuple[float, bytes]]:
+        return sorted(entry for shard in self.shards
+                      for entry in shard.nonce_expiry)
+
+    @property
+    def _grant_expiry(self) -> list[tuple[float, str]]:
+        return sorted(entry for shard in self.shards
+                      for entry in shard.grant_expiry)
+
+    @property
+    def _sessions_by_ue(self) -> dict[str, set[str]]:
+        merged: dict[str, set[str]] = {}
+        for shard in self.shards:
+            merged.update(shard.sessions_by_ue)
+        return merged
+
     # -- provisioning -----------------------------------------------------------
     def enroll(self, subscriber: BrokerSubscriber) -> None:
-        self.subscribers[subscriber.id_u] = subscriber
+        self.shard_of(subscriber.id_u).subscribers[subscriber.id_u] = \
+            subscriber
 
     def revoke(self, id_u: str) -> list[SapGrant]:
         """Revoke a UE's key by invalidating it in the database (§4.1).
@@ -361,16 +679,18 @@ class BrokerSap:
         subscriber is withdrawn immediately (returned so the broker can
         notify the serving bTelcos), not merely left to expire.
         """
-        subscriber = self.subscribers.get(id_u)
+        shard = self.shard_of(id_u)
+        subscriber = shard.subscribers.get(id_u)
         if subscriber is not None:
             subscriber.suspended = True
         revoked: list[SapGrant] = []
-        for session_id in sorted(self._sessions_by_ue.pop(id_u, ())):
-            grant = self.grants.pop(session_id, None)
+        for session_id in sorted(shard.sessions_by_ue.pop(id_u, ())):
+            grant = shard.grants.pop(session_id, None)
             if grant is None:
                 continue
-            self.revoked_sessions.add(session_id)
+            shard.revoked_sessions[session_id] = (id_u, grant.expires_at)
             self.grants_revoked += 1
+            shard.grants_revoked.inc()
             revoked.append(grant)
             if self.on_grant_revoked is not None:
                 self.on_grant_revoked(grant)
@@ -379,10 +699,14 @@ class BrokerSap:
     # -- lifecycle bookkeeping ----------------------------------------------------
     @property
     def grants_active(self) -> int:
-        return len(self.grants)
+        return sum(len(shard.grants) for shard in self.shards)
 
     def stats(self) -> dict:
-        """Counter snapshot (bounded-memory evidence for benchmarks)."""
+        """Counter snapshot (bounded-memory evidence for benchmarks).
+
+        The flat keys are the historical single-broker view; ``shards``
+        adds the per-shard breakdown without disturbing them.
+        """
         return {
             "attach_ok": self.attach_ok,
             "attach_denied": dict(self.attach_denied),
@@ -391,24 +715,19 @@ class BrokerSap:
             "grants_expired": self.grants_expired,
             "grants_revoked": self.grants_revoked,
             "dup_requests_served": self.dup_requests_served,
-            "replay_cache_size": len(self._seen_nonces),
+            "replay_cache_size": sum(
+                len(shard.seen_nonces) for shard in self.shards),
             "response_cache_size": len(self._response_cache),
-            "subscribers": len(self.subscribers),
+            "subscribers": sum(
+                len(shard.subscribers) for shard in self.shards),
+            "num_shards": self.num_shards,
+            "shards": [shard.stats() for shard in self.shards],
         }
 
     def _evict_nonces(self, now: float) -> None:
         """Drop nonces whose replay window has closed (monotone sweep)."""
-        heap = self._nonce_expiry
-        while heap and heap[0][0] <= now:
-            _, nonce = heapq.heappop(heap)
-            expiry = self._seen_nonces.get(nonce)
-            if expiry is not None and expiry <= now:
-                del self._seen_nonces[nonce]
-
-    def _note_nonce(self, nonce: bytes, now: float) -> None:
-        window_end = now + self.session_ttl
-        self._seen_nonces[nonce] = window_end
-        heapq.heappush(self._nonce_expiry, (window_end, nonce))
+        for shard in self.shards:
+            shard.evict_nonces(now)
 
     @staticmethod
     def _request_digest(request: AuthReqT) -> bytes:
@@ -430,31 +749,53 @@ class BrokerSap:
         Also forgets revoked-session tombstones once the session's
         original lifetime has passed (a bTelco would reject it as expired
         anyway), keeping every lifecycle structure O(active sessions).
+        Shards are swept in id order so callback order is deterministic.
         """
         expired: list[SapGrant] = []
-        heap = self._grant_expiry
-        while heap and heap[0][0] <= now:
-            _, session_id = heapq.heappop(heap)
-            self.revoked_sessions.discard(session_id)
-            grant = self.grants.get(session_id)
-            if grant is None or grant.expires_at > now:
-                continue
-            del self.grants[session_id]
-            sessions = self._sessions_by_ue.get(grant.id_u)
-            if sessions is not None:
-                sessions.discard(session_id)
-                if not sessions:
-                    del self._sessions_by_ue[grant.id_u]
-            self.grants_expired += 1
-            expired.append(grant)
-            if self.on_grant_expired is not None:
-                self.on_grant_expired(grant)
+        for shard in self.shards:
+            heap = shard.grant_expiry
+            while heap and heap[0][0] <= now:
+                _, session_id = heapq.heappop(heap)
+                shard.revoked_sessions.pop(session_id, None)
+                grant = shard.grants.get(session_id)
+                if grant is None or grant.expires_at > now:
+                    continue
+                del shard.grants[session_id]
+                sessions = shard.sessions_by_ue.get(grant.id_u)
+                if sessions is not None:
+                    sessions.discard(session_id)
+                    if not sessions:
+                        del shard.sessions_by_ue[grant.id_u]
+                self.grants_expired += 1
+                shard.grants_expired.inc()
+                expired.append(grant)
+                if self.on_grant_expired is not None:
+                    self.on_grant_expired(grant)
         return expired
 
     def _deny(self, cause: DenialCause, message: str) -> None:
         raise SapError(message, cause=cause)
 
+    def _note_denial(self, exc: SapError) -> None:
+        self.attach_denied[exc.cause.value] += 1
+        if exc.cause is DenialCause.REPLAY:
+            self.replay_hits += 1
+
     # -- the handler of Fig 3 (bottom) --------------------------------------------
+    def begin_window(self, now: float) -> None:
+        """Amortized lifecycle sweeps that precede request processing."""
+        self._evict_nonces(now)
+        self._evict_response_cache(now)
+        self.expire_grants(now)
+
+    def lookup_cached(self, digest: bytes) -> Optional[tuple]:
+        """Serve a bit-identical retransmission from the idempotency
+        cache (counts as a dup, not a new attach)."""
+        cached = self._response_cache.get(digest)
+        if cached is not None:
+            self.dup_requests_served += 1
+        return cached
+
     def process_request(self, request: AuthReqT, now: float
                         ) -> tuple[SealedResponse, SealedResponse, SapGrant]:
         """Authenticate U and T; authorize; return (authRespT, authRespU).
@@ -466,82 +807,99 @@ class BrokerSap:
         (authRespT, authRespU, grant) triple instead of being denied by
         the nonce replay window.
         """
-        self._evict_nonces(now)
-        self._evict_response_cache(now)
-        self.expire_grants(now)
-        digest = self._request_digest(request)
-        cached = self._response_cache.get(digest)
+        self.begin_window(now)
+        cached = self.lookup_cached(self._request_digest(request))
         if cached is not None:
-            self.dup_requests_served += 1
             return cached
+        return self.finish_request(self.prevalidate(request, now), now)
+
+    def prevalidate(self, request: AuthReqT, now: float) -> PreparedAuth:
+        """Stage A: authenticate T and U, decrypt the authVec, and route
+        to the owning shard.  Touches no shard state, so a batching
+        daemon may run many prevalidations concurrently (denials are
+        counted here, exactly once per request)."""
         try:
-            result = self._authenticate_and_mint(request, now)
+            # 1. Authenticate T: certificate chain + signature over the
+            # request.
+            try:
+                validate_certificate(request.t_certificate,
+                                     self.ca_public_key,
+                                     now, expected_role="btelco")
+            except CertificateError as exc:
+                raise SapError(f"bTelco certificate invalid: {exc}",
+                               cause=DenialCause.BAD_CERTIFICATE) from exc
+            if request.t_certificate.subject != request.id_t:
+                self._deny(DenialCause.MISMATCH,
+                           "bTelco identity does not match certificate")
+            if not request.t_certificate.public_key.verify(
+                    request.signed_bytes(), request.sig_t):
+                self._deny(DenialCause.BAD_SIGNATURE,
+                           "authReqT: bTelco signature invalid")
+
+            # 2. Decrypt authVec and authenticate U.
+            try:
+                auth_vec = AuthVec.from_bytes(
+                    self.key.decrypt(request.auth_req_u.auth_vec_encrypted))
+            except (CryptoError, MessageError) as exc:
+                raise SapError(f"authVec: {exc}",
+                               cause=DenialCause.MALFORMED) from exc
+            if auth_vec.id_b != self.id_b:
+                self._deny(DenialCause.MISMATCH,
+                           "authVec addressed to a different broker")
+            if auth_vec.id_t != request.id_t:
+                self._deny(DenialCause.MISMATCH,
+                           "authVec bTelco mismatch (relay attack?)")
+            shard_id = self.router.shard_for(auth_vec.id_u)
+            subscriber = self._shards[shard_id].subscribers.get(
+                auth_vec.id_u)
+            if subscriber is None:
+                self._deny(DenialCause.UNKNOWN_SUBSCRIBER,
+                           "unknown subscriber")
+            if subscriber.suspended:
+                self._deny(DenialCause.SUSPENDED, "subscriber suspended")
+            if not subscriber.public_key.verify(
+                    request.auth_req_u.auth_vec_encrypted,
+                    request.auth_req_u.sig_authvec):
+                self._deny(DenialCause.BAD_SIGNATURE,
+                           "authReqU: UE signature invalid")
         except SapError as exc:
-            self.attach_denied[exc.cause.value] += 1
-            if exc.cause is DenialCause.REPLAY:
-                self.replay_hits += 1
+            self._note_denial(exc)
             raise
-        self.attach_ok += 1
-        self._response_cache[digest] = result
-        heapq.heappush(
-            self._response_cache_expiry,
-            (now + min(self.response_cache_ttl, self.session_ttl), digest))
-        return result
+        return PreparedAuth(request=request,
+                            digest=self._request_digest(request),
+                            auth_vec=auth_vec, subscriber=subscriber,
+                            shard_id=shard_id)
 
-    def _authenticate_and_mint(self, request: AuthReqT, now: float
-                               ) -> tuple[SealedResponse, SealedResponse, SapGrant]:
-        # 1. Authenticate T: certificate chain + signature over the request.
+    def finish_request(self, prepared: PreparedAuth, now: float
+                       ) -> tuple[SealedResponse, SealedResponse, SapGrant]:
+        """Stage B: replay window, policy, and minting — the part that
+        mutates shard state and therefore serializes per shard."""
+        request = prepared.request
+        auth_vec = prepared.auth_vec
+        subscriber = prepared.subscriber
+        shard = self._shards[prepared.shard_id]
         try:
-            validate_certificate(request.t_certificate, self.ca_public_key,
-                                 now, expected_role="btelco")
-        except CertificateError as exc:
-            raise SapError(f"bTelco certificate invalid: {exc}",
-                           cause=DenialCause.BAD_CERTIFICATE) from exc
-        if request.t_certificate.subject != request.id_t:
-            self._deny(DenialCause.MISMATCH,
-                       "bTelco identity does not match certificate")
-        if not request.t_certificate.public_key.verify(
-                request.signed_bytes(), request.sig_t):
-            self._deny(DenialCause.BAD_SIGNATURE,
-                       "authReqT: bTelco signature invalid")
+            if auth_vec.nonce in shard.seen_nonces:
+                shard.replay_hits.inc()
+                self._deny(DenialCause.REPLAY, "replayed nonce")
+            shard.note_nonce(auth_vec.nonce, auth_vec.id_u,
+                             now + self.session_ttl)
 
-        # 2. Decrypt authVec and authenticate U.
-        try:
-            auth_vec = AuthVec.from_bytes(
-                self.key.decrypt(request.auth_req_u.auth_vec_encrypted))
-        except (CryptoError, MessageError) as exc:
-            raise SapError(f"authVec: {exc}",
-                           cause=DenialCause.MALFORMED) from exc
-        if auth_vec.id_b != self.id_b:
-            self._deny(DenialCause.MISMATCH,
-                       "authVec addressed to a different broker")
-        if auth_vec.id_t != request.id_t:
-            self._deny(DenialCause.MISMATCH,
-                       "authVec bTelco mismatch (relay attack?)")
-        subscriber = self.subscribers.get(auth_vec.id_u)
-        if subscriber is None:
-            self._deny(DenialCause.UNKNOWN_SUBSCRIBER, "unknown subscriber")
-        if subscriber.suspended:
-            self._deny(DenialCause.SUSPENDED, "subscriber suspended")
-        if not subscriber.public_key.verify(
-                request.auth_req_u.auth_vec_encrypted,
-                request.auth_req_u.sig_authvec):
-            self._deny(DenialCause.BAD_SIGNATURE,
-                       "authReqU: UE signature invalid")
-        if auth_vec.nonce in self._seen_nonces:
-            self._deny(DenialCause.REPLAY, "replayed nonce")
-        self._note_nonce(auth_vec.nonce, now)
-
-        # 3. Authorization policy (profiles, reputation, ...).
-        cause = self.authorize_btelco(request.id_t)
-        if cause is not None:
-            self._deny(DenialCause.POLICY, f"bTelco not authorized: {cause}")
-        # 3b. Lawful intercept: a mandated subscriber may only be served
-        # by bTelcos that advertise LI capability (negotiated in SAP).
-        li_required = auth_vec.id_u in self.li_targets
-        if li_required and not request.qos_cap.supports_lawful_intercept:
-            self._deny(DenialCause.LI_UNSUPPORTED,
-                       "lawful intercept required but unsupported")
+            # 3. Authorization policy (profiles, reputation, ...).
+            cause = self.authorize_btelco(request.id_t)
+            if cause is not None:
+                self._deny(DenialCause.POLICY,
+                           f"bTelco not authorized: {cause}")
+            # 3b. Lawful intercept: a mandated subscriber may only be
+            # served by bTelcos that advertise LI capability (negotiated
+            # in SAP).
+            li_required = auth_vec.id_u in self.li_targets
+            if li_required and not request.qos_cap.supports_lawful_intercept:
+                self._deny(DenialCause.LI_UNSUPPORTED,
+                           "lawful intercept required but unsupported")
+        except SapError as exc:
+            self._note_denial(exc)
+            raise
 
         # 4. Mint the session: shared secret, pseudonym, QoS selection.
         ss = secrets.token_bytes(SS_SIZE)
@@ -565,7 +923,15 @@ class BrokerSap:
                          id_t=request.id_t, session_id=session_id, ss=ss,
                          qos_info=qos_info, granted_at=now,
                          expires_at=expires_at)
-        self.grants[session_id] = grant
-        self._sessions_by_ue.setdefault(grant.id_u, set()).add(session_id)
-        heapq.heappush(self._grant_expiry, (expires_at, session_id))
-        return sealed_t, sealed_u, grant
+        shard.grants[session_id] = grant
+        shard.sessions_by_ue.setdefault(grant.id_u, set()).add(session_id)
+        heapq.heappush(shard.grant_expiry, (expires_at, session_id))
+        result = (sealed_t, sealed_u, grant)
+        self.attach_ok += 1
+        shard.attach_ok.inc()
+        self._response_cache[prepared.digest] = result
+        heapq.heappush(
+            self._response_cache_expiry,
+            (now + min(self.response_cache_ttl, self.session_ttl),
+             prepared.digest))
+        return result

@@ -33,7 +33,9 @@ from .rsa import (
     CryptoError,
     PrivateKey,
     PublicKey,
+    clear_verify_cache,
     generate_keypair,
+    verify_cache_stats,
 )
 
 __all__ = [
@@ -45,6 +47,8 @@ __all__ = [
     "CertificateError",
     "CryptoError",
     "DEFAULT_KEY_BITS",
+    "clear_verify_cache",
+    "verify_cache_stats",
     "IntegrityError",
     "PrivateKey",
     "PublicKey",

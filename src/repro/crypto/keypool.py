@@ -30,3 +30,19 @@ def pooled_keypair(slot: int, bits: int = 1024) -> PrivateKey:
         _POOL[key] = generate_keypair(
             bits=bits, rng=random.Random(_POOL_SEED + slot * 7919))
     return _POOL[key]
+
+
+def warm(slots, bits: int = 1024) -> list[PrivateKey]:
+    """Pre-generate pool keys for ``slots`` (an iterable of slot numbers).
+
+    Scenario builders and benches call this up front so key generation
+    happens outside the timed region (and each key's CRT context is
+    precomputed with one throwaway signature), instead of lazily on the
+    first attach that touches each entity.
+    """
+    keys = []
+    for slot in slots:
+        key = pooled_keypair(slot, bits=bits)
+        key._crt_context()
+        keys.append(key)
+    return keys

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 import random
 import secrets
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from . import cipher
@@ -27,6 +28,34 @@ from .primes import generate_prime
 DEFAULT_KEY_BITS = 1024  # educational-grade default; tests stay fast
 
 _PSS_SALT_SIZE = 16
+
+# -- verify-result memoization ----------------------------------------------
+# PSS verification is deterministic in (key, message, signature), so the
+# boolean outcome can be memoized: the broker hot path re-verifies the
+# same certificate signature for every request a bTelco relays, and
+# retransmitted SAP requests re-verify identical (message, signature)
+# pairs.  Keyed by ((n, e), sha256(message), signature) — the message is
+# hashed so arbitrarily long inputs stay cheap to key — with LRU
+# eviction.  Purely a wall-clock optimization: results are bit-identical
+# with or without the cache.
+_VERIFY_CACHE: OrderedDict[tuple, bool] = OrderedDict()
+_VERIFY_CACHE_MAX = 8192
+_verify_cache_hits = 0
+_verify_cache_misses = 0
+
+
+def verify_cache_stats() -> dict:
+    """Hit/miss counters for the process-wide verify cache."""
+    return {"hits": _verify_cache_hits, "misses": _verify_cache_misses,
+            "size": len(_VERIFY_CACHE), "max_size": _VERIFY_CACHE_MAX}
+
+
+def clear_verify_cache() -> None:
+    """Empty the verify cache and reset its hit/miss counters."""
+    global _verify_cache_hits, _verify_cache_misses
+    _VERIFY_CACHE.clear()
+    _verify_cache_hits = 0
+    _verify_cache_misses = 0
 
 
 class CryptoError(Exception):
@@ -76,7 +105,27 @@ class PublicKey:
 
     # -- verification -----------------------------------------------------
     def verify(self, message: bytes, signature: bytes) -> bool:
-        """Verify a PSS-style signature.  Returns True/False, never raises."""
+        """Verify a PSS-style signature.  Returns True/False, never raises.
+
+        Results are memoized in a process-wide LRU (see module header):
+        a repeat verification of the same (key, message, signature) costs
+        one hash instead of a modular exponentiation.
+        """
+        global _verify_cache_hits, _verify_cache_misses
+        key = (self.n, self.e, sha256(message), signature)
+        cached = _VERIFY_CACHE.get(key)
+        if cached is not None:
+            _VERIFY_CACHE.move_to_end(key)
+            _verify_cache_hits += 1
+            return cached
+        _verify_cache_misses += 1
+        result = self._verify_uncached(message, signature)
+        _VERIFY_CACHE[key] = result
+        if len(_VERIFY_CACHE) > _VERIFY_CACHE_MAX:
+            _VERIFY_CACHE.popitem(last=False)
+        return result
+
+    def _verify_uncached(self, message: bytes, signature: bytes) -> bool:
         if len(signature) != self.byte_size:
             return False
         s = _int_from_bytes(signature)
@@ -154,12 +203,28 @@ class PrivateKey:
     def byte_size(self) -> int:
         return (self.n.bit_length() + 7) // 8
 
+    def _crt_context(self) -> tuple[int, int, int]:
+        """(d mod p-1, d mod q-1, q^-1 mod p), computed once per key.
+
+        The exponent reductions and the modular inverse are loop
+        invariants of :meth:`_private_op`; recomputing them per call
+        costs an extended-gcd inverse on the hot path.  Cached on the
+        instance (the dataclass is frozen, so bypass ``__setattr__``).
+        """
+        ctx = self.__dict__.get("_crt_ctx")
+        if ctx is None:
+            ctx = (self.d % (self.p - 1), self.d % (self.q - 1),
+                   pow(self.q, -1, self.p))
+            object.__setattr__(self, "_crt_ctx", ctx)
+        return ctx
+
     def _private_op(self, m: int) -> int:
         """m^d mod n via CRT: two half-size exponentiations (~3-4x faster
         than ``pow(m, d, n)``), numerically identical to the direct form."""
-        mp = pow(m % self.p, self.d % (self.p - 1), self.p)
-        mq = pow(m % self.q, self.d % (self.q - 1), self.q)
-        h = ((mp - mq) * pow(self.q, -1, self.p)) % self.p
+        dp, dq, q_inv = self._crt_context()
+        mp = pow(m % self.p, dp, self.p)
+        mq = pow(m % self.q, dq, self.q)
+        h = ((mp - mq) * q_inv) % self.p
         return mq + h * self.q
 
     # -- signing ----------------------------------------------------------

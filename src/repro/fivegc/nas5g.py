@@ -196,6 +196,26 @@ class SmfCreateSessionResponse(SbiMessage):
     cause: str = ""
 
 
+@dataclass(frozen=True)
+class SmfReleaseSessionRequest(SbiMessage):
+    """Namf -> Nsmf: free the PDU session's UPF resources (bearer + IP).
+
+    The AMF sends this on every terminal context release that holds a
+    PDU session — UE deregistration, network-initiated teardown (grant
+    expiry / revocation), and registration abandonment — so the SMF's
+    address pool stays bounded under attach/deregister churn."""
+
+    subscriber: str
+    session_id: int
+    correlation: int
+
+
+@dataclass(frozen=True)
+class SmfReleaseSessionResponse(SbiMessage):
+    correlation: int
+    released: bool
+
+
 # Wire sizes for transport accounting.
 MESSAGE_SIZES.update({
     RegistrationRequest: 420,          # SUCI ciphertext dominates

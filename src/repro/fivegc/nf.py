@@ -46,6 +46,7 @@ UDM_AUTH_PROCESSING = 0.0022
 AUSF_PROCESSING = 0.0016
 AUSF_CONFIRM_PROCESSING = 0.0012
 SMF_PROCESSING = 0.0028
+SMF_RELEASE_PROCESSING = 0.0009
 AMF_COSTS = {
     "registration_request": 0.0036,
     "auth_response": 0.0034,
@@ -232,29 +233,67 @@ class Ausf(SignalingNode):
 class Smf(SignalingNode):
     """Session Management Function with an integrated UPF address pool."""
 
-    processing_costs = {nas5g.SmfCreateSessionRequest: SMF_PROCESSING}
+    processing_costs = {
+        nas5g.SmfCreateSessionRequest: SMF_PROCESSING,
+        nas5g.SmfReleaseSessionRequest: SMF_RELEASE_PROCESSING,
+    }
+    sessions_created = CounterAttr("smf.sessions_created")
+    sessions_released = CounterAttr("smf.sessions_released")
+    release_misses = CounterAttr("smf.release_misses")
 
     def span_name(self, message: object) -> str:
         if isinstance(message, nas5g.SmfCreateSessionRequest):
             return "sbi.smf_create"
+        if isinstance(message, nas5g.SmfReleaseSessionRequest):
+            return "sbi.smf_release"
         return super().span_name(message)
 
     def __init__(self, host: Host, name: str = "smf",
                  ue_pool_prefix: str = "10.128.0"):
         super().__init__(host, name)
         self.upf = SgwPgw(pool_prefix=ue_pool_prefix)
+        self.sessions_created = 0
+        self.sessions_released = 0
+        self.release_misses = 0
         self.on(nas5g.SmfCreateSessionRequest, self._handle_create)
+        self.on(nas5g.SmfReleaseSessionRequest, self._handle_release)
 
     def _handle_create(self, src_ip: str,
                        request: nas5g.SmfCreateSessionRequest) -> None:
         bearer = self.upf.create_default_bearer(
             subscriber_id=request.subscriber, qci=9,
             ambr_dl_bps=100e6, ambr_ul_bps=50e6, apn=request.dnn)
+        self.sessions_created += 1
         self.send(src_ip, nas5g.SmfCreateSessionResponse(
             correlation=request.correlation, success=True,
             session_id=request.session_id, ue_ip=bearer.ue_ip,
             qfi=bearer.qci, ambr_dl_bps=bearer.ambr_dl_bps,
             ambr_ul_bps=bearer.ambr_ul_bps), size=220)
+
+    def _handle_release(self, src_ip: str,
+                        request: nas5g.SmfReleaseSessionRequest) -> None:
+        """Free a subscriber's bearer + pooled IP.  Idempotent: a
+        retransmitted (or already-superseded) release is a counted miss,
+        not an error, so the AMF's reliable retry loop always
+        converges."""
+        ebi = self.upf.by_subscriber.get(request.subscriber)
+        if ebi is None:
+            self.release_misses += 1
+            released = False
+        else:
+            self.upf.delete_bearer(ebi)
+            self.sessions_released += 1
+            released = True
+        self.send(src_ip, nas5g.SmfReleaseSessionResponse(
+            correlation=request.correlation, released=released), size=48)
+
+    def stats(self) -> dict:
+        return {
+            "sessions_created": self.sessions_created,
+            "sessions_released": self.sessions_released,
+            "release_misses": self.release_misses,
+            "bearers_active": len(self.upf.bearers),
+        }
 
 
 @dataclass
@@ -326,6 +365,8 @@ class Amf(SignalingNode):
     registrations_expired = CounterAttr("amf.registrations_expired")
     orphan_uplinks = CounterAttr("amf.orphan_uplinks")
     deregistrations = CounterAttr("amf.deregistrations")
+    smf_releases_sent = CounterAttr("amf.smf_releases_sent")
+    smf_release_give_ups = CounterAttr("amf.smf_release_give_ups")
 
     def span_name(self, message: object) -> str:
         if isinstance(message, S1UplinkNas):
@@ -362,6 +403,8 @@ class Amf(SignalingNode):
         self.registrations_expired = 0
         self.orphan_uplinks = 0
         self.deregistrations = 0
+        self.smf_releases_sent = 0
+        self.smf_release_give_ups = 0
         #: DenialCause-style breakdown of terminal rejections/abandons.
         self.rejection_causes = self.metrics.counter_vec(
             "amf.rejections", "cause")
@@ -373,6 +416,8 @@ class Amf(SignalingNode):
         self.on(nas5g.AusfAuthenticateResponse, self._handle_ausf_response)
         self.on(nas5g.AusfConfirmResponse, self._handle_ausf_confirm)
         self.on(nas5g.SmfCreateSessionResponse, self._handle_smf_response)
+        self.on(nas5g.SmfReleaseSessionResponse,
+                self._handle_smf_release_response)
 
     # -- cost model -----------------------------------------------------------
     def processing_cost(self, message: object) -> float:
@@ -420,12 +465,14 @@ class Amf(SignalingNode):
 
     def _release_ue(self, context: UeContext5G) -> None:
         """Terminal cleanup shared by reject/abandon/deregister: both
-        AMF maps, any outstanding reliable request, and the RAN
-        association all go."""
+        AMF maps, any outstanding reliable request, the SMF-held PDU
+        session, and the RAN association all go."""
         if context.sbi_corr_id:
             self.cancel_request(context.sbi_corr_id)
             context.sbi_corr_id = 0
         self._release_correlation(context)
+        if context.ue_ip is not None:
+            self._release_pdu_session(context)
         self.contexts.pop(context.ran_ue_id, None)
         self.send(context.ran_ip,
                   S1UeContextRelease(enb_ue_id=context.ran_ue_id), size=32)
@@ -434,6 +481,31 @@ class Amf(SignalingNode):
     def context_released(self, context: UeContext5G) -> None:
         """Hook: a context left ``self.contexts`` (subclasses drop their
         per-session state here)."""
+
+    def _release_pdu_session(self, context: UeContext5G) -> None:
+        """Tell the SMF to free the context's bearer + pooled IP.
+
+        Rides ``send_request`` so a lost release retransmits instead of
+        leaking the address until pool exhaustion; the context is
+        already gone by then, so the closure carries everything the
+        retry needs."""
+        self.smf_releases_sent += 1
+        context.ue_ip = None
+        self.send_request(
+            self.smf_ip, nas5g.SmfReleaseSessionRequest(
+                subscriber=context.supi or "anonymous",
+                session_id=context.pdu_session_id,
+                correlation=next(self._correlations)), size=96,
+            on_give_up=lambda _m: self._smf_release_gave_up())
+
+    def _smf_release_gave_up(self) -> None:
+        self.smf_release_give_ups += 1
+
+    def _handle_smf_release_response(
+            self, src_ip: str,
+            response: nas5g.SmfReleaseSessionResponse) -> None:
+        """The reliable layer already matched the reply; nothing else to
+        clean up (the AMF dropped the context when it sent the release)."""
 
     # -- RAN plumbing ------------------------------------------------------------
     def downlink(self, context: UeContext5G, nas: NasMessage) -> None:
@@ -752,6 +824,8 @@ class Amf(SignalingNode):
             "registrations_expired": self.registrations_expired,
             "orphan_uplinks": self.orphan_uplinks,
             "deregistrations": self.deregistrations,
+            "smf_releases_sent": self.smf_releases_sent,
+            "smf_release_give_ups": self.smf_release_give_ups,
             "contexts": len(self.contexts),
             "by_correlation": len(self._by_correlation),
         }

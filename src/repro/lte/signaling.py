@@ -104,6 +104,10 @@ class _CachedRequest:
     #: True once the handler has run (duplicates arriving before that are
     #: dropped — the original is still queued behind the processing cost).
     handled: bool = False
+    #: True while the handler has deferred its reply (see
+    #: :meth:`SignalingNode.defer_reply`): duplicates are dropped, not
+    #: replayed, until the deferred completion marks the entry handled.
+    deferred: bool = False
 
 
 @dataclass
@@ -114,6 +118,49 @@ class _ReplyContext:
     src_ip: str
     correlation_id: int
     entry: _CachedRequest
+
+
+@dataclass
+class DeferredReply:
+    """A request handler's captured reply/trace context, for completing
+    the exchange asynchronously (e.g. from a batching pipeline).
+
+    Obtained via :meth:`SignalingNode.defer_reply` *inside* a handler.
+    Until :meth:`complete` is called, retransmitted duplicates of the
+    request are dropped (the original is still being processed); after
+    it, they replay whatever :meth:`send` produced, exactly as if the
+    handler had replied synchronously.
+    """
+
+    node: "SignalingNode"
+    reply_context: Optional[_ReplyContext]
+    obs_ctx: Optional[tuple]
+    done: bool = False
+
+    def send(self, dst_ip: str, message: object, size: int = 256,
+             dst_port: int = SIGNALING_PORT) -> None:
+        """Send under the captured contexts: the message is correlated
+        to the original request and recorded for duplicate replay."""
+        node = self.node
+        saved_reply = node._reply_context
+        saved_obs = node._obs_ctx
+        node._reply_context = self.reply_context
+        node._obs_ctx = self.obs_ctx
+        try:
+            node.send(dst_ip, message, size=size, dst_port=dst_port)
+        finally:
+            node._reply_context = saved_reply
+            node._obs_ctx = saved_obs
+
+    def complete(self) -> None:
+        """Close the exchange: duplicates now replay the captured
+        response(s) instead of being dropped.  Idempotent."""
+        if self.done:
+            return
+        self.done = True
+        if self.reply_context is not None:
+            self.reply_context.entry.deferred = False
+            self.reply_context.entry.handled = True
 
 
 class SignalingNode:
@@ -449,6 +496,17 @@ class SignalingNode:
         finally:
             self._obs_ctx = saved
 
+    def defer_reply(self) -> DeferredReply:
+        """Capture the current handler's reply/trace context so the
+        response can be produced after the handler returns (the entry
+        stays unhandled — duplicates are dropped, not replayed — until
+        :meth:`DeferredReply.complete`)."""
+        context = self._reply_context
+        if context is not None:
+            context.entry.deferred = True
+        return DeferredReply(node=self, reply_context=context,
+                             obs_ctx=self._obs_ctx)
+
     def _run_request_handler(self, handler: Callable, src_ip: str,
                              correlation_id: int, entry: _CachedRequest,
                              message: object,
@@ -464,7 +522,8 @@ class SignalingNode:
         finally:
             self._reply_context = None
             self._obs_ctx = saved
-            entry.handled = True
+            if not entry.deferred:
+                entry.handled = True
 
     def _evict_request_cache(self) -> None:
         """Drop dedup entries whose TTL has passed (monotone sweep)."""

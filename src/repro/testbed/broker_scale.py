@@ -1,0 +1,257 @@
+"""BROKER-SCALE — the broker auth hot path under concurrent attach load.
+
+The paper argues the broker "resembles existing internet services" and
+scales out (§5); this bench reproduces the claim end to end.  N UEs
+spread across multiple bTelco sites attach within a short arrival
+window, all served by one brokerd, and we sweep concurrency × shard
+count for the serial historical path vs the sharded, batching pipeline
+(:meth:`repro.core.broker.Brokerd.configure_pipeline`).  Reported per
+cell: p50/p99 attach latency and attaches/sec.
+
+Works for both RATs — ``rat="lte"`` drives CellBricksAgw sites over NAS,
+``rat="5g"`` drives CellBricksAmf/SMF sites over NAS-5G — against the
+very same brokerd code, since SAP is RAT-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.analysis.stats import mean, percentile
+from repro.core import (
+    Brokerd,
+    CellBricksAgw,
+    CellBricksAmf,
+    CellBricksUe,
+    CellBricksUe5G,
+    UeSapCredentials,
+)
+from repro.core.qos import QosCapabilities
+from repro.crypto import CertificateAuthority
+from repro.crypto import keypool
+from repro.fivegc import Smf
+from repro.lte import ENodeB
+from repro.net import Host, Link, Simulator
+
+BROKER_ADDRESS = "52.20.0.1"
+SIGNALING_BANDWIDTH = 1e9
+#: pool slots reserved for this bench (clear of scenario builders').
+_SLOT_BASE = 9300
+
+
+@dataclass
+class CellResult:
+    """One (rat, concurrency, shards, pipeline) cell of the sweep."""
+
+    rat: str
+    concurrency: int
+    shards: int
+    pipeline: bool
+    sites: int
+    attached: int
+    failed: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    duration_s: float
+    attaches_per_sec: float
+    broker: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def _link(sim, name, a, b, delay_s):
+    link = Link(sim, name, a, b, bandwidth_bps=SIGNALING_BANDWIDTH,
+                delay_s=delay_s)
+    a.add_route(b.address.rsplit(".", 1)[0], link)
+    b.add_route(a.address.rsplit(".", 1)[0], link)
+    return link
+
+
+def run_cell(concurrency: int, shards: int, *, rat: str = "lte",
+             pipeline: bool = True, sites: int = 16,
+             arrival_window: float = 0.0, batch_window: float = 0.002,
+             verify_workers: int = 4, obs=None,
+             run_until: float = 120.0) -> CellResult:
+    """Attach ``concurrency`` UEs across ``sites`` bTelcos via one broker.
+
+    ``pipeline=False`` with ``shards=1`` is the historical serial path
+    (the pre-sharding baseline); ``pipeline=True`` enables the batching
+    pipeline over ``shards`` consistent-hash shards.  ``obs`` (an
+    :class:`repro.obs.Obs`) installs tracing for determinism checks.
+    Throughput counts successful attaches over the span from the first
+    attach start (t=0) to the last completion.
+    """
+    if rat not in ("lte", "5g"):
+        raise ValueError(f"unknown rat {rat!r}")
+    # Key generation happens before the timed region; the CRT contexts
+    # are precomputed so wall-clock cost lands in the bench loop only.
+    keypool.warm(range(_SLOT_BASE, _SLOT_BASE + 3 + sites))
+    sim = Simulator()
+    if obs is not None:
+        sim.obs = obs
+
+    ca = CertificateAuthority(key=keypool.pooled_keypair(_SLOT_BASE))
+    broker_host = Host(sim, "broker-host", address=BROKER_ADDRESS)
+    brokerd = Brokerd(broker_host, id_b="b.scale",
+                      ca_public_key=ca.public_key,
+                      key=keypool.pooled_keypair(_SLOT_BASE + 1))
+    if pipeline:
+        brokerd.configure_pipeline(
+            enabled=True, batch_window=batch_window,
+            verify_workers=verify_workers, shards=shards)
+    elif shards != 1:
+        brokerd.sap.set_shard_count(shards)
+
+    ue_key = keypool.pooled_keypair(_SLOT_BASE + 2)  # shared (sim-only)
+
+    ran_hosts: list[Host] = []   # the node a UE attaches through
+    for index in range(sites):
+        ran_host = Host(sim, f"site{index}-ran",
+                        address=f"10.{30 + index}.0.1")
+        core_host = Host(sim, f"site{index}-core",
+                         address=f"10.{60 + index}.0.1")
+        key = keypool.pooled_keypair(_SLOT_BASE + 3 + index)
+        certificate = ca.issue(f"t.scale-{index}", "btelco", key.public_key)
+        qos = QosCapabilities(supported_qcis=(1, 8, 9))
+        if rat == "lte":
+            agw = CellBricksAgw(
+                core_host, broker_ip=BROKER_ADDRESS,
+                id_t=f"t.scale-{index}", key=key, certificate=certificate,
+                ca_public_key=ca.public_key, qos_capabilities=qos,
+                name=f"site{index}-agw",
+                ue_pool_prefix=f"10.{128 + index}.0")
+            agw.trust_broker("b.scale", brokerd.public_key)
+            ENodeB(ran_host, agw_ip=core_host.address,
+                   name=f"site{index}-enb")
+        else:
+            smf_host = Host(sim, f"site{index}-smf",
+                            address=f"10.{90 + index}.0.1")
+            smf = Smf(smf_host, name=f"site{index}-smf",
+                      ue_pool_prefix=f"10.{128 + index}.0")
+            amf = CellBricksAmf(
+                core_host, broker_ip=BROKER_ADDRESS,
+                smf_ip=smf_host.address, id_t=f"t.scale-{index}", key=key,
+                certificate=certificate, ca_public_key=ca.public_key,
+                qos_capabilities=qos, name=f"site{index}-amf")
+            amf.trust_broker("b.scale", brokerd.public_key)
+            ENodeB(ran_host, agw_ip=core_host.address,
+                   name=f"site{index}-gnb")
+            _link(sim, f"site{index}-smf-link", core_host, smf_host,
+                  delay_s=0.0002)
+        _link(sim, f"site{index}-backhaul", ran_host, core_host,
+              delay_s=0.00015)
+        _link(sim, f"site{index}-broker", core_host, broker_host,
+              delay_s=0.0025)
+        ran_hosts.append(ran_host)
+
+    latencies: list[float] = []
+    completions: list[float] = []
+    failures = [0]
+
+    def _done(result, *, _sim=sim) -> None:
+        if result.success:
+            latencies.append(result.latency * 1000.0)
+            completions.append(_sim.now)
+        else:
+            failures[0] += 1
+
+    # One host per UE, attached to its site's RAN node round-robin.
+    for index in range(concurrency):
+        site = index % sites
+        ue_host = Host(sim, f"ue{index}",
+                       address=f"10.{140 + index // 200}.{index % 200}.2")
+        ran_host = ran_hosts[site]
+        ran_address = ran_host.address
+        _link(sim, f"radio{index}", ue_host, ran_host, delay_s=0.0001)
+        subscriber = f"sub-{index:05d}"
+        brokerd.enroll_subscriber(subscriber, ue_key.public_key)
+        creds = UeSapCredentials(id_u=subscriber, id_b="b.scale",
+                                 ue_key=ue_key,
+                                 broker_public_key=brokerd.public_key)
+        if rat == "lte":
+            ue = CellBricksUe(ue_host, ran_address, creds,
+                              target_id_t=f"t.scale-{site}",
+                              name=f"cb-ue{index}")
+            ue.on_attach_done = _done
+            sim.schedule(arrival_window * index / max(concurrency, 1),
+                         ue.attach)
+        else:
+            ue = CellBricksUe5G(ue_host, ran_address, creds,
+                                target_id_t=f"t.scale-{site}",
+                                name=f"cb-ue5g{index}")
+            ue.on_registration_done = _done
+            sim.schedule(arrival_window * index / max(concurrency, 1),
+                         ue.register)
+
+    sim.run(until=run_until)
+
+    duration = max(completions) if completions else 0.0
+    stats = brokerd.stats()
+    return CellResult(
+        rat=rat, concurrency=concurrency, shards=shards, pipeline=pipeline,
+        sites=sites, attached=len(latencies), failed=failures[0],
+        mean_ms=round(mean(latencies), 4) if latencies else 0.0,
+        p50_ms=round(percentile(latencies, 50), 4) if latencies else 0.0,
+        p99_ms=round(percentile(latencies, 99), 4) if latencies else 0.0,
+        duration_s=round(duration, 6),
+        attaches_per_sec=round(len(latencies) / duration, 2)
+        if duration > 0 else 0.0,
+        broker={
+            "attach_ok": stats["attach_ok"],
+            "replay_hits": stats["replay_hits"],
+            "dup_requests_served": stats["dup_requests_served"],
+            "num_shards": stats["num_shards"],
+            "pipeline_batches": stats["pipeline_batches"],
+            "pipeline_requests": stats["pipeline_requests"],
+            "cert_cache_hits": stats["cert_cache_hits"],
+            "shards": stats["shards"],
+        })
+
+
+def run_sweep(*, rats=("lte", "5g"), concurrencies=(16, 64),
+              shard_counts=(1, 2, 4, 8), sites: int = 16,
+              arrival_window: float = 0.0) -> dict:
+    """The full grid: for each rat and concurrency, a serial single-shard
+    baseline plus the pipeline at each shard count.  Returns the report
+    dict written to ``BENCH_broker_scale.json``."""
+    cells = []
+    for rat in rats:
+        for concurrency in concurrencies:
+            cells.append(run_cell(concurrency, 1, rat=rat, pipeline=False,
+                                  sites=sites,
+                                  arrival_window=arrival_window))
+            for shards in shard_counts:
+                cells.append(run_cell(concurrency, shards, rat=rat,
+                                      pipeline=True, sites=sites,
+                                      arrival_window=arrival_window))
+    report = {
+        "bench": "broker_scale",
+        "sites": sites,
+        "arrival_window_s": arrival_window,
+        "cells": [cell.to_dict() for cell in cells],
+        "speedups": speedups(cells),
+    }
+    return report
+
+
+def speedups(cells) -> list[dict]:
+    """Pipeline throughput vs the serial baseline at equal (rat, N)."""
+    baselines = {(c.rat, c.concurrency): c for c in cells if not c.pipeline}
+    out = []
+    for cell in cells:
+        if not cell.pipeline:
+            continue
+        base = baselines.get((cell.rat, cell.concurrency))
+        if base is None or base.attaches_per_sec <= 0:
+            continue
+        out.append({
+            "rat": cell.rat, "concurrency": cell.concurrency,
+            "shards": cell.shards,
+            "baseline_attaches_per_sec": base.attaches_per_sec,
+            "pipeline_attaches_per_sec": cell.attaches_per_sec,
+            "speedup": round(
+                cell.attaches_per_sec / base.attaches_per_sec, 2),
+        })
+    return out
