@@ -273,7 +273,8 @@ def _cmd_broker_scale(args: argparse.Namespace) -> int:
         concurrencies = tuple(int(c) for c in args.concurrency.split(","))
         shard_counts = tuple(int(s) for s in args.shards.split(","))
     report = run_sweep(rats=rats, concurrencies=concurrencies,
-                       shard_counts=shard_counts, sites=args.sites)
+                       shard_counts=shard_counts, sites=args.sites,
+                       adaptive_window=args.adaptive_window)
 
     print(f"{'rat':4s} {'N':>4s} {'mode':9s} {'shards':>6s} {'ok':>4s} "
           f"{'p50 ms':>8s} {'p99 ms':>8s} {'att/s':>8s}")
@@ -322,6 +323,97 @@ def _cmd_broker_scale(args: argparse.Namespace) -> int:
         print(f"FAIL speedup {cell['rat']} N={cell['concurrency']}: "
               f"{cell['speedup']:.2f}x < 3x")
         failed = True
+    return 1 if failed else 0
+
+
+def _cmd_megaload(args: argparse.Namespace) -> int:
+    """Population-scale workload over the event engine (MEGALOAD).
+
+    Drives ``--ues`` scripted UEs across ``--sites`` bTelco sites with
+    arrival, mobility, and diurnal models, once per requested engine
+    (``legacy`` = the pre-optimization event core, ``optimized`` =
+    batched tick-calendar stepping + adaptive broker window + heap
+    compaction).  The report (``BENCH_megaload.json``) carries each
+    cell's deterministic workload digest and wall-clock figures plus
+    the optimized-vs-legacy speedup.  ``--smoke`` gates for CI on
+    machine-independent facts: the workload digests must match the
+    committed baseline exactly and the in-process speedup must hold
+    >= 2x (raw wall-clock is reported but never gated)."""
+    import json
+
+    from repro.testbed.megaload import run_megaload
+
+    engines = (("legacy", "optimized") if args.engine == "both"
+               else (args.engine,))
+    report = run_megaload(ues=args.ues, sites=args.sites,
+                          duration=args.duration, tick=args.tick,
+                          seed=args.seed, engines=engines)
+
+    print(f"{'engine':10s} {'UEs/s':>10s} {'actions/s':>11s} "
+          f"{'wall s':>8s} {'s/sim-s':>9s} {'RSS MB':>8s} "
+          f"{'events':>9s} {'compact':>7s}")
+    for cell in report["cells"]:
+        perf = cell["perf"]
+        print(f"{cell['engine']:10s} {perf['ues_per_sec']:10.0f} "
+              f"{perf['actions_per_sec']:11.0f} {perf['wall_s']:8.2f} "
+              f"{perf['wall_per_sim_second']:9.5f} "
+              f"{perf['peak_rss_mb']:8.1f} "
+              f"{perf['events_processed']:9d} "
+              f"{perf['heap_compactions']:7d}")
+        workload = cell["workload"]
+        print(f"  attach_ok={workload['attach_ok']} "
+              f"failures={workload['attach_failures']} "
+              f"moves={workload['moves']} "
+              f"idle_detaches={workload['idle_detaches']} "
+              f"batches={workload['broker_batches']} "
+              f"full_flushes={workload['broker_full_flushes']} "
+              f"digest={cell['digest'][:12]}")
+    if "speedup" in report:
+        row = report["speedup"]
+        print(f"speedup optimized vs legacy: {row['speedup']:.2f}x "
+              f"({row['legacy_ues_per_sec']:.0f} -> "
+              f"{row['optimized_ues_per_sec']:.0f} UEs/s)")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+
+    if not args.smoke:
+        return 0
+    # CI regression gate.  Wall-clock depends on the runner, so the
+    # gate checks machine-independent facts only: exact digest match
+    # per engine (determinism + workload-logic regressions) and the
+    # in-process optimized/legacy throughput ratio (>= 2x).
+    failed = False
+    try:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        print(f"no baseline at {args.baseline}; gate skipped")
+        return 0
+    baseline_digests = baseline.get("digests", {})
+    for cell in report["cells"]:
+        expected = baseline_digests.get(cell["engine"])
+        if expected is None:
+            print(f"warn {cell['engine']}: no baseline digest")
+            continue
+        if cell["digest"] != expected:
+            print(f"FAIL {cell['engine']}: digest {cell['digest'][:12]} "
+                  f"!= baseline {expected[:12]} (workload outcome "
+                  f"changed or determinism broke)")
+            failed = True
+        else:
+            print(f"ok   {cell['engine']}: digest matches baseline")
+    min_speedup = baseline.get("min_speedup", 2.0)
+    if "speedup" in report:
+        if report["speedup"]["speedup"] < min_speedup:
+            print(f"FAIL speedup {report['speedup']['speedup']:.2f}x "
+                  f"< {min_speedup:.1f}x")
+            failed = True
+        else:
+            print(f"ok   speedup {report['speedup']['speedup']:.2f}x "
+                  f">= {min_speedup:.1f}x")
     return 1 if failed else 0
 
 
@@ -710,6 +802,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated shard counts for pipeline cells")
     p.add_argument("--sites", type=int, default=16,
                    help="bTelco sites the UEs round-robin across")
+    p.add_argument("--adaptive-window", action="store_true",
+                   help="derive the pipeline batch window from observed "
+                        "arrival rate instead of the fixed 2 ms")
     p.add_argument("--smoke", action="store_true",
                    help="seeded CI subset (N=64, 8 shards, both paths); "
                         "fails on >20%% attaches/sec regression vs the "
@@ -720,6 +815,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_broker_scale.json",
                    help="report path (default BENCH_broker_scale.json)")
     p.set_defaults(func=_cmd_broker_scale)
+
+    p = sub.add_parser("megaload", help="population-scale workload over "
+                                        "the event engine")
+    p.add_argument("--ues", type=int, default=100_000,
+                   help="simulated UE population (default 100000)")
+    p.add_argument("--sites", type=int, default=256,
+                   help="bTelco sites (default 256)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="arrival window in sim seconds, mapped onto one "
+                        "compressed 24h day (default 60)")
+    p.add_argument("--tick", type=float, default=0.05,
+                   help="stepping quantum in sim seconds (default 0.05)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--engine", choices=("both", "optimized", "legacy"),
+                   default="both",
+                   help="which event-core path(s) to run (default both)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gate: per-engine workload digests must match "
+                        "the committed baseline and the optimized/legacy "
+                        "speedup must hold >= 2x")
+    p.add_argument("--baseline",
+                   default="benchmarks/baselines/megaload_baseline.json",
+                   help="baseline file for the --smoke gate")
+    p.add_argument("--output", default="BENCH_megaload.json",
+                   help="report path (default BENCH_megaload.json)")
+    p.set_defaults(func=_cmd_megaload)
 
     p = sub.add_parser("fig10", help="day vs night rate limiting")
     p.add_argument("--duration", type=float, default=500.0)

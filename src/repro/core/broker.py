@@ -59,6 +59,63 @@ class _OutstandingBatch:
     attempts: int = 0
 
 
+class AdaptiveBatchWindow:
+    """Nagle-style batch window derived from the observed arrival rate.
+
+    The pipeline's fixed 2 ms window is the wrong constant at both ends
+    of the load curve: a lone request waits the full window for peers
+    that never arrive, and a sustained storm flushes long before a batch
+    is worth its amortization.  This tracker keeps an EWMA of the
+    inter-arrival gap and sizes the window to the time a full batch
+    needs to assemble — clamped to ``[min_window, max_window]`` — while
+    the daemon flushes immediately once ``full_size`` requests are
+    parked (the "flush when full" half of Nagle).  Sparse traffic
+    (expected gap beyond ``max_window``) collapses to ``min_window``:
+    nobody else is coming, don't hold the request hostage.
+
+    Purely deterministic — it reads only the virtual clock, so
+    identically-seeded runs replay identical batch boundaries.
+    """
+
+    __slots__ = ("min_window", "max_window", "full_size", "gap_alpha",
+                 "_ewma_gap", "_last_arrival")
+
+    def __init__(self, *, min_window: float = 0.0002,
+                 max_window: float = 0.008, full_size: int = 32,
+                 gap_alpha: float = 0.25):
+        if not 0.0 <= min_window <= max_window:
+            raise ValueError("need 0 <= min_window <= max_window")
+        if full_size < 1:
+            raise ValueError("full_size must be >= 1")
+        self.min_window = min_window
+        self.max_window = max_window
+        self.full_size = full_size
+        self.gap_alpha = gap_alpha
+        self._ewma_gap: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+
+    def observe(self, now: float) -> None:
+        """Record one request arrival at virtual time ``now``."""
+        if self._last_arrival is not None:
+            gap = now - self._last_arrival
+            if self._ewma_gap is None:
+                self._ewma_gap = gap
+            else:
+                self._ewma_gap += self.gap_alpha * (gap - self._ewma_gap)
+        self._last_arrival = now
+
+    def window(self) -> float:
+        """Seconds to hold the current batch open before flushing."""
+        gap = self._ewma_gap
+        if gap is None or gap >= self.max_window:
+            return self.min_window
+        return min(self.max_window,
+                   max(self.min_window, self.full_size * gap))
+
+    def full(self, batch_size: int) -> bool:
+        return batch_size >= self.full_size
+
+
 @dataclass
 class _PipelineItem:
     """One auth request waiting in the current batch window."""
@@ -97,6 +154,7 @@ class Brokerd(SignalingNode):
     reports_retried = CounterAttr("broker.reports_retried")
     pipeline_batches = CounterAttr("broker.pipeline_batches")
     pipeline_requests = CounterAttr("broker.pipeline_requests")
+    pipeline_full_flushes = CounterAttr("broker.pipeline_full_flushes")
     cert_cache_hits = CounterAttr("broker.cert_cache_hits")
 
     def span_name(self, message: object) -> str:
@@ -141,13 +199,16 @@ class Brokerd(SignalingNode):
         # byte-compatible historical path) --------------------------------
         self.pipeline_enabled = False
         self.batch_window = 0.002
+        self.adaptive_window: Optional[AdaptiveBatchWindow] = None
         self._worker_free: list[float] = []
         self._shard_free: dict[int, float] = {}
         self._auth_batch: list[_PipelineItem] = []
         self._flush_event = None
+        self._flushing_now = False
         self._verified_certs: set[str] = set()
         self.pipeline_batches = 0
         self.pipeline_requests = 0
+        self.pipeline_full_flushes = 0
         self.cert_cache_hits = 0
         self.requests_approved = 0
         self.requests_denied = 0
@@ -170,7 +231,11 @@ class Brokerd(SignalingNode):
     def configure_pipeline(self, *, enabled: bool = True,
                            batch_window: float = 0.002,
                            verify_workers: int = 4,
-                           shards: Optional[int] = None) -> None:
+                           shards: Optional[int] = None,
+                           adaptive: bool = False,
+                           min_window: float = 0.0002,
+                           max_window: float = 0.008,
+                           window_full_size: int = 32) -> None:
         """Switch the auth hot path to the sharded, batching pipeline.
 
         Requests arriving within ``batch_window`` of the first are
@@ -179,6 +244,13 @@ class Brokerd(SignalingNode):
         joins its shard's serialized replay/mint lane (stage B).  With
         the pipeline off (the default) the historical one-at-a-time
         handler runs and behavior is byte-identical to earlier builds.
+
+        ``adaptive=True`` replaces the fixed window with an
+        :class:`AdaptiveBatchWindow` over ``[min_window, max_window]``:
+        the window tracks the observed arrival rate and a batch of
+        ``window_full_size`` flushes immediately instead of waiting out
+        its timer (Nagle-style).  Only measurable at population scale —
+        see ``repro.testbed.megaload``.
         """
         if verify_workers < 1:
             raise ValueError("verify_workers must be >= 1")
@@ -188,6 +260,9 @@ class Brokerd(SignalingNode):
             self.sap.set_shard_count(shards)
         self.pipeline_enabled = enabled
         self.batch_window = batch_window
+        self.adaptive_window = AdaptiveBatchWindow(
+            min_window=min_window, max_window=max_window,
+            full_size=window_full_size) if adaptive else None
         self._worker_free = [0.0] * verify_workers
         self._shard_free = {}
 
@@ -311,6 +386,12 @@ class Brokerd(SignalingNode):
                      pipeline_enabled=self.pipeline_enabled,
                      pipeline_batches=self.pipeline_batches,
                      pipeline_requests=self.pipeline_requests,
+                     pipeline_full_flushes=self.pipeline_full_flushes,
+                     pipeline_adaptive=self.adaptive_window is not None,
+                     pipeline_window_s=(
+                         self.adaptive_window.window()
+                         if self.adaptive_window is not None
+                         else self.batch_window),
                      cert_cache_hits=self.cert_cache_hits)
         stats.update(self.reliable_stats())
         return stats
@@ -376,7 +457,16 @@ class Brokerd(SignalingNode):
     def _enqueue_auth_request(self, src_ip: str,
                               request: BrokerAuthRequest) -> None:
         """Pipeline ingress: park the request in the current batch
-        window; the reply is completed asynchronously at flush time."""
+        window; the reply is completed asynchronously at flush time.
+
+        With an adaptive window the open window is rate-derived, and a
+        full batch flushes immediately: the pending flush timer is
+        cancelled (lazily — the simulator compacts dead entries) and a
+        zero-delay flush replaces it.
+        """
+        adaptive = self.adaptive_window
+        if adaptive is not None:
+            adaptive.observe(self.sim.now)
         deferred = self.defer_reply()
         corr_id = 0
         if deferred.reply_context is not None:
@@ -385,8 +475,17 @@ class Brokerd(SignalingNode):
             src_ip=src_ip, request=request, deferred=deferred,
             arrived=self.sim.now, corr_id=corr_id))
         if self._flush_event is None:
+            window = self.batch_window if adaptive is None \
+                else adaptive.window()
             self._flush_event = self.sim.schedule(
-                self.batch_window, self._flush_auth_batch)
+                window, self._flush_auth_batch)
+        elif (adaptive is not None and not self._flushing_now
+                and adaptive.full(len(self._auth_batch))):
+            self._flush_event.cancel()
+            self._flush_event = self.sim.schedule(
+                0.0, self._flush_auth_batch)
+            self._flushing_now = True
+            self.pipeline_full_flushes += 1
 
     def _flush_auth_batch(self) -> None:
         """Drain the batch through the two-stage cost model.
@@ -402,6 +501,7 @@ class Brokerd(SignalingNode):
         exact same event sequence.
         """
         self._flush_event = None
+        self._flushing_now = False
         batch, self._auth_batch = self._auth_batch, []
         if not batch:
             return

@@ -19,7 +19,7 @@ tests and the marketplace example.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.crypto import CertificateAuthority
@@ -66,8 +66,10 @@ class CellBricksNetwork:
     data_path: Optional[CellularPath] = None
     #: every signaling link by name (``<site>-sig-radio``,
     #: ``<site>-backhaul``, ``<site>-broker``) — the fault-injection
-    #: surface the chaos harness drives.
-    links: dict[str, Link] = None
+    #: surface the chaos harness drives.  Defaults to an empty dict (a
+    #: bare ``None`` here used to crash chaos-harness callers iterating
+    #: a hand-constructed network's links).
+    links: dict[str, Link] = field(default_factory=dict)
 
 
 def build_cellbricks_network(
@@ -173,8 +175,16 @@ class MobilityManager:
         self.ue: Optional[CellBricksUe] = None
         self.attach_latencies: list[float] = []
         self.switches = 0
+        #: attaches that came back unsuccessful — without this counter a
+        #: megaload/chaos drive silently under-reported (``switches`` was
+        #: already incremented, the failure vanished).
+        self.attach_failures = 0
+        #: failure cause -> count, for drive-level diagnosis.
+        self.failure_causes: dict[str, int] = {}
         #: fired with (site, result) after each successful attach
         self.on_attached: Optional[Callable] = None
+        #: fired with (site, result) after each *failed* attach
+        self.on_failed: Optional[Callable] = None
 
     def start(self, site_name: str) -> None:
         """Initial attach (no prior detach)."""
@@ -201,19 +211,27 @@ class MobilityManager:
         self.ue.attach()
 
     def _attach_done(self, result) -> None:
-        if result.success:
-            self.attach_latencies.append(result.latency)
-            if self.data_path is not None:
-                self.data_path.install_ue_address(result.ue_ip)
-                if self.enforce_qos:
-                    self._apply_ambr(result.ue_ip)
-            if self.on_attached is not None:
-                self.on_attached(self.current_site, result)
+        if not result.success:
+            self.attach_failures += 1
+            cause = getattr(result, "cause", "") or "unspecified"
+            self.failure_causes[cause] = self.failure_causes.get(cause, 0) + 1
+            if self.on_failed is not None:
+                self.on_failed(self.current_site, result)
+            return
+        self.attach_latencies.append(result.latency)
+        if self.data_path is not None:
+            self.data_path.install_ue_address(result.ue_ip)
+            if self.enforce_qos:
+                self._apply_ambr(result.ue_ip)
+        if self.on_attached is not None:
+            self.on_attached(self.current_site, result)
 
     def _apply_ambr(self, ue_ip: str) -> None:
-        """Install the bearer's AMBR as a PGW policer on the data plane."""
-        spgw = self.current_site.agw.spgw
-        for bearer in spgw.bearers.values():
-            if bearer.ue_ip == ue_ip and bearer.active:
-                self.data_path.set_shaper_rate(bearer.ambr_dl_bps)
-                return
+        """Install the bearer's AMBR as a PGW policer on the data plane.
+
+        O(1) via the SPGW's ``ue_ip`` index — the previous full-bearer
+        scan was O(bearers) on every attach, quadratic over a fleet.
+        """
+        bearer = self.current_site.agw.spgw.bearer_by_ip(ue_ip)
+        if bearer is not None:
+            self.data_path.set_shaper_rate(bearer.ambr_dl_bps)

@@ -15,7 +15,7 @@ LTE and 5G topologies with the same code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.broker import Brokerd
@@ -71,7 +71,7 @@ class CellBricks5GNetwork:
     sites: dict[str, Btelco5GSite]
     ue_host: Host
     credentials: UeSapCredentials
-    links: dict[str, Link] = None
+    links: dict[str, Link] = field(default_factory=dict)
 
 
 def build_cellbricks_network_5g(

@@ -63,6 +63,7 @@ class SgwPgw:
         self.pool = AddressPool(pool_prefix)
         self.bearers: dict[int, EpsBearer] = {}      # ebi -> bearer
         self.by_subscriber: dict[str, int] = {}      # subscriber -> ebi
+        self.by_ue_ip: dict[str, int] = {}           # ue_ip -> ebi
         self._ebi_counter = itertools.count(5)
         self._teid_counter = itertools.count(0x1000)
 
@@ -81,6 +82,7 @@ class SgwPgw:
             s1_teid_dl=next(self._teid_counter), apn=apn)
         self.bearers[bearer.ebi] = bearer
         self.by_subscriber[subscriber_id] = bearer.ebi
+        self.by_ue_ip[ue_ip] = bearer.ebi
         return bearer
 
     def delete_bearer(self, ebi: int) -> None:
@@ -90,10 +92,20 @@ class SgwPgw:
         bearer.active = False
         self.pool.release(bearer.ue_ip)
         self.by_subscriber.pop(bearer.imsi_or_id, None)
+        self.by_ue_ip.pop(bearer.ue_ip, None)
 
     def bearer_for(self, subscriber_id: str) -> Optional[EpsBearer]:
         ebi = self.by_subscriber.get(subscriber_id)
         return self.bearers.get(ebi) if ebi is not None else None
+
+    def bearer_by_ip(self, ue_ip: str) -> Optional[EpsBearer]:
+        """O(1) active-bearer lookup by assigned UE address.
+
+        Per-attach callers (AMBR enforcement) used to scan every bearer;
+        at population scale that scan made each attach O(fleet)."""
+        ebi = self.by_ue_ip.get(ue_ip)
+        bearer = self.bearers.get(ebi) if ebi is not None else None
+        return bearer if bearer is not None and bearer.active else None
 
     @property
     def active_count(self) -> int:

@@ -16,11 +16,25 @@ Two constructs matter for the CellBricks experiments:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .packet import Packet
 from .sim import Simulator
+
+
+def _seed_from_name(name: str) -> int:
+    """Deterministic per-link RNG seed derived from the link name.
+
+    Unseeded links used to share ``random.Random(0)``, so every link in a
+    fleet drew the *same* loss sequence — correlated drops that made
+    chaos runs look far worse (or better) than independent losses would.
+    ``zlib.crc32`` is stable across processes and platforms (unlike
+    ``hash``), so identically-named links still replay identically
+    run-to-run while differently-named links decorrelate.
+    """
+    return zlib.crc32(name.encode("utf-8"))
 
 
 class TokenBucket:
@@ -117,7 +131,8 @@ class SimplexLink:
         # Policing drops non-conforming packets immediately (how carrier
         # rate limiting behaves); shaping queues them until tokens accrue.
         self.police = police
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else \
+            random.Random(_seed_from_name(name))
         self.receiver: Optional[Callable[[Packet], None]] = None
         self.stats = LinkStats()
         self.up = True
@@ -237,7 +252,9 @@ class Link:
                  shaper_up: Optional[TokenBucket] = None,
                  bandwidth_up_bps: Optional[float] = None,
                  rng: Optional[random.Random] = None):
-        rng = rng or random.Random(0)
+        # Explicitly-seeded links stay byte-identical to earlier builds;
+        # unseeded ones decorrelate via a name-derived seed.
+        rng = rng if rng is not None else random.Random(_seed_from_name(name))
         # a -> b is the "down" direction by convention (network -> UE when
         # a is the infrastructure side; callers pick the orientation).
         self.a_to_b = SimplexLink(

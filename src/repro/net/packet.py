@@ -48,10 +48,24 @@ class Packet:
             raise ValueError("packet size must be positive")
 
     def copy_for_forwarding(self) -> "Packet":
-        """Duplicate the packet with a decremented TTL."""
-        return Packet(src=self.src, dst=self.dst, protocol=self.protocol,
-                      size=self.size, payload=self.payload, ttl=self.ttl - 1,
-                      created_at=self.created_at)
+        """Duplicate the packet with a decremented TTL.
+
+        This is the per-hop allocation on the forwarding hot path, so it
+        bypasses the dataclass ``__init__`` (and its re-validation of an
+        already-validated size) and fills the slots directly.  The copy
+        still gets a fresh ``packet_id`` — links key their in-flight
+        events by it, so each hop must be distinct.
+        """
+        clone = object.__new__(Packet)
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.protocol = self.protocol
+        clone.size = self.size
+        clone.payload = self.payload
+        clone.ttl = self.ttl - 1
+        clone.created_at = self.created_at
+        clone.packet_id = next(_packet_ids)
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Packet #{self.packet_id} {self.src}->{self.dst} "

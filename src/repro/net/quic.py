@@ -82,7 +82,7 @@ class QuicDatagram:
     frames: tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class _SentPacket:
     packet_number: int
     frames: tuple

@@ -5,6 +5,19 @@ drive-test emulation) runs on this engine: a single virtual clock and a
 binary-heap event queue.  Using virtual time makes every experiment
 deterministic and hardware-independent — protocol processing costs are
 explicit, calibrated parameters rather than wall-clock artifacts.
+
+Scale notes (the megaload workload drives this engine with 10^5-10^6
+UEs, see ``repro.testbed.megaload``):
+
+* Cancellation is *lazy* — ``Event.cancel`` flags the entry, and the run
+  loop discards it when popped.  At population scale the dominant event
+  pattern is restartable timers (every ``Timer.start`` cancels the
+  previous deadline), so the heap would otherwise fill with dead
+  entries and every push/pop would pay ``O(log garbage)``.  The
+  simulator therefore counts dead entries and compacts the heap when
+  they outnumber the live ones.
+* ``pending()`` is O(1): live events are counted at schedule/cancel/run
+  time instead of scanning the queue.
 """
 
 from __future__ import annotations
@@ -21,7 +34,7 @@ class SimulationError(Exception):
 class Event:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., Any], args: tuple):
@@ -30,10 +43,19 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: owning simulator while the entry is still queued; detached
+        #: (None) once the event has run or been discarded, so a late
+        #: ``cancel`` on a stale handle cannot skew the live counters.
+        self.sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Safe to call repeatedly."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -44,14 +66,27 @@ class Event:
         return f"<Event t={self.time:.6f} {name}{flag}>"
 
 
+#: below this queue size compaction is never worth the heapify.
+_COMPACT_MIN_QUEUE = 512
+
+
 class Simulator:
     """A deterministic event loop with a virtual clock (seconds)."""
 
-    def __init__(self):
+    def __init__(self, compaction: bool = True):
         self._queue: list[Event] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
+        self._live = 0          # queued events that are not cancelled
+        self._dead = 0          # cancelled events still in the heap
+        #: lazy-compaction switch; benches flip it off to measure the
+        #: pre-compaction event core.
+        self.compaction = compaction
+        # -- engine statistics (read by the megaload bench) --------------
+        self.events_scheduled = 0
+        self.compactions = 0
+        self.peak_queue = 0
 
     @property
     def now(self) -> float:
@@ -72,8 +107,35 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} (now is {self._now})")
         event = Event(time, next(self._counter), callback, args)
-        heapq.heappush(self._queue, event)
+        event.sim = self
+        queue = self._queue
+        heapq.heappush(queue, event)
+        self._live += 1
+        self.events_scheduled += 1
+        if len(queue) > self.peak_queue:
+            self.peak_queue = len(queue)
         return event
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled: keep the counters exact and
+        compact the heap once dead entries dominate the live ones."""
+        self._live -= 1
+        self._dead += 1
+        if (self.compaction and self._dead > self._live
+                and len(self._queue) >= _COMPACT_MIN_QUEUE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors.
+
+        Amortized O(1) per cancellation: a compaction costs O(n) but only
+        runs after >= n/2 cancellations accumulated.
+        """
+        survivors = [event for event in self._queue if not event.cancelled]
+        self._queue = survivors
+        heapq.heapify(survivors)
+        self._dead = 0
+        self.compactions += 1
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> int:
@@ -88,20 +150,28 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         processed = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                event = self._queue[0]
+            while queue:
+                event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    self._dead -= 1
+                    continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
                 if max_events is not None and processed >= max_events:
-                    heapq.heappush(self._queue, event)
                     break
+                pop(queue)
+                self._live -= 1
+                event.sim = None
                 self._now = event.time
                 event.callback(*event.args)
                 processed += 1
+                if queue is not self._queue:
+                    # A callback triggered compaction; rebind.
+                    queue = self._queue
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -109,18 +179,23 @@ class Simulator:
         return processed
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._live
 
     def clear(self) -> None:
         """Drop all queued events (used between experiment repetitions)."""
         for event in self._queue:
-            event.cancel()
+            event.cancelled = True
+            event.sim = None
         self._queue.clear()
+        self._live = 0
+        self._dead = 0
 
 
 class Timer:
     """A restartable one-shot timer (e.g. a TCP retransmission timer)."""
+
+    __slots__ = ("_sim", "_callback", "_event")
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any]):
         self._sim = sim

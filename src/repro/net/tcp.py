@@ -89,7 +89,7 @@ class _SentChunk:
         self.end = self.seq + self.length
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpStats:
     """Per-connection counters surfaced to benchmarks and tests."""
 

@@ -14,9 +14,14 @@ from .attach_bench5g import (
     run_figure7_5g,
     run_traced_attach_5g,
 )
+from .megaload import MegaloadWorkload, run_megaload
+from .megaload import run_cell as run_megaload_cell
 from .placement import PLACEMENTS, TestbedTopology
 
 __all__ = [
+    "MegaloadWorkload",
+    "run_megaload",
+    "run_megaload_cell",
     "ARCH_BASELINE",
     "ARCH_CELLBRICKS",
     "AttachBenchmarkResult",

@@ -72,8 +72,8 @@ def _link(sim, name, a, b, delay_s):
 def run_cell(concurrency: int, shards: int, *, rat: str = "lte",
              pipeline: bool = True, sites: int = 16,
              arrival_window: float = 0.0, batch_window: float = 0.002,
-             verify_workers: int = 4, obs=None,
-             run_until: float = 120.0) -> CellResult:
+             verify_workers: int = 4, adaptive_window: bool = False,
+             obs=None, run_until: float = 120.0) -> CellResult:
     """Attach ``concurrency`` UEs across ``sites`` bTelcos via one broker.
 
     ``pipeline=False`` with ``shards=1`` is the historical serial path
@@ -100,7 +100,8 @@ def run_cell(concurrency: int, shards: int, *, rat: str = "lte",
     if pipeline:
         brokerd.configure_pipeline(
             enabled=True, batch_window=batch_window,
-            verify_workers=verify_workers, shards=shards)
+            verify_workers=verify_workers, shards=shards,
+            adaptive=adaptive_window)
     elif shards != 1:
         brokerd.sap.set_shard_count(shards)
 
@@ -212,10 +213,13 @@ def run_cell(concurrency: int, shards: int, *, rat: str = "lte",
 
 def run_sweep(*, rats=("lte", "5g"), concurrencies=(16, 64),
               shard_counts=(1, 2, 4, 8), sites: int = 16,
-              arrival_window: float = 0.0) -> dict:
+              arrival_window: float = 0.0,
+              adaptive_window: bool = False) -> dict:
     """The full grid: for each rat and concurrency, a serial single-shard
     baseline plus the pipeline at each shard count.  Returns the report
-    dict written to ``BENCH_broker_scale.json``."""
+    dict written to ``BENCH_broker_scale.json``.  ``adaptive_window``
+    swaps the pipeline cells' fixed 2 ms batch window for the
+    arrival-rate-derived :class:`~repro.core.broker.AdaptiveBatchWindow`."""
     cells = []
     for rat in rats:
         for concurrency in concurrencies:
@@ -225,11 +229,13 @@ def run_sweep(*, rats=("lte", "5g"), concurrencies=(16, 64),
             for shards in shard_counts:
                 cells.append(run_cell(concurrency, shards, rat=rat,
                                       pipeline=True, sites=sites,
-                                      arrival_window=arrival_window))
+                                      arrival_window=arrival_window,
+                                      adaptive_window=adaptive_window))
     report = {
         "bench": "broker_scale",
         "sites": sites,
         "arrival_window_s": arrival_window,
+        "adaptive_window": adaptive_window,
         "cells": [cell.to_dict() for cell in cells],
         "speedups": speedups(cells),
     }

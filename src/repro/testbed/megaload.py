@@ -1,0 +1,518 @@
+"""MEGALOAD — a population-scale workload over the discrete-event core.
+
+The broker-scale bench tops out at tens of concurrent attaches from 16
+sites; the paper's pitch is *millions* of users federated across many
+small bTelcos.  This harness drives the gap: hundreds of sites and
+10^5-10^6 lightweight UEs with
+
+* an **arrival model** thinned by the day/night policy of Appendix A
+  (reusing :class:`repro.emulation.policy.TimeOfDayPolicy`, the same
+  schedule that drives the Fig 10 token-bucket policer) — the simulated
+  window is mapped onto one compressed 24 h day,
+* a **mobility model** — each UE's lifecycle script is a sequence of
+  (site, dwell) segments; every segment boundary is a detach +
+  re-attach through the broker, exactly the host-driven loop of §4.2,
+* a **diurnal activity model** — attached UEs emit keep-alive pokes
+  that re-arm an idle timer; sparse pokers idle out and release their
+  session.
+
+Each attach rides a modeled broker whose batching uses the
+:class:`~repro.core.broker.AdaptiveBatchWindow` (Nagle-style: flush
+when full, stretch under sustained load).  UEs are deliberately *not*
+full crypto stacks: the point of this bench is to stress the event
+engine itself, so per-UE work is a handful of state transitions and the
+interesting costs are heap pushes, event allocations, and timer churn.
+
+Two interchangeable engines execute the very same workload script:
+
+* ``legacy`` — the pre-optimization event core: one simulator event per
+  UE action, idle timers cancelled the ``Timer.start`` way (dead heap
+  entries accumulate; compaction is disabled to match the historical
+  simulator), fixed 2 ms broker window.
+* ``optimized`` — batched UE stepping: wakeups are quantized onto a
+  tick calendar (the ai-ran-sim "step the whole RAN per cell" idiom),
+  so a tick's worth of UE actions costs *one* heap event; bucket lists
+  are recycled through a freelist; superseded wakeups are invalidated
+  by token instead of heap cancellation; the broker window adapts to
+  the arrival rate; heap compaction stays on.
+
+Both engines quantize action times to the same tick grid, so with the
+same broker window policy they replay byte-identical workload outcomes
+— ``tests/test_megaload.py`` pins that equivalence.  The report
+(``BENCH_megaload.json``) carries, per engine cell, the deterministic
+workload digest plus wall-clock figures (UEs/sec simulated, wall-clock
+per sim-second, peak RSS) and the optimized-vs-legacy speedup that the
+``--smoke`` CI gate enforces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+import time
+from typing import Optional
+
+from repro.analysis.stats import mean, percentile
+from repro.core.broker import AdaptiveBatchWindow
+from repro.emulation.policy import SECONDS_PER_HOUR, TimeOfDayPolicy
+from repro.net import Simulator
+
+try:  # pragma: no cover - platform-dependent
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None
+
+# UE lifecycle actions (dispatch codes).
+A_ARRIVE = 0
+A_ATTACH_DONE = 1
+A_POKE = 2
+A_IDLE = 3
+A_SEG_END = 4
+
+# Model constants (seconds unless noted).
+IDLE_TIMEOUT = 6.0          # idle release after this long without a poke
+DWELL_MIN, DWELL_MAX = 5.0, 12.0
+POKE_GAP_MIN, POKE_GAP_MAX = 2.5, 10.0
+MAX_POKES_PER_SEGMENT = 5
+ARRIVAL_SPAN = 0.8          # arrivals land in the first 80% of `duration`
+NIGHT_INTENSITY = 0.25      # arrival thinning factor during the night window
+CAPACITY_HEADROOM = 1.6     # site capacity vs the uniform-spread mean
+DRAIN_GRACE = 60.0          # extra sim-seconds to let late arrivals finish
+BROKER_ATTACH_COST = 0.0002  # modeled broker service per attach (s)
+BROKER_WORKERS = 8
+FIXED_WINDOW = 0.002        # the pre-adaptive pipeline constant
+
+
+class _Ue:
+    """One lightweight UE: a scripted lifecycle, no crypto, no NAS."""
+
+    __slots__ = ("uid", "script", "seg", "site", "epoch", "idle_token",
+                 "attach_started", "retried", "idle_event")
+
+    def __init__(self, uid: int, script: tuple):
+        self.uid = uid
+        #: tuple of (site, dwell_ticks, poke_gap_ticks) segments
+        self.script = script
+        self.seg = 0
+        self.site = -1              # site currently attached to (-1 = none)
+        #: bumped on every detach; stale wakeups carry an older epoch
+        self.epoch = 0
+        #: bumped on every idle-timer re-arm; the lazy-cancellation token
+        self.idle_token = 0
+        self.attach_started = 0.0
+        self.retried = False
+        self.idle_event = None      # legacy engine: the cancellable event
+
+
+class _BatchedEngine:
+    """Tick-calendar stepping: one simulator event per occupied tick.
+
+    Wakeups land in per-tick buckets processed by a single callback —
+    the per-action heap push/pop of the legacy path disappears, and
+    bucket lists are recycled through a freelist so steady-state
+    stepping allocates no fresh containers.
+    """
+
+    cancellable = False
+
+    def __init__(self, sim: Simulator, tick: float, dispatch):
+        self.sim = sim
+        self.tick = tick
+        self.dispatch = dispatch
+        self._buckets: dict[int, list] = {}
+        self._freelist: list[list] = []
+
+    def wake(self, idx: int, ue: _Ue, action: int, token: int,
+             arg: int = 0):
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            bucket = self._freelist.pop() if self._freelist else []
+            self._buckets[idx] = bucket
+            self.sim.schedule_at(idx * self.tick, self._fire, idx)
+        bucket.append((ue, action, token, arg))
+        return None
+
+    def _fire(self, idx: int) -> None:
+        bucket = self._buckets.pop(idx)
+        dispatch = self.dispatch
+        for ue, action, token, arg in bucket:
+            dispatch(ue, action, token, arg)
+        bucket.clear()
+        if len(self._freelist) < 64:
+            self._freelist.append(bucket)
+
+
+class _LegacyEngine:
+    """Pre-optimization stepping: one simulator event per UE action."""
+
+    cancellable = True
+
+    def __init__(self, sim: Simulator, tick: float, dispatch):
+        self.sim = sim
+        self.tick = tick
+        self.dispatch = dispatch
+
+    def wake(self, idx: int, ue: _Ue, action: int, token: int,
+             arg: int = 0):
+        return self.sim.schedule_at(idx * self.tick, self.dispatch,
+                                    ue, action, token, arg)
+
+
+class _MegaBroker:
+    """The broker's auth pipeline, reduced to its batching timeline.
+
+    Requests park in a window (fixed 2 ms, or adaptive via
+    :class:`AdaptiveBatchWindow`); a flush serves the batch on
+    ``BROKER_WORKERS`` earliest-free lanes and posts each completion
+    back through the engine at its modeled finish tick.
+    """
+
+    __slots__ = ("sim", "engine", "tick", "adaptive", "batch",
+                 "flush_event", "flushing_now", "lanes", "batches",
+                 "requests", "full_flushes")
+
+    def __init__(self, sim: Simulator, engine, tick: float,
+                 adaptive: Optional[AdaptiveBatchWindow]):
+        self.sim = sim
+        self.engine = engine
+        self.tick = tick
+        self.adaptive = adaptive
+        self.batch: list[_Ue] = []
+        self.flush_event = None
+        self.flushing_now = False
+        self.lanes = [0.0] * BROKER_WORKERS
+        self.batches = 0
+        self.requests = 0
+        self.full_flushes = 0
+
+    def submit(self, ue: _Ue) -> None:
+        now = self.sim.now
+        adaptive = self.adaptive
+        if adaptive is not None:
+            adaptive.observe(now)
+        self.batch.append(ue)
+        if self.flush_event is None:
+            window = FIXED_WINDOW if adaptive is None else adaptive.window()
+            self.flush_event = self.sim.schedule(window, self._flush)
+        elif (adaptive is not None and not self.flushing_now
+                and adaptive.full(len(self.batch))):
+            self.flush_event.cancel()
+            self.flush_event = self.sim.schedule(0.0, self._flush)
+            self.flushing_now = True
+            self.full_flushes += 1
+
+    def _flush(self) -> None:
+        self.flush_event = None
+        self.flushing_now = False
+        batch, self.batch = self.batch, []
+        if not batch:
+            return
+        now = self.sim.now
+        tick = self.tick
+        lanes = self.lanes
+        wake = self.engine.wake
+        self.batches += 1
+        self.requests += len(batch)
+        for ue in batch:
+            lane = min(range(len(lanes)), key=lanes.__getitem__)
+            end = max(now, lanes[lane]) + BROKER_ATTACH_COST
+            lanes[lane] = end
+            # Completion on the next tick boundary at/after the modeled
+            # service end (strictly in the future: end > now).
+            idx = int(end / tick - 1e-9) + 1
+            wake(idx, ue, A_ATTACH_DONE, ue.epoch)
+
+
+class MegaloadWorkload:
+    """Builds the scripted population and executes it on one engine."""
+
+    def __init__(self, *, ues: int, sites: int, duration: float,
+                 tick: float, seed: int, engine: str,
+                 adaptive: bool, compaction: bool):
+        if engine not in ("legacy", "optimized"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.ues = ues
+        self.n_sites = sites
+        self.duration = duration
+        self.tick = tick
+        self.seed = seed
+        self.engine_name = engine
+        self.adaptive = adaptive
+        self.sim = Simulator(compaction=compaction)
+        dispatch = self._dispatch
+        self.engine = (_BatchedEngine if engine == "optimized"
+                       else _LegacyEngine)(self.sim, tick, dispatch)
+        window = AdaptiveBatchWindow() if adaptive else None
+        self.broker = _MegaBroker(self.sim, self.engine, tick, window)
+        # -- site admission state -----------------------------------------
+        self.site_attached = [0] * sites
+        self.site_capacity = max(8, int(math.ceil(
+            ues / sites * CAPACITY_HEADROOM * DWELL_MAX / duration)))
+        # -- deterministic outcome counters -------------------------------
+        self.arrived = 0
+        self.attach_ok = 0
+        self.attach_failures = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.moves = 0
+        self.idle_detaches = 0
+        self.departed = 0
+        self.actions = 0
+        self.attach_latencies_ms: list[float] = []
+        self._idle_ticks = max(1, round(IDLE_TIMEOUT / tick))
+        self._population = self._build_population()
+
+    # -- population script ------------------------------------------------
+    def _build_population(self) -> list[_Ue]:
+        """Precompute every UE's lifecycle from one seeded RNG.
+
+        All randomness is consumed here, in uid order, before the clock
+        starts: execution itself is purely deterministic state stepping,
+        which is what lets the two engines replay identical outcomes.
+        """
+        rng = random.Random(self.seed)
+        policy = TimeOfDayPolicy()
+        # Map the simulated window onto one full day so the arrival
+        # process crosses the 00:30/06:00 policy boundaries.
+        time_scale = 24.0 * SECONDS_PER_HOUR / self.duration
+        span = self.duration * ARRIVAL_SPAN
+        tick = self.tick
+        population = []
+        for uid in range(self.ues):
+            # Diurnal thinning: candidates during the night window are
+            # accepted at NIGHT_INTENSITY (fewer users awake).
+            while True:
+                t = rng.random() * span
+                hour = (t * time_scale / SECONDS_PER_HOUR) % 24.0
+                keep = NIGHT_INTENSITY if policy.is_night(hour) else 1.0
+                if rng.random() < keep:
+                    break
+            arrival_idx = int(t / tick) + 1
+            r = rng.random()
+            moves = 0 if r < 0.30 else 1 if r < 0.65 else 2 if r < 0.90 \
+                else 3
+            script = []
+            for _ in range(moves + 1):
+                site = rng.randrange(self.n_sites)
+                dwell_ticks = max(1, round(
+                    rng.uniform(DWELL_MIN, DWELL_MAX) / tick))
+                poke_gap_ticks = max(1, round(
+                    rng.uniform(POKE_GAP_MIN, POKE_GAP_MAX) / tick))
+                script.append((site, dwell_ticks, poke_gap_ticks))
+            ue = _Ue(uid, tuple(script))
+            self.engine.wake(arrival_idx, ue, A_ARRIVE, 0)
+            population.append(ue)
+        return population
+
+    # -- execution ---------------------------------------------------------
+    def _now_idx(self) -> int:
+        return int(self.sim.now / self.tick + 0.5)
+
+    def _dispatch(self, ue: _Ue, action: int, token: int,
+                  arg: int) -> None:
+        # `actions` counts *effective* lifecycle steps only — stale
+        # wakeups (token mismatch) are bookkeeping noise whose volume
+        # differs between engines (legacy cancels them out of the heap,
+        # batched lets them fall through), so counting them would break
+        # the cross-engine parity the digests pin.
+        if action == A_POKE:
+            # Keep-alive: re-arm the idle timer (the timer-churn pattern
+            # that litters the legacy heap with cancelled entries).
+            if token != ue.epoch:
+                return
+            self.actions += 1
+            self._arm_idle(ue)
+            if arg > 0:
+                seg = ue.script[ue.seg]
+                self.engine.wake(self._now_idx() + seg[2], ue, A_POKE,
+                                 ue.epoch, arg - 1)
+            return
+        if action == A_ARRIVE:
+            self.actions += 1
+            self.arrived += 1
+            self._start_attach(ue)
+            return
+        if action == A_ATTACH_DONE:
+            if token != ue.epoch:
+                return
+            self.actions += 1
+            self._attach_done(ue)
+            return
+        if action == A_IDLE:
+            if token != ue.epoch or arg != ue.idle_token:
+                return
+            self.actions += 1
+            self._detach(ue)
+            self.idle_detaches += 1
+            return
+        # A_SEG_END
+        if token != ue.epoch:
+            return
+        self.actions += 1
+        self._detach(ue)
+        if ue.seg + 1 < len(ue.script):
+            ue.seg += 1
+            self.moves += 1
+            self._start_attach(ue)
+        else:
+            self.departed += 1
+
+    def _start_attach(self, ue: _Ue) -> None:
+        ue.attach_started = self.sim.now
+        ue.retried = False
+        self.broker.submit(ue)
+
+    def _attach_done(self, ue: _Ue) -> None:
+        site = ue.script[ue.seg][0] if not ue.retried else ue.site
+        if self.site_attached[site] >= self.site_capacity:
+            self.attach_failures += 1
+            if ue.retried:
+                self.gave_up += 1
+                return
+            # One deterministic retry against the neighbouring site.
+            ue.retried = True
+            self.retries += 1
+            ue.site = (site + 1) % self.n_sites
+            self.broker.submit(ue)
+            return
+        ue.site = site
+        self.site_attached[site] += 1
+        self.attach_ok += 1
+        latency_ms = (self.sim.now - ue.attach_started) * 1000.0
+        self.attach_latencies_ms.append(round(latency_ms, 4))
+        now_idx = self._now_idx()
+        _, dwell_ticks, poke_gap_ticks = ue.script[ue.seg]
+        self.engine.wake(now_idx + dwell_ticks, ue, A_SEG_END, ue.epoch)
+        pokes = min(MAX_POKES_PER_SEGMENT, dwell_ticks // poke_gap_ticks)
+        if pokes > 0:
+            self.engine.wake(now_idx + poke_gap_ticks, ue, A_POKE,
+                             ue.epoch, pokes - 1)
+        self._arm_idle(ue)
+
+    def _arm_idle(self, ue: _Ue) -> None:
+        ue.idle_token += 1
+        if self.engine.cancellable and ue.idle_event is not None:
+            # The Timer.start idiom: cancel the previous deadline, push
+            # a fresh one — the dead entry stays in the heap.
+            ue.idle_event.cancel()
+        ue.idle_event = self.engine.wake(
+            self._now_idx() + self._idle_ticks, ue, A_IDLE, ue.epoch,
+            ue.idle_token)
+
+    def _detach(self, ue: _Ue) -> None:
+        if ue.site >= 0:
+            self.site_attached[ue.site] -= 1
+            ue.site = -1
+        ue.epoch += 1
+        if self.engine.cancellable and ue.idle_event is not None:
+            ue.idle_event.cancel()
+            ue.idle_event = None
+
+    def run(self) -> dict:
+        """Execute to completion; returns the cell dict for the report."""
+        wall_start = time.perf_counter()
+        processed = self.sim.run(until=self.duration + DRAIN_GRACE)
+        wall = max(time.perf_counter() - wall_start, 1e-9)
+        sim_seconds = self.sim.now
+        latencies = self.attach_latencies_ms
+        workload = {
+            "ues": self.ues,
+            "sites": self.n_sites,
+            "duration_s": self.duration,
+            "tick_s": self.tick,
+            "seed": self.seed,
+            "adaptive_window": self.adaptive,
+            "site_capacity": self.site_capacity,
+            "arrived": self.arrived,
+            "attach_ok": self.attach_ok,
+            "attach_failures": self.attach_failures,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "moves": self.moves,
+            "idle_detaches": self.idle_detaches,
+            "departed": self.departed,
+            "actions": self.actions,
+            "broker_batches": self.broker.batches,
+            "broker_requests": self.broker.requests,
+            "broker_full_flushes": self.broker.full_flushes,
+            "attach_ms_mean": round(mean(latencies), 4) if latencies
+            else 0.0,
+            "attach_ms_p50": round(percentile(latencies, 50), 4)
+            if latencies else 0.0,
+            "attach_ms_p99": round(percentile(latencies, 99), 4)
+            if latencies else 0.0,
+        }
+        digest = hashlib.sha256(json.dumps(
+            workload, sort_keys=True).encode()).hexdigest()
+        peak_rss_mb = 0.0
+        if resource is not None:
+            usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            # Linux reports KiB, macOS bytes.
+            peak_rss_mb = round(usage / 1024.0 if usage < 1 << 34
+                                else usage / (1024.0 * 1024.0), 2)
+        perf = {
+            "wall_s": round(wall, 4),
+            "ues_per_sec": round(self.ues / wall, 1),
+            "actions_per_sec": round(self.actions / wall, 1),
+            "wall_per_sim_second": round(wall / max(sim_seconds, 1e-9), 6),
+            "events_processed": processed,
+            "events_scheduled": self.sim.events_scheduled,
+            "peak_event_queue": self.sim.peak_queue,
+            "heap_compactions": self.sim.compactions,
+            "peak_rss_mb": peak_rss_mb,
+        }
+        return {
+            "engine": self.engine_name,
+            "compaction": self.sim.compaction,
+            "workload": workload,
+            "digest": digest,
+            "perf": perf,
+        }
+
+
+def run_cell(*, ues: int = 100_000, sites: int = 256,
+             duration: float = 60.0, tick: float = 0.05, seed: int = 7,
+             engine: str = "optimized",
+             adaptive: Optional[bool] = None,
+             compaction: Optional[bool] = None) -> dict:
+    """Run one megaload cell.  ``adaptive``/``compaction`` default to the
+    engine's natural configuration (legacy = fixed window, no
+    compaction; optimized = adaptive window, compaction on) but can be
+    pinned for apples-to-apples engine-equivalence checks."""
+    if adaptive is None:
+        adaptive = engine == "optimized"
+    if compaction is None:
+        compaction = engine == "optimized"
+    workload = MegaloadWorkload(
+        ues=ues, sites=sites, duration=duration, tick=tick, seed=seed,
+        engine=engine, adaptive=adaptive, compaction=compaction)
+    return workload.run()
+
+
+def run_megaload(*, ues: int = 100_000, sites: int = 256,
+                 duration: float = 60.0, tick: float = 0.05,
+                 seed: int = 7,
+                 engines: tuple = ("legacy", "optimized")) -> dict:
+    """The full report: one cell per engine plus the speedup row that the
+    CI smoke gate enforces (optimized vs the pre-optimization core)."""
+    cells = [run_cell(ues=ues, sites=sites, duration=duration, tick=tick,
+                      seed=seed, engine=engine) for engine in engines]
+    report = {
+        "bench": "megaload",
+        "config": {"ues": ues, "sites": sites, "duration_s": duration,
+                   "tick_s": tick, "seed": seed},
+        "cells": cells,
+    }
+    by_engine = {cell["engine"]: cell for cell in cells}
+    if "legacy" in by_engine and "optimized" in by_engine:
+        legacy = by_engine["legacy"]["perf"]
+        optimized = by_engine["optimized"]["perf"]
+        report["speedup"] = {
+            "legacy_ues_per_sec": legacy["ues_per_sec"],
+            "optimized_ues_per_sec": optimized["ues_per_sec"],
+            "speedup": round(optimized["ues_per_sec"]
+                             / max(legacy["ues_per_sec"], 1e-9), 2),
+        }
+    return report

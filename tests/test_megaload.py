@@ -1,0 +1,220 @@
+"""Megaload workload + the bugfix sweep that rode along with it.
+
+Covers the population-scale harness (determinism, engine parity,
+workload sanity), the adaptive broker batch window, and the fixes the
+megaload drive surfaced: the ``links=None`` dataclass default, silent
+attach-failure swallowing, and the O(n) AMBR bearer scan.
+"""
+
+import pytest
+
+from repro.core.broker import AdaptiveBatchWindow
+from repro.core.mobility import CellBricksNetwork, MobilityManager
+from repro.fivegc.network5g import CellBricks5GNetwork
+from repro.lte.bearer import SgwPgw
+from repro.net import Simulator
+from repro.testbed.megaload import run_cell, run_megaload
+
+# Small enough to keep the suite fast, large enough for every lifecycle
+# path (retries, idle detaches, multi-segment mobility) to fire.
+SMALL = dict(ues=2000, sites=32, duration=30.0, tick=0.05, seed=11)
+
+
+class TestAdaptiveBatchWindow:
+    def test_starts_at_min_window(self):
+        window = AdaptiveBatchWindow(min_window=0.0002, max_window=0.008)
+        assert window.window() == 0.0002
+
+    def test_tracks_sustained_arrival_rate(self):
+        # 100 us inter-arrival gap, full_size 32 -> ~3.2 ms window
+        # (stretch to fill a batch under sustained load, Nagle-style).
+        window = AdaptiveBatchWindow(min_window=0.0002, max_window=0.008,
+                                     full_size=32)
+        for i in range(200):
+            window.observe(i * 0.0001)
+        assert window.window() == pytest.approx(0.0032, rel=0.05)
+
+    def test_clamps_to_max_window(self):
+        window = AdaptiveBatchWindow(min_window=0.0002, max_window=0.008,
+                                     full_size=32)
+        for i in range(50):
+            window.observe(i * 0.002)   # 2 ms gaps -> 64 ms unclamped
+        assert window.window() == 0.008
+
+    def test_sparse_arrivals_collapse_to_min(self):
+        # Gaps at/above max_window mean batching can't help: the next
+        # request won't arrive within any permissible window, so waiting
+        # only adds latency.
+        window = AdaptiveBatchWindow(min_window=0.0002, max_window=0.008)
+        for i in range(50):
+            window.observe(i * 0.5)
+        assert window.window() == 0.0002
+
+    def test_full_triggers_at_full_size(self):
+        window = AdaptiveBatchWindow(full_size=8)
+        assert not window.full(7)
+        assert window.full(8)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchWindow(min_window=0.01, max_window=0.001)
+        with pytest.raises(ValueError):
+            AdaptiveBatchWindow(full_size=0)
+
+
+class TestNetworkLinksDefault:
+    """``links`` used to default to None (mutable-default workaround gone
+    wrong): hand-constructed networks crashed every caller that iterated
+    ``network.links`` (the chaos harness, the megaload sweep)."""
+
+    def test_lte_network_defaults_to_empty_dict(self):
+        network = CellBricksNetwork(
+            sim=Simulator(), ca=None, broker_host=None, brokerd=None,
+            sites={}, ue_host=None, credentials=None)
+        assert network.links == {}
+        for _name, _link in network.links.items():   # the crashing idiom
+            pass
+
+    def test_5g_network_defaults_to_empty_dict(self):
+        network = CellBricks5GNetwork(
+            sim=Simulator(), ca=None, broker_host=None, brokerd=None,
+            sites={}, ue_host=None, credentials=None)
+        assert network.links == {}
+
+    def test_default_dicts_are_not_shared(self):
+        first = CellBricksNetwork(
+            sim=Simulator(), ca=None, broker_host=None, brokerd=None,
+            sites={}, ue_host=None, credentials=None)
+        second = CellBricksNetwork(
+            sim=Simulator(), ca=None, broker_host=None, brokerd=None,
+            sites={}, ue_host=None, credentials=None)
+        first.links["x"] = object()
+        assert second.links == {}
+
+
+class _FakeResult:
+    def __init__(self, success, cause="", latency=0.01, ue_ip="10.128.0.2"):
+        self.success = success
+        self.cause = cause
+        self.latency = latency
+        self.ue_ip = ue_ip
+
+
+class TestAttachFailureAccounting:
+    def _manager(self):
+        network = CellBricksNetwork(
+            sim=Simulator(), ca=None, broker_host=None, brokerd=None,
+            sites={}, ue_host=None, credentials=None)
+        return MobilityManager(network)
+
+    def test_failures_are_counted_not_swallowed(self):
+        manager = self._manager()
+        manager._attach_done(_FakeResult(False, cause="quota_exceeded"))
+        manager._attach_done(_FakeResult(False, cause="quota_exceeded"))
+        manager._attach_done(_FakeResult(False))
+        assert manager.attach_failures == 3
+        assert manager.failure_causes == {"quota_exceeded": 2,
+                                          "unspecified": 1}
+        assert manager.attach_latencies == []   # no phantom latency rows
+
+    def test_on_failed_hook_fires_with_site_and_result(self):
+        manager = self._manager()
+        seen = []
+        manager.on_failed = lambda site, result: seen.append((site, result))
+        result = _FakeResult(False, cause="denied")
+        manager._attach_done(result)
+        assert seen == [(None, result)]
+
+    def test_success_path_untouched(self):
+        manager = self._manager()
+        attached = []
+        manager.on_attached = lambda site, result: attached.append(result)
+        manager._attach_done(_FakeResult(True, latency=0.042))
+        assert manager.attach_failures == 0
+        assert manager.attach_latencies == [0.042]
+        assert len(attached) == 1
+
+
+class TestBearerIpIndex:
+    def test_bearer_by_ip_round_trip(self):
+        spgw = SgwPgw()
+        bearer = spgw.create_default_bearer("alice", qci=9,
+                                            ambr_dl_bps=1e7,
+                                            ambr_ul_bps=1e6)
+        assert spgw.bearer_by_ip(bearer.ue_ip) is bearer
+        assert spgw.bearer_by_ip("10.99.0.1") is None
+
+    def test_deleted_bearer_drops_out_of_index(self):
+        spgw = SgwPgw()
+        bearer = spgw.create_default_bearer("alice", qci=9,
+                                            ambr_dl_bps=1e7,
+                                            ambr_ul_bps=1e6)
+        spgw.delete_bearer(bearer.ebi)
+        assert spgw.bearer_by_ip(bearer.ue_ip) is None
+
+    def test_reattach_reindexes(self):
+        spgw = SgwPgw()
+        first = spgw.create_default_bearer("alice", qci=9,
+                                           ambr_dl_bps=1e7,
+                                           ambr_ul_bps=1e6)
+        second = spgw.create_default_bearer("alice", qci=9,
+                                            ambr_dl_bps=2e7,
+                                            ambr_ul_bps=2e6)
+        assert spgw.bearer_by_ip(second.ue_ip) is second
+        assert first.ue_ip == second.ue_ip or \
+            spgw.bearer_by_ip(first.ue_ip) is None
+
+
+class TestMegaload:
+    def test_same_seed_same_digest(self):
+        first = run_cell(engine="optimized", **SMALL)
+        second = run_cell(engine="optimized", **SMALL)
+        assert first["digest"] == second["digest"]
+        assert first["workload"] == second["workload"]
+
+    def test_engine_parity_under_fixed_window(self):
+        # With the broker window pinned to the historical fixed 2 ms,
+        # the batched tick-calendar engine must replay *exactly* the
+        # legacy engine's workload outcome — the optimization changes
+        # execution mechanics, never simulated behavior.
+        legacy = run_cell(engine="legacy", **SMALL)
+        optimized = run_cell(engine="optimized", adaptive=False, **SMALL)
+        assert legacy["workload"] == optimized["workload"]
+        assert legacy["digest"] == optimized["digest"]
+
+    def test_workload_exercises_every_lifecycle_path(self):
+        cell = run_cell(engine="optimized", **SMALL)
+        workload = cell["workload"]
+        assert workload["arrived"] == SMALL["ues"]
+        assert workload["attach_ok"] > 0
+        assert workload["moves"] > 0
+        assert workload["idle_detaches"] > 0
+        assert workload["broker_batches"] > 0
+        assert workload["attach_ms_p99"] >= workload["attach_ms_p50"] > 0
+        # Conservation: every arrival either departed, idled out, is
+        # still attached at horizon, or gave up after its retry.
+        assert workload["attach_ok"] <= workload["broker_requests"]
+
+    def test_legacy_engine_accumulates_cancelled_garbage(self):
+        # The legacy cell runs with compaction off and one heap event
+        # per action — the pathology the optimized engine removes.
+        legacy = run_cell(engine="legacy", **SMALL)
+        optimized = run_cell(engine="optimized", **SMALL)
+        assert legacy["perf"]["events_scheduled"] > \
+            5 * optimized["perf"]["events_scheduled"]
+        assert legacy["compaction"] is False
+        assert optimized["compaction"] is True
+
+    def test_report_structure_and_speedup_row(self):
+        report = run_megaload(**SMALL)
+        assert {cell["engine"] for cell in report["cells"]} == \
+            {"legacy", "optimized"}
+        assert report["speedup"]["speedup"] > 0
+        for cell in report["cells"]:
+            assert set(cell) == {"engine", "compaction", "workload",
+                                 "digest", "perf"}
+            assert cell["perf"]["events_processed"] > 0
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            run_cell(engine="warp", **SMALL)

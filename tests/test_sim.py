@@ -116,6 +116,93 @@ class TestRunControl:
         assert sim.run() == 2
 
 
+class TestHeapCompaction:
+    """Lazy-cancellation bookkeeping at scale (the megaload hot path)."""
+
+    def test_cancel_then_fire_never_runs_at_compaction_scale(self):
+        # Enough churn to force multiple compactions; no cancelled
+        # callback may ever run, and every live one must run exactly once.
+        sim = Simulator()
+        ran = []
+        events = [sim.schedule(float(i + 1) * 1e-3, ran.append, i)
+                  for i in range(2000)]
+        for i in range(2000):
+            if i % 3 != 2:
+                events[i].cancel()
+        for i in range(0, 2000, 6):   # double-cancel must stay idempotent
+            events[i].cancel()
+        sim.run()
+        assert sim.compactions >= 1
+        assert ran == [i for i in range(2000) if i % 3 == 2]
+
+    def test_pending_stays_exact_through_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(1024)]
+        assert sim.pending() == 1024
+        for event in events[:700]:
+            event.cancel()
+        assert sim.pending() == 324
+        assert sim.compactions >= 1
+        # The physical queue shrank: dead entries were actually dropped.
+        assert len(sim._queue) < 1024
+        processed = sim.run()
+        assert processed == 324
+        assert sim.pending() == 0
+
+    def test_no_compaction_below_min_queue(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(100)]
+        for event in events[:90]:
+            event.cancel()
+        assert sim.compactions == 0
+        assert sim.pending() == 10
+
+    def test_compaction_can_be_disabled(self):
+        sim = Simulator(compaction=False)
+        events = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(1024)]
+        for event in events[:1000]:
+            event.cancel()
+        assert sim.compactions == 0
+        assert len(sim._queue) == 1024      # dead entries linger
+        assert sim.pending() == 24          # but the count stays exact
+        assert sim.run() == 24
+
+    def test_cancel_after_run_does_not_skew_counters(self):
+        # A stale handle (event already fired or cleared) must be inert.
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+        assert sim.run() == 1
+
+    def test_cancel_during_callback_compaction_keeps_order(self):
+        # A callback that mass-cancels (triggering compaction mid-run)
+        # must not disturb the ordering of the survivors.
+        sim = Simulator()
+        ran = []
+        victims = [sim.schedule(10.0 + i * 1e-3, ran.append, f"v{i}")
+                   for i in range(600)]
+        sim.schedule(1.0, lambda: [e.cancel() for e in victims])
+        sim.schedule(2.0, ran.append, "mid")
+        sim.schedule(20.0, ran.append, "end")
+        sim.run()
+        assert ran == ["mid", "end"]
+        assert sim.compactions >= 1
+
+    def test_schedule_stats(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.events_scheduled == 5
+        assert sim.peak_queue == 5
+
+
 class TestTimer:
     def test_timer_fires_after_delay(self):
         sim = Simulator()
