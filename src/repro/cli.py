@@ -326,6 +326,46 @@ def _cmd_broker_scale(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_broker_ha(args: argparse.Namespace) -> int:
+    """High-availability drill for the distributed broker (BROKER-HA).
+
+    Deploys the broker's SAP shards onto network-attached shard hosts
+    (primary + warm replica each), runs attach/revoke churn, and kills
+    shard hosts mid-storm and mid-rebalance.  Gates: attach success
+    >= 99%, zero unauthorized session seconds, a pre-crash nonce still
+    denied after failover, and crash-to-promoted recovery inside the
+    failure detector's bound.  ``--smoke`` is the seeded CI subset."""
+    import json
+
+    from repro.testbed.broker_ha import run_suite
+
+    rats = ("lte", "5g") if args.rat == "both" else (args.rat,)
+    attaches = 80 if args.smoke else args.attaches
+    report = run_suite(rats=rats, attaches=attaches, shards=args.shards,
+                       spares=args.spares, seed=args.seed,
+                       revoke_every=args.revoke_every)
+
+    for cell in report["cells"]:
+        print(f"{cell['rat']}: {cell['successes']}/{cell['attempts']} "
+              f"attaches ({cell['success_rate']:.2%}), "
+              f"{cell['failovers_total']} failovers "
+              f"(recovery {max(cell['recovery_s'], default=0.0):.2f}s), "
+              f"{cell['rebalances_total']} rebalances "
+              f"(moved {sum(r['moved'] for r in cell['rebalance_log'])}), "
+              f"replay denied: {cell['replay_denied_across_failover']}, "
+              f"unauthorized s: {cell['unauthorized_session_seconds']}")
+    for gate in report["gates"]:
+        status = "ok  " if gate["pass"] else "FAIL"
+        print(f"{status} {gate['gate']}: {gate['value']} "
+              f"(threshold {gate['threshold']})")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0 if report["pass"] else 1
+
+
 def _cmd_megaload(args: argparse.Namespace) -> int:
     """Population-scale workload over the event engine (MEGALOAD).
 
@@ -815,6 +855,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_broker_scale.json",
                    help="report path (default BENCH_broker_scale.json)")
     p.set_defaults(func=_cmd_broker_scale)
+
+    p = sub.add_parser("broker-ha", help="kill shard hosts mid-storm; "
+                       "gate attach success, replay denial, recovery")
+    p.add_argument("--rat", choices=("lte", "5g", "both"), default="both",
+                   help="control plane(s) to drill (default both)")
+    p.add_argument("--attaches", type=int, default=150,
+                   help="churned attaches per cell (default 150)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="active shard hosts at start (default 2)")
+    p.add_argument("--spares", type=int, default=1,
+                   help="warm spare shard hosts for scale-out (default 1)")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--revoke-every", type=int, default=25,
+                   help="revoke+re-enroll after every N successes")
+    p.add_argument("--smoke", action="store_true",
+                   help="seeded CI subset (80 attaches, both RATs)")
+    p.add_argument("--output", default="BENCH_broker_ha.json",
+                   help="report path (default BENCH_broker_ha.json)")
+    p.set_defaults(func=_cmd_broker_ha)
 
     p = sub.add_parser("megaload", help="population-scale workload over "
                                         "the event engine")

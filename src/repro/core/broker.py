@@ -198,6 +198,10 @@ class Brokerd(SignalingNode):
         # -- batching pipeline (off by default: the serial handler is the
         # byte-compatible historical path) --------------------------------
         self.pipeline_enabled = False
+        #: distributed mode: a ``repro.core.shardhost.ShardFrontend``
+        #: that routes auths to network-attached shard hosts.  ``None``
+        #: keeps the historical in-process SAP path.
+        self.frontend = None
         self.batch_window = 0.002
         self.adaptive_window: Optional[AdaptiveBatchWindow] = None
         self._worker_free: list[float] = []
@@ -266,6 +270,37 @@ class Brokerd(SignalingNode):
         self._worker_free = [0.0] * verify_workers
         self._shard_free = {}
 
+    # -- distributed shards ---------------------------------------------------
+    def configure_distributed(self, frontend) -> None:
+        """Hand the auth hot path to a :class:`ShardFrontend`.
+
+        The daemon keeps its socket, certificates, billing, and the
+        revocation protocol; session verification and minting move to
+        network-attached shard hosts behind the frontend's hash ring.
+        Called by ``repro.core.shardhost.deploy_shard_hosts``.
+        """
+        from .shardhost import (
+            HandoffBeginAck,
+            HandoffChunk,
+            HandoffChunkAck,
+            HandoffCommitAck,
+            PromoteAck,
+            ResyncAck,
+            ShardAuthResponse,
+            ShardHeartbeatAck,
+        )
+        self.frontend = frontend
+        self.processing_costs = dict(self.processing_costs)
+        self.processing_costs.update(frontend.broker_processing_costs())
+        self.on(ShardAuthResponse, frontend._on_shard_auth_response)
+        self.on(ShardHeartbeatAck, frontend._on_heartbeat_ack)
+        self.on(PromoteAck, frontend._on_promote_ack)
+        self.on(ResyncAck, lambda src_ip, ack: None)
+        self.on(HandoffBeginAck, lambda src_ip, ack: None)
+        self.on(HandoffChunk, frontend._on_handoff_chunk)
+        self.on(HandoffChunkAck, frontend._on_handoff_chunk_ack)
+        self.on(HandoffCommitAck, lambda src_ip, ack: None)
+
     def _cost_scale(self) -> float:
         """Fault-injection compatibility: a brownout inflates the lump
         AUTH_REQUEST_PROCESSING cost; the pipeline scales its calibrated
@@ -275,16 +310,24 @@ class Brokerd(SignalingNode):
             / AUTH_REQUEST_PROCESSING
 
     def processing_cost(self, message: object) -> float:
-        if self.pipeline_enabled and type(message) is BrokerAuthRequest:
+        if type(message) is BrokerAuthRequest \
+                and (self.pipeline_enabled or self.frontend is not None):
+            # Pipelined or distributed: ingress only enqueues/forwards;
+            # the verify/mint cost is charged where that work runs.
             return INGRESS_PROCESSING * self._cost_scale()
         return super().processing_cost(message)
 
     # -- subscriber management ------------------------------------------------
     def enroll_subscriber(self, id_u: str, public_key: PublicKey,
                           qos_plan: Optional[QosInfo] = None) -> None:
-        self.sap.enroll(BrokerSubscriber(
+        subscriber = BrokerSubscriber(
             id_u=id_u, public_key=public_key,
-            qos_plan=qos_plan or QosInfo()))
+            qos_plan=qos_plan or QosInfo())
+        self.sap.enroll(subscriber)
+        if self.frontend is not None:
+            # Strongly-consistent provisioning plane: every shard host
+            # (and replica) shares the same subscriber object.
+            self.frontend.enroll(subscriber)
 
     def revoke_subscriber(self, id_u: str) -> list[SapGrant]:
         """Invalidate a subscriber's key and cascade to live grants.
@@ -294,7 +337,8 @@ class Brokerd(SignalingNode):
         are refused, and — when a settlement engine is attached — pending
         claims against the revoked sessions are voided.
         """
-        revoked = self.sap.revoke(id_u)
+        revoked = self.frontend.revoke(id_u) if self.frontend is not None \
+            else self.sap.revoke(id_u)
         by_destination: dict[str, list[SapGrant]] = {}
         for grant in revoked:
             self.billing.close_session(grant.session_id)
@@ -394,6 +438,8 @@ class Brokerd(SignalingNode):
                          else self.batch_window),
                      cert_cache_hits=self.cert_cache_hits)
         stats.update(self.reliable_stats())
+        if self.frontend is not None:
+            stats["distributed"] = self.frontend.stats()
         return stats
 
     def mandate_intercept(self, id_u: str) -> None:
@@ -414,6 +460,9 @@ class Brokerd(SignalingNode):
     # -- handlers --------------------------------------------------------------------
     def _handle_auth_request(self, src_ip: str,
                              request: BrokerAuthRequest) -> None:
+        if self.frontend is not None:
+            self.frontend.handle_auth(src_ip, request)
+            return
         if self.pipeline_enabled:
             self._enqueue_auth_request(src_ip, request)
             return
@@ -612,6 +661,8 @@ class Brokerd(SignalingNode):
     def note_retransmitted_request(self, message: object) -> None:
         if isinstance(message, TrafficReportUpload):
             self.reports_retried += 1
+        if self.frontend is not None:
+            self.frontend.note_retransmitted(message)
 
     def _handle_revocation_ack(self, src_ip: str, ack: RevocationAck) -> None:
         """Close out a revocation batch once its *signed* ack arrives.

@@ -224,7 +224,9 @@ class CellBricksAgw(Agw):
         if not response.approved:
             self.attaches_rejected += 1
             context.state = "REJECTED"
-            self.downlink(context, SapAttachReject(cause=response.cause))
+            self.downlink(context, SapAttachReject(
+                cause=response.cause,
+                retryable=getattr(response, "retryable", False)))
             return
         broker_key = self.broker_public_keys.get(
             getattr(context, "broker_id", ""))

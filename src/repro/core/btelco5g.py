@@ -195,7 +195,8 @@ class CellBricksAmf(Amf):
             return
         context.broker_token = None
         if not response.approved:
-            self.reject(context, response.cause)
+            self.reject(context, response.cause,
+                        retryable=getattr(response, "retryable", False))
             return
         broker_key = self.broker_public_keys.get(
             getattr(context, "broker_id", ""))

@@ -43,7 +43,24 @@ class DenialCause(str, Enum):
     POLICY = "policy"
     LI_UNSUPPORTED = "li_unsupported"
     EXPIRED = "expired"
+    #: transient broker-side condition (shard failed over, replica still
+    #: syncing): the *same* request is expected to succeed shortly, so
+    #: attach paths should back off and retry instead of EMM-resetting.
+    DEGRADED = "degraded"
     OTHER = "other"
+
+
+#: Denial causes that signal a transient condition worth retrying.
+RETRYABLE_DENIAL_CAUSES = frozenset({DenialCause.DEGRADED})
+
+
+def denial_is_retryable(cause) -> bool:
+    """Whether a :class:`DenialCause` (or its string value) is transient."""
+    try:
+        cause = DenialCause(cause)
+    except ValueError:
+        return False
+    return cause in RETRYABLE_DENIAL_CAUSES
 
 
 def _canonical(obj: dict) -> bytes:
@@ -262,6 +279,9 @@ class BrokerAuthResponse:
     auth_resp_u: object = None   # SealedResponse forwarded verbatim to the UE
     cause: str = ""
     reply_token: int = 0
+    #: denial is transient (degraded shard) — the bTelco should tell the
+    #: UE to back off and retry rather than give up.
+    retryable: bool = False
 
 
 @dataclass(frozen=True)

@@ -464,7 +464,8 @@ class BrokerSap:
                  ca_public_key: PublicKey,
                  session_ttl: float = 3600.0,
                  metrics: Optional[MetricsRegistry] = None,
-                 num_shards: int = 1):
+                 num_shards: int = 1,
+                 session_prefix: Optional[str] = None):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         #: counters land here; the hosting daemon passes its own registry
@@ -475,6 +476,10 @@ class BrokerSap:
         self.key = key
         self.ca_public_key = ca_public_key
         self.session_ttl = session_ttl
+        #: session-id/pseudonym namespace.  Defaults to ``id_b``; a
+        #: network-attached shard host overrides it so sessions minted by
+        #: distinct hosts of the same broker can never collide.
+        self._session_prefix = session_prefix or id_b
         #: subscribers under a lawful-intercept mandate (court orders).
         #: Broker-global: LI is a legal-process flag, not session state.
         self.li_targets: set[str] = set()
@@ -904,8 +909,9 @@ class BrokerSap:
         # 4. Mint the session: shared secret, pseudonym, QoS selection.
         ss = secrets.token_bytes(SS_SIZE)
         self._session_counter += 1
-        session_id = f"{self.id_b}:{self._session_counter:08d}"
-        id_u_opaque = f"anon-{self.id_b}-{self._session_counter:08d}"
+        session_id = f"{self._session_prefix}:{self._session_counter:08d}"
+        id_u_opaque = \
+            f"anon-{self._session_prefix}-{self._session_counter:08d}"
         qos_info = select_qos(request.qos_cap, subscriber.qos_plan)
         expires_at = now + self.session_ttl
 

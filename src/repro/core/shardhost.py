@@ -1,0 +1,1509 @@
+"""Distributed broker shards: network-attached SAP shard hosts.
+
+PR 5 sharded the broker's SAP state *in process*; this module moves each
+shard onto its own simulated host, reached over real signaling links, so
+the retransmission / loss / outage semantics of the reliable transport
+apply to the broker's own internals end-to-end:
+
+* :class:`ShardHost` — a :class:`~repro.lte.signaling.SignalingNode`
+  wrapping a single-shard :class:`~repro.core.sap.BrokerSap`.  Each
+  shard runs as a primary + a warm standby replica pair; the primary
+  streams its session-state mutations (replay-window nonces, grants,
+  idempotency-cache entries) to the replica as sequenced, idempotent
+  :class:`ReplicaUpdate` batches.  ``crash()`` is fail-stop: all state
+  is lost and every datagram is dropped until ``restart()``.
+
+* :class:`ShardFrontend` — lives inside ``brokerd``: decrypts the
+  authVec just enough to route by the consistent-hash ring, forwards
+  auth requests to the owning shard host, health-checks every host with
+  heartbeat probes, and on a detected death promotes the warm replica.
+  Between detection and promotion the shard is *degraded*: cached
+  (retransmit-replay) responses are served from the replica and fresh
+  auths fail fast with the retryable ``degraded`` denial cause instead
+  of timing out.
+
+* Rebalances (``add_shard`` / ``remove_shard`` / ``set_shard_count``)
+  are network protocols: chunked :class:`HandoffChunk` state transfers
+  with sequence numbers, idempotent application, and resume-after-loss,
+  relayed through the frontend (shard hosts only have links to the
+  broker and to their own replica).  Attaches that land mid-handoff for
+  a moving subscriber are parked at the frontend and forwarded after
+  commit — never dropped.
+
+The provisioning plane (subscriber enrollment, suspension flags, lawful
+intercept mandates) is modeled as a strongly-consistent subscriber DB
+shared by the broker fleet: the same :class:`BrokerSubscriber` records
+are enrolled into every host's SAP, so a revocation's *suspension* is
+globally visible immediately while the bTelco-facing revocation push
+remains the real ack'd network protocol.  Session state — the part the
+paper's security argument depends on across failures — is what moves
+over the wire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.crypto import CryptoError
+from repro.lte.signaling import CounterAttr, SignalingNode
+from repro.net import Host, Link
+
+from .broker import (
+    AUTH_REQUEST_PROCESSING,
+    AUTHVEC_DECRYPT_COST,
+)
+from .messages import (
+    AuthVec,
+    BrokerAuthResponse,
+    DenialCause,
+    MessageError,
+)
+from .sap import BrokerSap, SapError, ShardRouter
+
+__all__ = [
+    "ShardHost",
+    "ShardFrontend",
+    "deploy_shard_hosts",
+    "ShardAuthRequest",
+    "ShardAuthResponse",
+]
+
+
+# -- shard protocol messages ------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardAuthRequest:
+    """Frontend -> shard host: one routed SAP authentication request.
+
+    ``replay_only`` marks a forward to an unpromoted standby during
+    degraded mode: it may serve the replicated idempotency cache but
+    must fast-fail fresh auths with a retryable denial.
+    """
+
+    auth_req_t: object
+    reply_token: int = 0
+    replay_only: bool = False
+
+
+@dataclass(frozen=True)
+class ShardAuthResponse:
+    """Shard host -> frontend: the SAP verdict plus, on approval, the
+    minted grant so the frontend can keep its billing/revocation
+    bookkeeping without a second round trip."""
+
+    approved: bool
+    reply_token: int = 0
+    auth_resp_t: object = None
+    auth_resp_u: object = None
+    grant: object = None
+    cause: str = ""
+    retryable: bool = False
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class ShardHeartbeat:
+    """Frontend -> shard host liveness probe (plain datagram: losing a
+    few of these *is* the failure signal, so no retransmission)."""
+
+    seq: int
+
+
+@dataclass(frozen=True)
+class ShardHeartbeatAck:
+    seq: int
+    shard_id: int
+    role: str
+
+
+@dataclass(frozen=True)
+class ReplicaUpdate:
+    """Primary -> replica: one sequenced batch of idempotent state ops.
+
+    Ops are tuples: ``("nonce", nonce, id_u, window_end)``,
+    ``("grant", grant)``, ``("response", digest, triple, expires_at)``,
+    ``("tombstone", session_id, id_u, expires_at)``,
+    ``("forget", id_u)``, ``("reset",)``.
+    """
+
+    shard_id: int
+    seq: int
+    ops: tuple = ()
+
+
+@dataclass(frozen=True)
+class ReplicaUpdateAck:
+    shard_id: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class PromoteReplica:
+    """Frontend -> standby: take over as primary (epoch fences a stale
+    promotion that crosses a later failover)."""
+
+    shard_id: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class PromoteAck:
+    shard_id: int
+    epoch: int
+    applied_seq: int
+
+
+@dataclass(frozen=True)
+class ResyncPeer:
+    """Frontend -> current primary: your peer rejoined empty; restart
+    the replication stream from a full snapshot."""
+
+    shard_id: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ResyncAck:
+    shard_id: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class HandoffBegin:
+    """Frontend -> source shard: stream the session state of
+    ``moving_ids`` to ``target_shard`` (chunks relayed via the
+    frontend — shard hosts have no direct links to each other)."""
+
+    handoff_id: int
+    shard_id: int
+    target_shard: int
+    moving_ids: tuple
+
+
+@dataclass(frozen=True)
+class HandoffBeginAck:
+    handoff_id: int
+    entries: int
+
+
+@dataclass(frozen=True)
+class HandoffChunk:
+    """One sequenced slice of a handoff.  Applied idempotently at the
+    target (dedup by ``(handoff_id, seq)``), so retransmission and
+    restart-after-loss are safe."""
+
+    handoff_id: int
+    source_shard: int
+    target_shard: int
+    seq: int
+    last: bool
+    entries: tuple = ()
+
+
+@dataclass(frozen=True)
+class HandoffChunkAck:
+    handoff_id: int
+    seq: int
+    last: bool = False
+
+
+@dataclass(frozen=True)
+class HandoffCommit:
+    """Frontend -> source shard, after every chunk of the rebalance is
+    acked: drop the moved state (and tell your replica to forget it)."""
+
+    handoff_id: int
+    shard_id: int
+    moving_ids: tuple
+
+
+@dataclass(frozen=True)
+class HandoffCommitAck:
+    handoff_id: int
+
+
+# Frontend-side processing costs for the shard protocol on brokerd.
+FRONTEND_PROCESSING_COSTS = {
+    ShardAuthResponse: 0.0001,
+    ShardHeartbeatAck: 0.00002,
+    PromoteAck: 0.0001,
+    ResyncAck: 0.00005,
+    HandoffBeginAck: 0.00005,
+    HandoffChunk: 0.0002,      # relay: queue + forward
+    HandoffChunkAck: 0.00005,
+    HandoffCommitAck: 0.00005,
+}
+
+
+# -- the shard host ---------------------------------------------------------
+
+class ShardHost(SignalingNode):
+    """One network-attached SAP shard (primary or warm replica).
+
+    Embeds a single-shard :class:`BrokerSap` keyed with the broker's own
+    key (same trust domain — the fleet *is* the broker), namespaced via
+    ``session_prefix`` so two hosts of the same broker can never mint
+    colliding session ids, even across a crash/promotion cycle (the
+    prefix carries a generation number bumped on every crash).
+    """
+
+    processing_costs = {
+        ShardAuthRequest: AUTH_REQUEST_PROCESSING,
+        ShardHeartbeat: 0.00002,
+        ReplicaUpdate: 0.0002,
+        PromoteReplica: 0.0001,
+        ResyncPeer: 0.0002,
+        HandoffBegin: 0.0002,
+        HandoffChunk: 0.0002,
+        HandoffCommit: 0.0001,
+    }
+    obs_category = "cloud"
+    _SPAN_NAMES = {ShardAuthRequest: "sap.shard_verify"}
+
+    #: replication batch cadence (primary -> replica flush timer).
+    replication_interval = 0.05
+    #: stop retrying replication this long after the last peer ack
+    #: (the peer is presumed dead; the frontend resyncs it on rejoin).
+    replication_giveup = 5.0
+    #: state entries per handoff chunk.
+    handoff_chunk_entries = 8
+
+    auths_served = CounterAttr("shard.auths_served")
+    auths_denied = CounterAttr("shard.auths_denied")
+    degraded_denials = CounterAttr("shard.degraded_denials")
+    cache_serves = CounterAttr("shard.cache_serves")
+    repl_batches_sent = CounterAttr("shard.repl_batches_sent")
+    repl_ops_applied = CounterAttr("shard.repl_ops_applied")
+    repl_giveups = CounterAttr("shard.repl_giveups")
+    handoff_chunks_sent = CounterAttr("shard.handoff_chunks_sent")
+    handoff_chunk_retx = CounterAttr("shard.handoff_chunk_retx")
+    promotions = CounterAttr("shard.promotions")
+    crashes = CounterAttr("shard.crashes")
+
+    def span_name(self, message: object) -> str:
+        name = self._SPAN_NAMES.get(type(message))
+        return name if name is not None else super().span_name(message)
+
+    def __init__(self, host: Host, shard_id: int, id_b: str, key,
+                 ca_public_key, *, frontend_ip: str, peer_ip: str,
+                 session_ttl: float = 3600.0, is_replica: bool = False,
+                 name: Optional[str] = None):
+        suffix = "r" if is_replica else ""
+        super().__init__(host, name or f"shard{shard_id}{suffix}")
+        self.shard_id = shard_id
+        self.id_b = id_b
+        self.key = key
+        self.ca_public_key = ca_public_key
+        self.session_ttl = session_ttl
+        self.frontend_ip = frontend_ip
+        self.peer_ip = peer_ip
+        self.is_replica = is_replica
+        self._base_suffix = suffix
+        self.crashed = False
+        #: bumped on every crash so a reborn host mints in a fresh
+        #: session-id namespace (no collision with its pre-crash grants).
+        self.generation = 0
+        #: policy hook mirrored from brokerd (reputation checks apply at
+        #: the shard, exactly as they did in the in-process broker).
+        self.authorize_btelco: Optional[Callable] = None
+        self.sap = self._new_sap()
+        # -- replication: primary side -----------------------------------
+        self.replicating = not is_replica
+        self._repl_log: list = []
+        self._repl_seq = 0
+        self._repl_inflight: Optional[ReplicaUpdate] = None
+        self._repl_timer = None
+        self._repl_last_ack_at = 0.0
+        # -- replication: replica side -----------------------------------
+        self._applied_seq = 0
+        # -- handoff state ------------------------------------------------
+        #: outbound: handoff_id -> {"chunks": [...], "next": int}
+        self._handoffs_out: dict[int, dict] = {}
+        #: inbound dedup: (handoff_id, seq) pairs already applied.
+        self._chunks_applied: set = set()
+        self.auths_served = 0
+        self.auths_denied = 0
+        self.degraded_denials = 0
+        self.cache_serves = 0
+        self.repl_batches_sent = 0
+        self.repl_ops_applied = 0
+        self.repl_giveups = 0
+        self.handoff_chunks_sent = 0
+        self.handoff_chunk_retx = 0
+        self.promotions = 0
+        self.crashes = 0
+        self.on(ShardAuthRequest, self._handle_auth)
+        self.on(ShardHeartbeat, self._handle_heartbeat)
+        self.on(ReplicaUpdate, self._handle_replica_update)
+        self.on(ReplicaUpdateAck, self._handle_replica_ack)
+        self.on(PromoteReplica, self._handle_promote)
+        self.on(ResyncPeer, self._handle_resync)
+        self.on(HandoffBegin, self._handle_handoff_begin)
+        self.on(HandoffChunk, self._handle_handoff_chunk)
+        self.on(HandoffChunkAck, self._handle_handoff_chunk_ack)
+        self.on(HandoffCommit, self._handle_handoff_commit)
+
+    # -- lifecycle -----------------------------------------------------------
+    def _session_prefix(self) -> str:
+        gen = f"g{self.generation}" if self.generation else ""
+        return f"{self.id_b}/s{self.shard_id}{self._base_suffix}{gen}"
+
+    def _new_sap(self) -> BrokerSap:
+        sap = BrokerSap(id_b=self.id_b, key=self.key,
+                        ca_public_key=self.ca_public_key,
+                        session_ttl=self.session_ttl,
+                        metrics=self.metrics, num_shards=1,
+                        session_prefix=self._session_prefix())
+        sap.authorize_btelco = self._authorize_proxy
+        return sap
+
+    def _authorize_proxy(self, id_t: str) -> Optional[str]:
+        if self.authorize_btelco is None:
+            return None
+        return self.authorize_btelco(id_t)
+
+    @property
+    def role(self) -> str:
+        return "replica" if self.is_replica else "primary"
+
+    def crash(self) -> None:
+        """Fail-stop: lose all state, drop every datagram until restart."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        self.generation += 1
+        for correlation_id in list(self._pending_requests):
+            self.cancel_request(correlation_id)
+        if self._repl_timer is not None:
+            self._repl_timer.cancel()
+            self._repl_timer = None
+        self._repl_log.clear()
+        self._repl_inflight = None
+        self._repl_seq = 0
+        self._applied_seq = 0
+        self._handoffs_out.clear()
+        self._chunks_applied.clear()
+        self._request_cache.clear()
+        self._request_cache_expiry.clear()
+        self.sap = self._new_sap()
+        # A crashed node no longer streams state anywhere.
+        self.replicating = False
+
+    def restart(self) -> None:
+        """Rejoin empty.  The frontend notices the heartbeat acks
+        resuming and re-provisions subscribers + orders a resync from
+        the current primary; until then this node is a bare standby."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.is_replica = True   # whoever survived is the primary now
+
+    def _on_datagram(self, src_ip: str, src_port: int, body: object,
+                     sent_at: float) -> None:
+        if self.crashed:
+            return
+        super()._on_datagram(src_ip, src_port, body, sent_at)
+
+    def _clear_session_state(self) -> None:
+        shard = self.sap.shards[0]
+        shard.seen_nonces.clear()
+        shard.nonce_expiry.clear()
+        shard.grants.clear()
+        shard.grant_expiry.clear()
+        shard.sessions_by_ue.clear()
+        shard.revoked_sessions.clear()
+        self.sap._response_cache.clear()
+        self.sap._response_cache_expiry.clear()
+
+    # -- auth serving --------------------------------------------------------
+    def _handle_auth(self, src_ip: str, request: ShardAuthRequest) -> None:
+        now = self.sim.now
+        sap = self.sap
+        sap.begin_window(now)
+        digest = sap._request_digest(request.auth_req_t)
+        cached = sap.lookup_cached(digest)
+        if cached is not None:
+            sealed_t, sealed_u, grant = cached
+            self.cache_serves += 1
+            self.send(src_ip, ShardAuthResponse(
+                approved=True, reply_token=request.reply_token,
+                auth_resp_t=sealed_t, auth_resp_u=sealed_u, grant=grant,
+                cached=True),
+                size=sealed_t.wire_size + sealed_u.wire_size + 96)
+            return
+        if self.is_replica:
+            # Unpromoted standby: degraded mode serves only the
+            # replicated idempotency cache; fresh auths fail fast with
+            # a retryable cause so the UE backs off instead of timing
+            # out against a dead primary.
+            self.degraded_denials += 1
+            self.send(src_ip, ShardAuthResponse(
+                approved=False, reply_token=request.reply_token,
+                cause=(f"{DenialCause.DEGRADED.value}: shard "
+                       f"{self.shard_id} failing over"),
+                retryable=True), size=96)
+            return
+        try:
+            prepared = sap.prevalidate(request.auth_req_t, now)
+        except SapError as exc:
+            self.auths_denied += 1
+            self.send(src_ip, ShardAuthResponse(
+                approved=False, reply_token=request.reply_token,
+                cause=str(exc)), size=96)
+            return
+        nonce = prepared.auth_vec.nonce
+        id_u = prepared.auth_vec.id_u
+        try:
+            sealed_t, sealed_u, grant = sap.finish_request(prepared, now)
+        except SapError as exc:
+            # A policy denial still consumed the nonce: replicate the
+            # replay-window entry so the denial survives a failover.
+            entry = sap.shards[0].seen_nonces.get(nonce)
+            if entry is not None:
+                self._queue_op(("nonce", nonce, id_u, entry[0]))
+            self.auths_denied += 1
+            self.send(src_ip, ShardAuthResponse(
+                approved=False, reply_token=request.reply_token,
+                cause=str(exc)), size=96)
+            return
+        self.auths_served += 1
+        self._queue_op(("nonce", nonce, id_u, now + sap.session_ttl))
+        self._queue_op(("grant", grant))
+        self._queue_op(("response", digest, (sealed_t, sealed_u, grant),
+                        now + min(sap.response_cache_ttl,
+                                  sap.session_ttl)))
+        self.send(src_ip, ShardAuthResponse(
+            approved=True, reply_token=request.reply_token,
+            auth_resp_t=sealed_t, auth_resp_u=sealed_u, grant=grant),
+            size=sealed_t.wire_size + sealed_u.wire_size + 96)
+
+    def _handle_heartbeat(self, src_ip: str, probe: ShardHeartbeat) -> None:
+        self.send(src_ip, ShardHeartbeatAck(
+            seq=probe.seq, shard_id=self.shard_id, role=self.role),
+            size=32)
+
+    # -- replication: primary side ------------------------------------------
+    def _queue_op(self, op: tuple) -> None:
+        if not self.replicating or self.crashed:
+            return
+        self._repl_log.append(op)
+        if self._repl_timer is None:
+            self._repl_timer = self.sim.schedule(
+                self.replication_interval, self._flush_repl)
+
+    def _flush_repl(self) -> None:
+        self._repl_timer = None
+        if self.crashed or not self.replicating:
+            return
+        if self._repl_inflight is not None:
+            return   # serialized stream: next batch goes after the ack
+        if not self._repl_log:
+            return
+        self._repl_seq += 1
+        update = ReplicaUpdate(shard_id=self.shard_id, seq=self._repl_seq,
+                               ops=tuple(self._repl_log))
+        self._repl_log.clear()
+        self._repl_inflight = update
+        self.repl_batches_sent += 1
+        self._transmit_repl()
+
+    def _transmit_repl(self) -> None:
+        update = self._repl_inflight
+        if update is None or self.crashed or not self.replicating:
+            return
+        self.send_request(
+            self.peer_ip, update, size=64 + 96 * len(update.ops),
+            timeout=0.2, max_attempts=4,
+            on_give_up=lambda _msg: self._repl_gave_up())
+
+    def _repl_gave_up(self) -> None:
+        """The in-flight batch never got acked.  Keep the *same* frozen
+        (seq, ops) batch and retransmit it as a fresh request — the seq
+        must not be reused for different ops, or a batch that was
+        delivered (ack lost) would swallow the replacement."""
+        self.repl_giveups += 1
+        if self.crashed or not self.replicating:
+            return
+        if self.sim.now - self._repl_last_ack_at > self.replication_giveup:
+            # Peer presumed dead: stop streaming (bounded event queue);
+            # the frontend resyncs it from scratch when it rejoins.
+            self.replicating = False
+            self._repl_inflight = None
+            self._repl_log.clear()
+            return
+        self.sim.schedule(self.replication_interval, self._transmit_repl)
+
+    def _handle_replica_ack(self, src_ip: str,
+                            ack: ReplicaUpdateAck) -> None:
+        inflight = self._repl_inflight
+        if inflight is None or ack.seq != inflight.seq:
+            return
+        self._repl_inflight = None
+        self._repl_last_ack_at = self.sim.now
+        if self._repl_log and self._repl_timer is None:
+            self._repl_timer = self.sim.schedule(
+                self.replication_interval, self._flush_repl)
+
+    def start_resync(self) -> None:
+        """Snapshot the full session state and restart the replication
+        stream from seq 1 (the peer rejoined empty)."""
+        shard = self.sap.shards[0]
+        ops: list = [("reset",)]
+        for nonce in sorted(shard.seen_nonces):
+            window_end, id_u = shard.seen_nonces[nonce]
+            ops.append(("nonce", nonce, id_u, window_end))
+        for session_id in sorted(shard.grants):
+            ops.append(("grant", shard.grants[session_id]))
+        for session_id in sorted(shard.revoked_sessions):
+            id_u, expires_at = shard.revoked_sessions[session_id]
+            ops.append(("tombstone", session_id, id_u, expires_at))
+        for digest in sorted(self.sap._response_cache):
+            triple = self.sap._response_cache[digest]
+            ops.append(("response", digest, triple,
+                        self.sim.now + self.sap.response_cache_ttl))
+        self._repl_seq = 0
+        self._repl_inflight = None
+        self._repl_log = ops
+        self._repl_last_ack_at = self.sim.now
+        self.replicating = True
+        if self._repl_timer is None:
+            self._repl_timer = self.sim.schedule(0.0, self._flush_repl)
+
+    def _handle_resync(self, src_ip: str, order: ResyncPeer) -> None:
+        self.start_resync()
+        self.send(src_ip, ResyncAck(shard_id=self.shard_id,
+                                    epoch=order.epoch), size=32)
+
+    # -- replication: replica side ------------------------------------------
+    def _handle_replica_update(self, src_ip: str,
+                               update: ReplicaUpdate) -> None:
+        if update.seq <= self._applied_seq:
+            # App-level duplicate (give-up + retransmit under a new
+            # correlation id): already applied, just re-ack.
+            self.send(src_ip, ReplicaUpdateAck(
+                shard_id=update.shard_id, seq=update.seq), size=32)
+            return
+        if update.seq == self._applied_seq + 1 or update.ops[:1] == (
+                ("reset",),):
+            for op in update.ops:
+                self._apply_op(op)
+                self.repl_ops_applied += 1
+            self._applied_seq = update.seq
+            self.send(src_ip, ReplicaUpdateAck(
+                shard_id=update.shard_id, seq=update.seq), size=32)
+        # A gap (seq > applied + 1 without a reset) is unsatisfiable
+        # with the serialized stream; drop and let the sender retry.
+
+    def _apply_op(self, op: tuple) -> None:
+        kind = op[0]
+        sap = self.sap
+        shard = sap.shards[0]
+        if kind == "reset":
+            self._clear_session_state()
+        elif kind == "nonce":
+            _, nonce, id_u, window_end = op
+            if nonce not in shard.seen_nonces:
+                shard.note_nonce(nonce, id_u, window_end)
+        elif kind == "grant":
+            grant = op[1]
+            if grant.session_id in shard.grants \
+                    or grant.session_id in shard.revoked_sessions:
+                return
+            shard.grants[grant.session_id] = grant
+            shard.sessions_by_ue.setdefault(grant.id_u, set()).add(
+                grant.session_id)
+            heapq.heappush(shard.grant_expiry,
+                           (grant.expires_at, grant.session_id))
+        elif kind == "response":
+            _, digest, triple, expires_at = op
+            if digest not in sap._response_cache:
+                sap._response_cache[digest] = triple
+                heapq.heappush(sap._response_cache_expiry,
+                               (expires_at, digest))
+        elif kind == "tombstone":
+            _, session_id, id_u, expires_at = op
+            grant = shard.grants.pop(session_id, None)
+            if grant is not None:
+                sessions = shard.sessions_by_ue.get(id_u)
+                if sessions is not None:
+                    sessions.discard(session_id)
+                    if not sessions:
+                        del shard.sessions_by_ue[id_u]
+            shard.revoked_sessions[session_id] = (id_u, expires_at)
+            heapq.heappush(shard.grant_expiry, (expires_at, session_id))
+        elif kind == "forget":
+            self._drop_subscriber_state(op[1])
+
+    def _drop_subscriber_state(self, id_u: str) -> None:
+        """Forget one subscriber's session state (post-handoff commit).
+        Heap entries left behind go stale and are skipped lazily."""
+        sap = self.sap
+        shard = sap.shards[0]
+        for nonce in [n for n, (_, owner) in shard.seen_nonces.items()
+                      if owner == id_u]:
+            del shard.seen_nonces[nonce]
+        for session_id in sorted(shard.sessions_by_ue.pop(id_u, set())):
+            shard.grants.pop(session_id, None)
+        for session_id in [s for s, (owner, _)
+                           in shard.revoked_sessions.items()
+                           if owner == id_u]:
+            del shard.revoked_sessions[session_id]
+        for digest in [d for d, triple in sap._response_cache.items()
+                       if triple[2].id_u == id_u]:
+            del sap._response_cache[digest]
+
+    # -- promotion -----------------------------------------------------------
+    def _handle_promote(self, src_ip: str, order: PromoteReplica) -> None:
+        if self.is_replica:
+            self.is_replica = False
+            self.promotions += 1
+            # The old primary is presumed dead; no peer to stream to
+            # until the frontend orders a resync.
+            self.replicating = False
+        self.send(src_ip, PromoteAck(
+            shard_id=self.shard_id, epoch=order.epoch,
+            applied_seq=self._applied_seq), size=32)
+
+    # -- handoff: source side ------------------------------------------------
+    def _collect_handoff(self, moving: set) -> list:
+        """Deterministic snapshot of the session state owned by the
+        moving subscribers (sorted iteration -> identical chunking on
+        identically-seeded runs)."""
+        sap = self.sap
+        shard = sap.shards[0]
+        entries: list = []
+        for nonce in sorted(n for n, (_, owner)
+                            in shard.seen_nonces.items()
+                            if owner in moving):
+            window_end, owner = shard.seen_nonces[nonce]
+            entries.append(("nonce", nonce, owner, window_end))
+        for session_id in sorted(s for s, g in shard.grants.items()
+                                 if g.id_u in moving):
+            entries.append(("grant", shard.grants[session_id]))
+        for session_id in sorted(s for s, (owner, _)
+                                 in shard.revoked_sessions.items()
+                                 if owner in moving):
+            owner, expires_at = shard.revoked_sessions[session_id]
+            entries.append(("tombstone", session_id, owner, expires_at))
+        for digest in sorted(d for d, triple
+                             in sap._response_cache.items()
+                             if triple[2].id_u in moving):
+            entries.append(("response", digest,
+                            sap._response_cache[digest],
+                            self.sim.now + sap.response_cache_ttl))
+        return entries
+
+    def _handle_handoff_begin(self, src_ip: str,
+                              begin: HandoffBegin) -> None:
+        entries = self._collect_handoff(set(begin.moving_ids))
+        per = self.handoff_chunk_entries
+        slices = [tuple(entries[i:i + per])
+                  for i in range(0, len(entries), per)] or [()]
+        chunks = [HandoffChunk(handoff_id=begin.handoff_id,
+                               source_shard=self.shard_id,
+                               target_shard=begin.target_shard,
+                               seq=index + 1,
+                               last=(index == len(slices) - 1),
+                               entries=chunk_entries)
+                  for index, chunk_entries in enumerate(slices)]
+        self._handoffs_out[begin.handoff_id] = {
+            "chunks": chunks, "next": 0}
+        self.send(src_ip, HandoffBeginAck(
+            handoff_id=begin.handoff_id, entries=len(entries)), size=32)
+        self._send_next_chunk(begin.handoff_id)
+
+    def _send_next_chunk(self, handoff_id: int) -> None:
+        state = self._handoffs_out.get(handoff_id)
+        if state is None or self.crashed:
+            return
+        if state["next"] >= len(state["chunks"]):
+            return   # all chunks acked; waiting for the commit
+        chunk = state["chunks"][state["next"]]
+        self.handoff_chunks_sent += 1
+        self.send_request(
+            self.frontend_ip, chunk, size=64 + 96 * len(chunk.entries),
+            timeout=0.3, max_attempts=6,
+            on_retransmit=lambda _m, _n: self._note_chunk_retx(),
+            on_give_up=lambda _m, h=handoff_id: self._chunk_gave_up(h))
+
+    def _note_chunk_retx(self) -> None:
+        self.handoff_chunk_retx += 1
+
+    def _chunk_gave_up(self, handoff_id: int) -> None:
+        """The relay (or the target behind it) never acked: resend the
+        same chunk as a fresh request — application is idempotent."""
+        if handoff_id in self._handoffs_out and not self.crashed:
+            self.handoff_chunk_retx += 1
+            self.sim.schedule(self.replication_interval,
+                              self._send_next_chunk, handoff_id)
+
+    def _handle_handoff_chunk_ack(self, src_ip: str,
+                                  ack: HandoffChunkAck) -> None:
+        state = self._handoffs_out.get(ack.handoff_id)
+        if state is None:
+            return
+        chunks = state["chunks"]
+        if state["next"] < len(chunks) \
+                and chunks[state["next"]].seq == ack.seq:
+            state["next"] += 1
+            self._send_next_chunk(ack.handoff_id)
+
+    # -- handoff: target side ------------------------------------------------
+    def _handle_handoff_chunk(self, src_ip: str,
+                              chunk: HandoffChunk) -> None:
+        key = (chunk.handoff_id, chunk.seq)
+        if key not in self._chunks_applied:
+            self._chunks_applied.add(key)
+            for op in chunk.entries:
+                self._apply_op(op)
+                # The target replicates inherited state to its own
+                # standby like any other mutation.
+                self._queue_op(op)
+        self.send(src_ip, HandoffChunkAck(
+            handoff_id=chunk.handoff_id, seq=chunk.seq,
+            last=chunk.last), size=32)
+
+    def _handle_handoff_commit(self, src_ip: str,
+                               commit: HandoffCommit) -> None:
+        if commit.handoff_id in self._handoffs_out:
+            del self._handoffs_out[commit.handoff_id]
+            for id_u in sorted(commit.moving_ids):
+                self._drop_subscriber_state(id_u)
+                self._queue_op(("forget", id_u))
+        self.send(src_ip, HandoffCommitAck(
+            handoff_id=commit.handoff_id), size=32)
+
+    def stats(self) -> dict:
+        stats = {
+            "shard_id": self.shard_id,
+            "role": self.role,
+            "crashed": self.crashed,
+            "generation": self.generation,
+            "auths_served": self.auths_served,
+            "auths_denied": self.auths_denied,
+            "degraded_denials": self.degraded_denials,
+            "cache_serves": self.cache_serves,
+            "repl_batches_sent": self.repl_batches_sent,
+            "repl_ops_applied": self.repl_ops_applied,
+            "repl_giveups": self.repl_giveups,
+            "repl_applied_seq": self._applied_seq,
+            "handoff_chunks_sent": self.handoff_chunks_sent,
+            "handoff_chunk_retx": self.handoff_chunk_retx,
+            "promotions": self.promotions,
+            "crashes": self.crashes,
+            "sap": self.sap.stats(),
+        }
+        stats.update(self.reliable_stats())
+        return stats
+
+
+# -- the frontend -----------------------------------------------------------
+
+@dataclass
+class _PendingAttach:
+    """One attach forwarded to (or parked for) a shard host."""
+
+    src_ip: str
+    request: object            # the AGW's BrokerAuthRequest
+    deferred: object
+    id_u: Optional[str]
+    shard_id: int
+    attempts: int = 0
+
+
+@dataclass
+class _ShardState:
+    """Frontend-side view of one shard's primary/standby pair."""
+
+    shard_id: int
+    primary_addr: str
+    standby_addr: str
+    hosts: dict                # addr -> ShardHost (chaos / provisioning)
+    active: bool = False
+    status: str = "healthy"    # healthy | degraded | down
+    last_ack: dict = field(default_factory=dict)   # addr -> sim time
+    alive: dict = field(default_factory=dict)      # addr -> bool
+    epoch: int = 0
+    failover_started: float = 0.0
+    gauge: object = None
+
+
+class ShardFrontend:
+    """Routes, health-checks, fails over, and rebalances shard hosts.
+
+    Lives inside ``brokerd`` (all its I/O goes through the daemon's
+    signaling socket); holds the consistent-hash ring, the pending-attach
+    table, the failure detector, and the billing/revocation mirror that
+    keeps ``revoke_subscriber`` synchronous at the frontend while session
+    state lives on the shard hosts.
+    """
+
+    heartbeat_interval = 0.2
+    detection_timeout = 0.65
+    #: reliable-forward knobs for auth requests to shard hosts.
+    forward_timeout = 0.25
+    forward_attempts = 3
+    max_reforwards = 3
+    #: stop the heartbeat timer this long after the last auth activity
+    #: (restarted lazily) so an idle simulation can quiesce.
+    idle_stop = 2.0
+    #: hard cap on supervising unhealthy shards with no traffic.
+    down_patience = 30.0
+    recent_auth_cap = 512
+
+    def __init__(self, brokerd, states: dict, active: list):
+        self.brokerd = brokerd
+        self.sim = brokerd.sim
+        self.metrics = brokerd.metrics
+        self.states: dict[int, _ShardState] = states
+        self.ring = ShardRouter()
+        self.active_ids: list[int] = sorted(active)
+        for sid in self.active_ids:
+            self.ring.add(sid)
+        self.spare_ids: list[int] = sorted(
+            sid for sid in states if sid not in set(active))
+        now = self.sim.now
+        for sid, st in sorted(states.items()):
+            st.gauge = self.metrics.gauge("broker.shard_health",
+                                          shard=str(sid))
+            st.active = sid in set(active)
+            st.gauge.set(1 if st.active else 0)
+            for addr in (st.primary_addr, st.standby_addr):
+                st.last_ack[addr] = now
+                st.alive[addr] = True
+        self.failovers_total = self.metrics.counter(
+            "broker.failovers_total")
+        self.handoff_chunks_retried = self.metrics.counter(
+            "broker.handoff_chunks_retried")
+        self.degraded_denials = self.metrics.counter(
+            "broker.degraded_denials")
+        self.parked_attaches = self.metrics.counter(
+            "broker.parked_attaches")
+        self.forward_giveups = self.metrics.counter(
+            "broker.forward_giveups")
+        self.rebalances_total = self.metrics.counter(
+            "broker.rebalances_total")
+        self.resyncs_total = self.metrics.counter("broker.resyncs_total")
+        self._next_token = 1
+        self._next_handoff = 1
+        self._pending: dict[int, _PendingAttach] = {}
+        #: id_u -> {session_id: grant} mirror for synchronous revocation.
+        self._grants_by_ue: dict[str, dict] = {}
+        self._expiry_heap: list = []
+        #: recent approved auths (for drills probing replay-across-
+        #: failover): dicts with at/auth_req_u/id_t/id_u/shard.
+        self.recent_auths: list = []
+        self.failover_log: list = []
+        self.rebalance_log: list = []
+        self._rebalance: Optional[dict] = None
+        #: (handoff_id, seq) -> (deferred, source_addr) chunk relays.
+        self._relay: dict = {}
+        self._hb_seq = 0
+        self._hb_running = False
+        self._last_activity = now
+        self._start_heartbeats()
+
+    def broker_processing_costs(self) -> dict:
+        return dict(FRONTEND_PROCESSING_COSTS)
+
+    # -- health checking -----------------------------------------------------
+    def _start_heartbeats(self) -> None:
+        if not self._hb_running:
+            self._hb_running = True
+            # The detector was off: stale last-ack timestamps are not
+            # evidence of death, so every live endpoint gets a full
+            # detection window before it can be declared dead.
+            now = self.sim.now
+            for st in self.states.values():
+                for addr, alive in st.alive.items():
+                    if alive:
+                        st.last_ack[addr] = now
+            self.sim.schedule(0.0, self._hb_tick)
+
+    def _hb_tick(self) -> None:
+        now = self.sim.now
+        self._hb_seq += 1
+        for sid in self.active_ids:
+            st = self.states[sid]
+            for addr in (st.primary_addr, st.standby_addr):
+                self.brokerd.send(addr, ShardHeartbeat(seq=self._hb_seq),
+                                  size=32)
+            self._check_endpoints(st, now)
+        idle = now - self._last_activity
+        # Keep probing past the activity window only while there is
+        # something to supervise (an unhealthy shard that might rejoin,
+        # a rebalance in flight) — and even then give up after
+        # ``down_patience`` so a permanently-lost host cannot keep the
+        # simulation's event queue alive forever.  The next attach (or
+        # rebalance call) restarts the detector.
+        busy = (idle <= self.idle_stop
+                or (idle <= self.down_patience
+                    and (self._rebalance is not None
+                         or any(self.states[sid].status != "healthy"
+                                for sid in self.active_ids))))
+        if busy:
+            self.sim.schedule(self.heartbeat_interval, self._hb_tick)
+        else:
+            self._hb_running = False
+
+    def _check_endpoints(self, st: _ShardState, now: float) -> None:
+        for addr in (st.primary_addr, st.standby_addr):
+            if st.alive.get(addr) \
+                    and now - st.last_ack[addr] > self.detection_timeout:
+                st.alive[addr] = False
+                if addr == st.primary_addr and st.status == "healthy":
+                    self._begin_failover(st)
+
+    def _begin_failover(self, st: _ShardState) -> None:
+        st.status = "degraded"
+        st.epoch += 1
+        st.failover_started = self.sim.now
+        st.gauge.set(0)
+        self.failovers_total.inc()
+        self._send_promote(st)
+
+    def _send_promote(self, st: _ShardState) -> None:
+        epoch = st.epoch
+        self.brokerd.send_request(
+            st.standby_addr,
+            PromoteReplica(shard_id=st.shard_id, epoch=epoch),
+            size=32, timeout=0.15, max_attempts=8,
+            on_give_up=lambda _m: self._promote_gave_up(st, epoch))
+
+    def _promote_gave_up(self, st: _ShardState, epoch: int) -> None:
+        if st.epoch == epoch and st.status == "degraded":
+            # Standby unreachable too: total shard loss.  Fresh auths
+            # keep fast-failing; a later heartbeat ack re-triggers the
+            # promotion.
+            st.status = "down"
+
+    def _on_heartbeat_ack(self, src_ip: str,
+                          ack: ShardHeartbeatAck) -> None:
+        st = self.states.get(ack.shard_id)
+        if st is None or src_ip not in st.last_ack:
+            return
+        st.last_ack[src_ip] = self.sim.now
+        if st.alive.get(src_ip):
+            return
+        st.alive[src_ip] = True
+        if src_ip == st.standby_addr:
+            if st.status == "healthy":
+                self._order_resync(st)
+            else:
+                # Total-loss recovery: the standby rejoined empty and
+                # there is no live peer to resync from, so re-push the
+                # provisioning plane (subscriber DB, LI mandates) right
+                # away — a promotion can land on it at any moment (an
+                # in-flight retransmit while degraded, or the one sent
+                # below).  Session state died with the shard, but
+                # enrolled subscribers must not be denied as unknown.
+                self._reprovision(st.hosts[src_ip])
+                if st.status == "down":
+                    st.status = "degraded"
+                    self._send_promote(st)
+
+    def _on_promote_ack(self, src_ip: str, ack: PromoteAck) -> None:
+        st = self.states.get(ack.shard_id)
+        if st is None or ack.epoch != st.epoch \
+                or st.status not in ("degraded", "down"):
+            return
+        st.primary_addr, st.standby_addr = \
+            st.standby_addr, st.primary_addr
+        st.status = "healthy"
+        st.gauge.set(1)
+        now = self.sim.now
+        self.failover_log.append({
+            "shard": st.shard_id,
+            "detected_at": round(st.failover_started, 6),
+            "promoted_at": round(now, 6),
+            "promotion_s": round(now - st.failover_started, 6),
+        })
+        if st.alive.get(st.standby_addr):
+            # The old primary restarted before promotion finished: it
+            # rejoined empty, so resync it from the new primary now.
+            self._order_resync(st)
+        if self._rebalance is not None:
+            self._restart_handoffs_from(st.shard_id)
+
+    def _order_resync(self, st: _ShardState) -> None:
+        self.resyncs_total.inc()
+        self._reprovision(st.hosts[st.standby_addr])
+        self.brokerd.send_request(
+            st.primary_addr,
+            ResyncPeer(shard_id=st.shard_id, epoch=st.epoch),
+            size=32, timeout=0.3, max_attempts=6)
+
+    def _reprovision(self, host: ShardHost) -> None:
+        """Re-push the provisioning plane (subscriber DB, LI mandates)
+        into a host that rejoined empty."""
+        for subscriber in self.brokerd.sap.subscribers.values():
+            host.sap.enroll(subscriber)
+        host.sap.li_targets = self.brokerd.sap.li_targets
+
+    # -- attach routing ------------------------------------------------------
+    def notify_activity(self) -> None:
+        self._last_activity = self.sim.now
+        self._start_heartbeats()
+
+    def handle_auth(self, src_ip: str, request) -> None:
+        """Entry point from ``Brokerd._handle_auth_request``."""
+        self.notify_activity()
+        self._sweep_expiries(self.sim.now)
+        deferred = self.brokerd.defer_reply()
+        scale = self.brokerd._cost_scale()
+        self.brokerd.charge(AUTHVEC_DECRYPT_COST * scale)
+        id_u: Optional[str] = None
+        try:
+            auth_vec = AuthVec.from_bytes(self.brokerd.key.decrypt(
+                request.auth_req_t.auth_req_u.auth_vec_encrypted))
+            id_u = auth_vec.id_u
+        except (CryptoError, MessageError):
+            pass   # undecryptable: any shard will deny it properly
+        if self._rebalance is not None and id_u is not None \
+                and id_u in self._rebalance["moving"]:
+            # Mid-handoff: park rather than risk serving from a shard
+            # that no longer (or does not yet) own the state.
+            self.parked_attaches.inc()
+            self._rebalance["parked"].append(
+                (src_ip, request, deferred, id_u))
+            return
+        shard_id = self.ring.shard_for(id_u) if id_u is not None \
+            else self.active_ids[0]
+        token = self._next_token
+        self._next_token += 1
+        self._pending[token] = _PendingAttach(
+            src_ip=src_ip, request=request, deferred=deferred,
+            id_u=id_u, shard_id=shard_id)
+        self._transmit_forward(token)
+
+    def _transmit_forward(self, token: int) -> None:
+        record = self._pending.get(token)
+        if record is None:
+            return
+        st = self.states[record.shard_id]
+        if st.status == "down":
+            self._pending.pop(token, None)
+            self._deny_degraded(record)
+            return
+        if st.status == "degraded":
+            # Serve retransmit-replays from the still-syncing replica;
+            # fresh auths will fast-fail there with a retryable cause.
+            addr, replay_only = st.standby_addr, True
+        else:
+            addr, replay_only = st.primary_addr, False
+        forward = ShardAuthRequest(
+            auth_req_t=record.request.auth_req_t,
+            reply_token=token, replay_only=replay_only)
+        self.brokerd.send_request(
+            addr, forward, size=record.request.auth_req_t.wire_size + 16,
+            timeout=self.forward_timeout,
+            max_attempts=self.forward_attempts,
+            on_give_up=lambda _m, t=token: self._forward_gave_up(t))
+
+    def _forward_gave_up(self, token: int) -> None:
+        record = self._pending.get(token)
+        if record is None:
+            return
+        self.forward_giveups.inc()
+        record.attempts += 1
+        if record.attempts <= self.max_reforwards:
+            # Re-resolve the shard's current primary (a promotion may
+            # have happened while we were retransmitting) and try again.
+            self._transmit_forward(token)
+        else:
+            self._pending.pop(token, None)
+            self._deny_degraded(record)
+
+    def _deny_degraded(self, record: _PendingAttach) -> None:
+        self.brokerd.requests_denied += 1
+        self.degraded_denials.inc()
+        response = BrokerAuthResponse(
+            approved=False,
+            cause=(f"{DenialCause.DEGRADED.value}: shard "
+                   f"{record.shard_id} unavailable"),
+            retryable=True,
+            reply_token=record.request.reply_token)
+        record.deferred.send(record.src_ip, response, size=96)
+        record.deferred.complete()
+
+    def _on_shard_auth_response(self, src_ip: str,
+                                resp: ShardAuthResponse) -> None:
+        record = self._pending.pop(resp.reply_token, None)
+        if record is None:
+            return   # late duplicate after give-up / failover re-route
+        if resp.approved:
+            self._complete_approved(record, resp)
+            return
+        self.brokerd.requests_denied += 1
+        if resp.cause.startswith(DenialCause.DEGRADED.value):
+            self.degraded_denials.inc()
+        response = BrokerAuthResponse(
+            approved=False, cause=resp.cause, retryable=resp.retryable,
+            reply_token=record.request.reply_token)
+        record.deferred.send(record.src_ip, response, size=96)
+        record.deferred.complete()
+
+    def _complete_approved(self, record: _PendingAttach,
+                           resp: ShardAuthResponse) -> None:
+        brokerd = self.brokerd
+        grant = resp.grant
+        brokerd.requests_approved += 1
+        brokerd._session_btelco[grant.session_id] = record.src_ip
+        brokerd._btelco_keys[record.src_ip] = \
+            record.request.auth_req_t.t_certificate.public_key
+        subscriber = brokerd.sap.subscriber(grant.id_u)
+        if grant.session_id not in brokerd.billing.sessions \
+                and subscriber is not None:
+            brokerd.billing.open_session(
+                grant, ue_public_key=subscriber.public_key,
+                btelco_public_key=brokerd._btelco_keys[record.src_ip])
+        self._grants_by_ue.setdefault(grant.id_u, {})[grant.session_id] \
+            = grant
+        heapq.heappush(self._expiry_heap,
+                       (grant.expires_at, grant.session_id, grant.id_u))
+        if not resp.cached:
+            self.recent_auths.append({
+                "at": self.sim.now,
+                "auth_req_u": record.request.auth_req_t.auth_req_u,
+                "id_t": record.request.auth_req_t.id_t,
+                "id_u": grant.id_u,
+                "shard_id": record.shard_id,
+            })
+            if len(self.recent_auths) > self.recent_auth_cap:
+                del self.recent_auths[:len(self.recent_auths)
+                                      - self.recent_auth_cap]
+        response = BrokerAuthResponse(
+            approved=True, auth_resp_t=resp.auth_resp_t,
+            auth_resp_u=resp.auth_resp_u,
+            reply_token=record.request.reply_token)
+        record.deferred.send(
+            record.src_ip, response,
+            size=resp.auth_resp_t.wire_size
+            + resp.auth_resp_u.wire_size + 64)
+        record.deferred.complete()
+
+    def _sweep_expiries(self, now: float) -> None:
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            _, session_id, id_u = heapq.heappop(self._expiry_heap)
+            grants = self._grants_by_ue.get(id_u)
+            if grants is None or session_id not in grants:
+                continue   # revoked earlier; nothing left to close
+            del grants[session_id]
+            if not grants:
+                del self._grants_by_ue[id_u]
+            self.brokerd._session_btelco.pop(session_id, None)
+            self.brokerd.billing.close_session(session_id)
+
+    # -- provisioning plane --------------------------------------------------
+    def enroll(self, subscriber) -> None:
+        """Provision a subscriber on every host (strongly-consistent
+        subscriber DB: the *same* object is shared everywhere)."""
+        for _, st in sorted(self.states.items()):
+            for addr in (st.primary_addr, st.standby_addr):
+                st.hosts[addr].sap.enroll(subscriber)
+
+    def revoke(self, id_u: str) -> list:
+        """Suspend ``id_u`` everywhere and return its live grants (from
+        the frontend mirror) for the daemon's revocation push."""
+        self.brokerd.sap.revoke(id_u)   # directory: suspends the shared
+        # subscriber object, so every host sees it instantly.
+        for _, st in sorted(self.states.items()):
+            for addr in (st.primary_addr, st.standby_addr):
+                st.hosts[addr].sap.revoke(id_u)
+        return list(self._grants_by_ue.pop(id_u, {}).values())
+
+    # -- rebalancing ---------------------------------------------------------
+    def set_shard_count(self, count: int) -> None:
+        if count < 1:
+            raise ValueError("need at least one shard")
+        if count > len(self.states):
+            raise ValueError(
+                f"only {len(self.states)} shard hosts deployed")
+        if count == len(self.active_ids):
+            return
+        if count > len(self.active_ids):
+            joiners = self.spare_ids[:count - len(self.active_ids)]
+            new_active = sorted(self.active_ids + joiners)
+        else:
+            new_active = sorted(self.active_ids)[:count]
+        self._rebalance_to(new_active)
+
+    def add_shard(self) -> int:
+        if not self.spare_ids:
+            raise ValueError("no spare shard hosts left")
+        joiner = self.spare_ids[0]
+        self._rebalance_to(sorted(self.active_ids + [joiner]))
+        return joiner
+
+    def remove_shard(self, shard_id: int) -> None:
+        if shard_id not in self.active_ids:
+            raise ValueError(f"shard {shard_id} is not active")
+        if len(self.active_ids) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._rebalance_to(
+            [sid for sid in self.active_ids if sid != shard_id])
+
+    def _rebalance_to(self, new_active: list) -> None:
+        if self._rebalance is not None:
+            raise RuntimeError("rebalance already in flight")
+        self.notify_activity()
+        new_ring = ShardRouter()
+        for sid in new_active:
+            new_ring.add(sid)
+        moves: dict = {}
+        for id_u in sorted(self.brokerd.sap.subscribers):
+            old_sid = self.ring.shard_for(id_u)
+            new_sid = new_ring.shard_for(id_u)
+            if old_sid != new_sid and old_sid in self.active_ids:
+                moves.setdefault((old_sid, new_sid), []).append(id_u)
+        joiners = [sid for sid in new_active
+                   if sid not in self.active_ids]
+        leavers = [sid for sid in self.active_ids
+                   if sid not in new_active]
+        now = self.sim.now
+        for sid in joiners:
+            st = self.states[sid]
+            st.active = True
+            st.gauge.set(1)
+            for addr in (st.primary_addr, st.standby_addr):
+                st.last_ack[addr] = now
+                st.alive[addr] = True
+        self.active_ids = sorted(set(self.active_ids) | set(joiners))
+        self.rebalances_total.inc()
+        self._rebalance = {
+            "new_ring": new_ring,
+            "new_active": sorted(new_active),
+            "leavers": leavers,
+            "moving": {id_u for ids in moves.values() for id_u in ids},
+            "pairs": {},
+            "parked": [],
+            "started": now,
+        }
+        if not moves:
+            self._commit_rebalance()
+            return
+        for (src, tgt), ids in sorted(moves.items()):
+            handoff_id = self._next_handoff
+            self._next_handoff += 1
+            self._rebalance["pairs"][handoff_id] = {
+                "src": src, "tgt": tgt, "ids": sorted(ids),
+                "done": False, "begins": 0}
+            self._send_handoff_begin(handoff_id)
+
+    def _send_handoff_begin(self, handoff_id: int) -> None:
+        rb = self._rebalance
+        if rb is None or handoff_id not in rb["pairs"]:
+            return
+        pair = rb["pairs"][handoff_id]
+        pair["begins"] += 1
+        if pair["begins"] > 20:
+            return   # bound the event queue; drill gates will flag it
+        st = self.states[pair["src"]]
+        begin = HandoffBegin(
+            handoff_id=handoff_id, shard_id=pair["src"],
+            target_shard=pair["tgt"], moving_ids=tuple(pair["ids"]))
+        self.brokerd.send_request(
+            st.primary_addr, begin, size=48 + 8 * len(pair["ids"]),
+            timeout=0.3, max_attempts=6,
+            on_give_up=lambda _m, h=handoff_id:
+                self._send_handoff_begin(h))
+
+    def _restart_handoffs_from(self, shard_id: int) -> None:
+        """After a source shard failed over mid-handoff, restart its
+        incomplete handoffs under fresh ids against the new primary
+        (chunk application at the target is idempotent)."""
+        rb = self._rebalance
+        if rb is None:
+            return
+        for handoff_id in sorted(list(rb["pairs"])):
+            pair = rb["pairs"][handoff_id]
+            if pair["src"] != shard_id or pair["done"]:
+                continue
+            del rb["pairs"][handoff_id]
+            new_id = self._next_handoff
+            self._next_handoff += 1
+            rb["pairs"][new_id] = dict(pair, begins=0)
+            self._send_handoff_begin(new_id)
+
+    # Chunk relay: the source host talks to the frontend (its only
+    # route), which forwards to the target shard's current primary.
+    def _on_handoff_chunk(self, src_ip: str, chunk: HandoffChunk) -> None:
+        self.notify_activity()
+        deferred = self.brokerd.defer_reply()
+        key = (chunk.handoff_id, chunk.seq)
+        self._relay[key] = (deferred, src_ip)
+        addr = self.states[chunk.target_shard].primary_addr
+        self.brokerd.send_request(
+            addr, chunk, size=64 + 96 * len(chunk.entries),
+            timeout=self.forward_timeout, max_attempts=4,
+            on_give_up=lambda _m, k=key: self._relay.pop(k, None))
+
+    def _on_handoff_chunk_ack(self, src_ip: str,
+                              ack: HandoffChunkAck) -> None:
+        entry = self._relay.pop((ack.handoff_id, ack.seq), None)
+        if entry is not None:
+            deferred, source_addr = entry
+            deferred.send(source_addr, ack, size=32)
+            deferred.complete()
+        if ack.last:
+            self._pair_transferred(ack.handoff_id)
+
+    def _pair_transferred(self, handoff_id: int) -> None:
+        rb = self._rebalance
+        if rb is None or handoff_id not in rb["pairs"]:
+            return
+        rb["pairs"][handoff_id]["done"] = True
+        if all(pair["done"] for pair in rb["pairs"].values()):
+            self._commit_rebalance()
+
+    def _commit_rebalance(self) -> None:
+        rb = self._rebalance
+        self.ring = rb["new_ring"]
+        for sid in rb["leavers"]:
+            st = self.states[sid]
+            st.active = False
+            st.gauge.set(0)
+        self.active_ids = rb["new_active"]
+        self.spare_ids = sorted(sid for sid in self.states
+                                if sid not in set(self.active_ids))
+        for handoff_id, pair in sorted(rb["pairs"].items()):
+            st = self.states[pair["src"]]
+            commit = HandoffCommit(
+                handoff_id=handoff_id, shard_id=pair["src"],
+                moving_ids=tuple(pair["ids"]))
+            self.brokerd.send_request(
+                st.primary_addr, commit, size=48 + 8 * len(pair["ids"]),
+                timeout=0.3, max_attempts=6)
+        parked = rb["parked"]
+        self._rebalance = None
+        self.rebalance_log.append({
+            "at": round(self.sim.now, 6),
+            "duration_s": round(self.sim.now - rb["started"], 6),
+            "moved": len(rb["moving"]),
+            "parked": len(parked),
+            "active": list(self.active_ids),
+        })
+        for src_ip, request, deferred, id_u in parked:
+            shard_id = self.ring.shard_for(id_u)
+            token = self._next_token
+            self._next_token += 1
+            self._pending[token] = _PendingAttach(
+                src_ip=src_ip, request=request, deferred=deferred,
+                id_u=id_u, shard_id=shard_id)
+            self._transmit_forward(token)
+
+    def note_retransmitted(self, message) -> None:
+        """Fed from ``Brokerd.note_retransmitted_request``."""
+        if isinstance(message, HandoffChunk):
+            self.handoff_chunks_retried.inc()
+
+    def stats(self) -> dict:
+        return {
+            "active_shards": list(self.active_ids),
+            "spare_shards": list(self.spare_ids),
+            "shard_status": {
+                str(sid): self.states[sid].status
+                for sid in sorted(self.states)},
+            "failovers_total": self.failovers_total.value,
+            "failover_log": list(self.failover_log),
+            "rebalances_total": self.rebalances_total.value,
+            "rebalance_log": list(self.rebalance_log),
+            "resyncs_total": self.resyncs_total.value,
+            "degraded_denials": self.degraded_denials.value,
+            "parked_attaches": self.parked_attaches.value,
+            "forward_giveups": self.forward_giveups.value,
+            "handoff_chunks_retried": self.handoff_chunks_retried.value,
+            "pending_forwards": len(self._pending),
+            "hosts": {
+                f"{sid}:{'primary' if addr == st.primary_addr else 'standby'}":
+                    st.hosts[addr].stats()
+                for sid, st in sorted(self.states.items())
+                for addr in (st.primary_addr, st.standby_addr)},
+        }
+
+
+# -- deployment -------------------------------------------------------------
+
+def deploy_shard_hosts(network, *, num_shards: int = 2, spares: int = 0,
+                       heartbeat_interval: float = 0.2,
+                       detection_timeout: float = 0.65,
+                       replication_interval: float = 0.05,
+                       link_delay: float = 0.002,
+                       bandwidth_bps: float = 1e9) -> ShardFrontend:
+    """Turn ``network.brokerd`` into a distributed broker.
+
+    For every shard (plus ``spares`` warm spares for scale-out drills)
+    this builds a primary host, a replica host, links to the broker host
+    and between the pair, provisions the existing subscriber DB onto
+    both, and installs a :class:`ShardFrontend` into the daemon.
+    """
+    brokerd = network.brokerd
+    sim = network.sim
+    broker_host = network.broker_host
+    states: dict[int, _ShardState] = {}
+    shard_hosts: dict[str, ShardHost] = {}
+    for sid in range(num_shards + spares):
+        primary_host = Host(sim, f"shard{sid}-host",
+                            address=f"52.21.{sid}.1")
+        replica_host = Host(sim, f"shard{sid}r-host",
+                            address=f"52.22.{sid}.1")
+        primary = ShardHost(
+            primary_host, sid, brokerd.id_b, brokerd.key,
+            brokerd.sap.ca_public_key,
+            frontend_ip=broker_host.address,
+            peer_ip=replica_host.address,
+            session_ttl=brokerd.sap.session_ttl)
+        replica = ShardHost(
+            replica_host, sid, brokerd.id_b, brokerd.key,
+            brokerd.sap.ca_public_key,
+            frontend_ip=broker_host.address,
+            peer_ip=primary_host.address,
+            session_ttl=brokerd.sap.session_ttl, is_replica=True)
+        for host in (primary, replica):
+            host.replication_interval = replication_interval
+            host.authorize_btelco = brokerd._btelco_policy
+            host.sap.li_targets = brokerd.sap.li_targets
+            for subscriber in brokerd.sap.subscribers.values():
+                host.sap.enroll(subscriber)
+        uplink = Link(sim, f"shard{sid}-broker", broker_host,
+                      primary_host, bandwidth_bps, link_delay)
+        uplink_r = Link(sim, f"shard{sid}r-broker", broker_host,
+                        replica_host, bandwidth_bps, link_delay)
+        repl_link = Link(sim, f"shard{sid}-repl", primary_host,
+                         replica_host, bandwidth_bps, link_delay)
+        broker_host.add_route(
+            primary_host.address.rsplit(".", 1)[0], uplink)
+        primary_host.add_route(
+            broker_host.address.rsplit(".", 1)[0], uplink)
+        broker_host.add_route(
+            replica_host.address.rsplit(".", 1)[0], uplink_r)
+        replica_host.add_route(
+            broker_host.address.rsplit(".", 1)[0], uplink_r)
+        primary_host.add_route(
+            replica_host.address.rsplit(".", 1)[0], repl_link)
+        replica_host.add_route(
+            primary_host.address.rsplit(".", 1)[0], repl_link)
+        for link in (uplink, uplink_r, repl_link):
+            network.links[link.name] = link
+        states[sid] = _ShardState(
+            shard_id=sid,
+            primary_addr=primary_host.address,
+            standby_addr=replica_host.address,
+            hosts={primary_host.address: primary,
+                   replica_host.address: replica})
+        shard_hosts[primary.name] = primary
+        shard_hosts[replica.name] = replica
+    frontend = ShardFrontend(
+        brokerd, states, active=list(range(num_shards)))
+    frontend.heartbeat_interval = heartbeat_interval
+    frontend.detection_timeout = detection_timeout
+    brokerd.configure_distributed(frontend)
+    chaos_nodes = getattr(network, "chaos_nodes", None) or {}
+    chaos_nodes.update(shard_hosts)
+    network.chaos_nodes = chaos_nodes
+    network.shard_hosts = shard_hosts
+    network.frontend = frontend
+    return frontend

@@ -64,6 +64,7 @@ class CellBricksUe(UeNas):
         self.attach_started_at = self.sim.now
         self.security = None  # fresh EMM state for the new attempt
         self.session_id = None
+        self._reject_retries = 0
         craft = CB_UE_COSTS["craft_sap_request"]
         self.charge(craft)
         self._obs_begin_attach(craft)

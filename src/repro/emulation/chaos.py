@@ -42,6 +42,8 @@ KIND_LOSS = "loss"            # set loss_rate on both halves for a while
 KIND_OUTAGE = "outage"        # link fully down for a while
 KIND_BROWNOUT = "brownout"    # brokerd processing costs inflated
 KIND_PARTITION = "partition"  # one simplex half down (asymmetric fault)
+KIND_NODE_CRASH = "node_crash"      # a registered node loses all state
+KIND_NODE_RESTART = "node_restart"  # a crashed node rejoins empty
 
 # Partition directions: which simplex half goes dark.  ``a_to_b`` is the
 # first-constructor-argument side's transmit direction (UE→eNB on radio
@@ -96,6 +98,22 @@ def partition(at: float, duration: float, target: str,
                       duration=duration, direction=direction)
 
 
+def node_crash(at: float, target: str,
+               duration: float = 0.0) -> ChaosEvent:
+    """Crash every registered node matching ``target`` (fail-stop: state
+    lost, no more replies).  ``duration > 0`` schedules an automatic
+    ``node_restart`` after that long; ``0`` leaves it down for good."""
+    return ChaosEvent(at=at, kind=KIND_NODE_CRASH, target=target,
+                      duration=duration)
+
+
+def node_restart(at: float, target: str) -> ChaosEvent:
+    """Restart crashed nodes matching ``target`` — they rejoin empty and
+    must resynchronize state over the network."""
+    return ChaosEvent(at=at, kind=KIND_NODE_RESTART, target=target,
+                      duration=0.0)
+
+
 @dataclass
 class ChaosSchedule:
     """An ordered fault script (order only matters for readability —
@@ -125,10 +143,13 @@ class ChaosMonkey:
     faults_injected = CounterAttr("chaos.faults_injected")
 
     def __init__(self, sim: Simulator, links: dict,
-                 brokerd=None):
+                 brokerd=None, nodes: Optional[dict] = None):
         self.sim = sim
         self.links = links
         self.brokerd = brokerd
+        #: name -> object exposing ``crash()``/``restart()`` (shard
+        #: hosts register here via ``network.chaos_nodes``)
+        self.nodes = nodes or {}
         self.metrics = MetricsRegistry(node="chaos")
         self.faults_injected = 0
         #: per-kind fault tally (registry-backed; ``dict(...)`` works)
@@ -136,6 +157,13 @@ class ChaosMonkey:
             "chaos.faults", "kind")
         #: (time, kind, target) log of every fault begun
         self.log: list = []
+        # Active-fault bookkeeping so overlapping events restore
+        # correctly: each entry tracks the pre-fault baseline plus the
+        # multiset of currently-applied fault values.  Restoring one
+        # event recomputes the surviving maximum instead of blindly
+        # writing back a snapshot that may itself be mid-fault state.
+        self._loss_active: dict[int, list] = {}      # id(half) -> [half, base, [rates]]
+        self._brownout_active: Optional[list] = None  # [daemon, prev, base, [factors]]
 
     # -- wiring ---------------------------------------------------------
     def arm(self, schedule: ChaosSchedule) -> None:
@@ -150,7 +178,9 @@ class ChaosMonkey:
         begin = {KIND_LOSS: self._begin_loss,
                  KIND_OUTAGE: self._begin_outage,
                  KIND_BROWNOUT: self._begin_brownout,
-                 KIND_PARTITION: self._begin_partition}.get(event.kind)
+                 KIND_PARTITION: self._begin_partition,
+                 KIND_NODE_CRASH: self._begin_node_crash,
+                 KIND_NODE_RESTART: self._begin_node_restart}.get(event.kind)
         if begin is None:
             raise ValueError(f"unknown chaos kind {event.kind!r}")
         begin(event)
@@ -170,14 +200,25 @@ class ChaosMonkey:
     def _begin_loss(self, event: ChaosEvent) -> None:
         for link in self._matched(event.target):
             for half in (link.a_to_b, link.b_to_a):
-                previous = half.loss_rate
-                half.loss_rate = event.value
+                entry = self._loss_active.get(id(half))
+                if entry is None:
+                    entry = [half, half.loss_rate, []]
+                    self._loss_active[id(half)] = entry
+                entry[2].append(event.value)
+                half.loss_rate = max([entry[1]] + entry[2])
                 self.sim.schedule(event.duration, self._restore_loss,
-                                  half, previous)
+                                  half, event.value)
 
-    @staticmethod
-    def _restore_loss(half, previous: float) -> None:
-        half.loss_rate = previous
+    def _restore_loss(self, half, rate: float) -> None:
+        entry = self._loss_active.get(id(half))
+        if entry is None:
+            return
+        entry[2].remove(rate)
+        if entry[2]:
+            half.loss_rate = max([entry[1]] + entry[2])
+        else:
+            half.loss_rate = entry[1]
+            del self._loss_active[id(half)]
 
     def _begin_outage(self, event: ChaosEvent) -> None:
         for link in self._matched(event.target):
@@ -191,6 +232,25 @@ class ChaosMonkey:
             for half in halves:
                 half.interrupt(event.duration)
 
+    def _matched_nodes(self, pattern: str) -> list:
+        return [node for name, node in sorted(self.nodes.items())
+                if fnmatchcase(name, pattern)]
+
+    def _begin_node_crash(self, event: ChaosEvent) -> None:
+        matched = self._matched_nodes(event.target)
+        if not matched:
+            raise ValueError(
+                f"node_crash target {event.target!r} matched no "
+                f"registered nodes (have: {sorted(self.nodes)})")
+        for node in matched:
+            node.crash()
+            if event.duration > 0:
+                self.sim.schedule(event.duration, node.restart)
+
+    def _begin_node_restart(self, event: ChaosEvent) -> None:
+        for node in self._matched_nodes(event.target):
+            node.restart()
+
     def _begin_brownout(self, event: ChaosEvent) -> None:
         if self.brokerd is None:
             raise ValueError("brownout event but no brokerd attached")
@@ -198,19 +258,36 @@ class ChaosMonkey:
         # processing_costs is a class attribute; shadow it with an
         # inflated instance copy and restore whatever the instance had
         # before (never mutate the class dict — other brokers share it).
-        previous = daemon.__dict__.get("processing_costs")
-        base = daemon.processing_costs
+        # Overlapping brownouts compose as max(active factors) over the
+        # pre-fault baseline, not as a stack of stale snapshots.
+        if self._brownout_active is None:
+            self._brownout_active = [
+                daemon, daemon.__dict__.get("processing_costs"),
+                dict(daemon.processing_costs), []]
+        entry = self._brownout_active
+        entry[3].append(event.value)
+        factor = max(entry[3])
         daemon.processing_costs = {
-            message: cost * event.value for message, cost in base.items()}
+            message: cost * factor for message, cost in entry[2].items()}
         self.sim.schedule(event.duration, self._restore_brownout,
-                          daemon, previous)
+                          event.value)
 
-    @staticmethod
-    def _restore_brownout(daemon, previous) -> None:
+    def _restore_brownout(self, factor: float) -> None:
+        entry = self._brownout_active
+        if entry is None:
+            return
+        daemon, previous, base, factors = entry
+        factors.remove(factor)
+        if factors:
+            live = max(factors)
+            daemon.processing_costs = {
+                message: cost * live for message, cost in base.items()}
+            return
         if previous is None:
             daemon.__dict__.pop("processing_costs", None)
         else:
             daemon.processing_costs = previous
+        self._brownout_active = None
 
 
 @dataclass
@@ -419,7 +496,8 @@ def run_chaos(attaches: int = 200,
                          revoke_hold=revoke_hold,
                          rotate_sites=rotate_sites)
 
-    monkey = ChaosMonkey(sim, network.links, brokerd=network.brokerd)
+    monkey = ChaosMonkey(sim, network.links, brokerd=network.brokerd,
+                         nodes=getattr(network, "chaos_nodes", None))
     if schedule is not None:
         monkey.arm(schedule)
 

@@ -57,6 +57,9 @@ class RegistrationComplete(NasMessage):
 @dataclass(frozen=True)
 class RegistrationReject(NasMessage):
     cause: str
+    #: broker-side transient condition (degraded shard): the UE should
+    #: back off and retry instead of treating this as a terminal reject.
+    retryable: bool = False
 
 
 # -- NAS: deregistration (TS 24.501 §5.5.2) --------------------------------------

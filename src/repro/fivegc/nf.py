@@ -513,11 +513,13 @@ class Amf(SignalingNode):
                   S1DownlinkNas(enb_ue_id=context.ran_ue_id, nas=nas),
                   size=message_size(nas) + 24)
 
-    def reject(self, context: UeContext5G, cause: str) -> None:
+    def reject(self, context: UeContext5G, cause: str,
+               retryable: bool = False) -> None:
         self.registrations_rejected += 1
         self.rejection_causes[cause.split(":")[0]] += 1
         context.state = "REJECTED"
-        self.downlink(context, nas5g.RegistrationReject(cause=cause))
+        self.downlink(context, nas5g.RegistrationReject(
+            cause=cause, retryable=retryable))
         self._release_ue(context)
 
     def nas_initiates(self, nas: NasMessage) -> bool:

@@ -81,12 +81,17 @@ class Ue5G(SignalingNode):
     # aggregate across generations.
     nas_retransmissions = CounterAttr("ue.nas_retransmissions")
     attach_timeouts = CounterAttr("ue.attach_timeouts")
+    retryable_rejects = CounterAttr("ue.retryable_rejects")
     # -- registration retransmission knobs (match the LTE UE) --
     attach_retx_timeout = 0.4
     attach_retx_backoff = 2.0
     attach_retx_max_timeout = 3.0
     attach_retx_jitter = 0.1
     attach_max_attempts = 5
+    # -- retryable-reject backoff knobs (degraded broker shard) --
+    reject_backoff = 0.15
+    reject_backoff_factor = 2.0
+    reject_max_retries = 4
 
     def __init__(self, host: Host, gnb_ip: str, supi: Supi,
                  usim: Optional[UsimState],
@@ -119,8 +124,10 @@ class Ue5G(SignalingNode):
         self._last_auth_rand: Optional[bytes] = None
         self._auth_response = None
         self._attach_span = None
+        self._reject_retries = 0
         self.nas_retransmissions = 0
         self.attach_timeouts = 0
+        self.retryable_rejects = 0
 
         self.on(nas5g.AuthenticationRequest5G, self._on_auth_request)
         self.on(nas5g.SecurityModeCommand5G, self._on_smc)
@@ -183,6 +190,7 @@ class Ue5G(SignalingNode):
         self.kausf = None
         self._last_auth_rand = None
         self._auth_response = None
+        self._reject_retries = 0
         craft = self.craft_cost()
         self.charge(craft)
         self._obs_begin_attach(craft)
@@ -360,7 +368,27 @@ class Ue5G(SignalingNode):
     def _on_reject(self, src_ip: str, reject) -> None:
         if self.state != "REGISTERING":
             return  # stale reject (e.g. we already timed out and moved on)
+        if getattr(reject, "retryable", False) \
+                and self._reject_retries < self.reject_max_retries:
+            # Transient broker-side denial (degraded shard mid-failover):
+            # back off and re-register with a fresh nonce instead of
+            # treating it as a terminal reject.
+            self._reject_retries += 1
+            self.retryable_rejects += 1
+            self._stop_registration_supervision()
+            self._on_registration_give_up()
+            delay = self.reject_backoff * (
+                self.reject_backoff_factor ** (self._reject_retries - 1))
+            delay *= 1.0 + self.attach_retx_jitter \
+                * (2.0 * self._retx_rng.random() - 1.0)
+            self.sim.schedule(delay, self._retry_after_reject)
+            return
         self._fail(reject.cause)
+
+    def _retry_after_reject(self) -> None:
+        if self.state != "REGISTERING":
+            return  # deregistered or abandoned while backing off
+        self._send_registration()
 
     def _fail(self, cause: str) -> None:
         self._stop_registration_supervision()

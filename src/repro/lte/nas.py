@@ -129,6 +129,9 @@ class SapAttachChallenge(NasMessage):
 @dataclass(frozen=True)
 class SapAttachReject(NasMessage):
     cause: str
+    #: broker-side transient condition (degraded shard): the UE should
+    #: back off and retry instead of treating this as EMM-reset give-up.
+    retryable: bool = False
 
 
 # Wire-size estimates (bytes) used for transport accounting.

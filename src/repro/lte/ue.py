@@ -91,12 +91,17 @@ class UeNas(SignalingNode):
     }
     nas_retransmissions = CounterAttr("ue.nas_retransmissions")
     attach_timeouts = CounterAttr("ue.attach_timeouts")
+    retryable_rejects = CounterAttr("ue.retryable_rejects")
     # -- attach retransmission knobs --
     attach_retx_timeout = 0.4
     attach_retx_backoff = 2.0
     attach_retx_max_timeout = 3.0
     attach_retx_jitter = 0.1
     attach_max_attempts = 5
+    # -- retryable-reject backoff knobs (degraded broker shard) --
+    reject_backoff = 0.15
+    reject_backoff_factor = 2.0
+    reject_max_retries = 4
 
     def __init__(self, host: Host, enb_ip: str, imsi: Imsi | str,
                  usim: UsimState, serving_network: str,
@@ -121,8 +126,10 @@ class UeNas(SignalingNode):
         self._last_auth_rand: Optional[bytes] = None
         self._auth_response = None
         self._attach_span = None
+        self._reject_retries = 0
         self.nas_retransmissions = 0
         self.attach_timeouts = 0
+        self.retryable_rejects = 0
 
         self.on(AuthenticationRequest, self._on_auth_request)
         self.on(SecurityModeCommand, self._on_smc)
@@ -177,6 +184,7 @@ class UeNas(SignalingNode):
         self.security = None  # a fresh attempt starts from clean EMM state
         self._last_auth_rand = None
         self._auth_response = None
+        self._reject_retries = 0
         craft = UE_COSTS["craft_attach_request"]
         self.charge(craft)
         self._obs_begin_attach(craft)
@@ -357,7 +365,27 @@ class UeNas(SignalingNode):
     def _on_reject(self, src_ip: str, reject) -> None:
         if self.state != "ATTACHING":
             return  # stale reject (e.g. we already timed out and moved on)
+        if getattr(reject, "retryable", False) \
+                and self._reject_retries < self.reject_max_retries:
+            # Transient broker-side denial (degraded shard mid-failover):
+            # back off and re-attach with a fresh nonce instead of
+            # treating it as a terminal EMM reject.
+            self._reject_retries += 1
+            self.retryable_rejects += 1
+            self._stop_attach_supervision()
+            self._on_attach_give_up()
+            delay = self.reject_backoff * (
+                self.reject_backoff_factor ** (self._reject_retries - 1))
+            delay *= 1.0 + self.attach_retx_jitter \
+                * (2.0 * self._retx_rng.random() - 1.0)
+            self.sim.schedule(delay, self._retry_after_reject)
+            return
         self._fail(getattr(reject, "cause", "rejected"))
+
+    def _retry_after_reject(self) -> None:
+        if self.state != "ATTACHING":
+            return  # detached or abandoned while backing off
+        self._send_attach_request()
 
     def _fail(self, cause: str) -> None:
         self._stop_attach_supervision()

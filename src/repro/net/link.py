@@ -138,6 +138,7 @@ class SimplexLink:
         self.up = True
         self._busy_until = 0.0
         self._paused_until = 0.0
+        self._down_until = 0.0
         self._queued_bytes = 0
         self._in_flight: dict[int, object] = {}  # packet_id -> Event
 
@@ -151,11 +152,25 @@ class SimplexLink:
     def set_up(self, up: bool) -> None:
         """Bring the link up or down (radio outage during handover)."""
         self.up = up
+        if up:
+            # Manual restore overrides any pending interrupt window, so a
+            # later _maybe_restore must not re-trip on a stale deadline.
+            self._down_until = self.sim.now
 
     def interrupt(self, duration_s: float) -> None:
-        """Take the link down for ``duration_s`` seconds (traffic lost)."""
-        self.set_up(False)
-        self.sim.schedule(duration_s, self.set_up, True)
+        """Take the link down for ``duration_s`` seconds (traffic lost).
+
+        Overlapping interrupts extend the outage: the link comes back up
+        only when the *latest* deadline passes, not when the first timer
+        fires (which used to cut a long outage short).
+        """
+        self.up = False
+        self._down_until = max(self._down_until, self.sim.now + duration_s)
+        self.sim.schedule(duration_s, self._maybe_restore)
+
+    def _maybe_restore(self) -> None:
+        if not self.up and self.sim.now >= self._down_until - 1e-12:
+            self.set_up(True)
 
     def pause(self, duration_s: float) -> None:
         """Stall delivery for ``duration_s`` without losing traffic.

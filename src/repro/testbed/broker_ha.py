@@ -1,0 +1,232 @@
+"""BROKER-HA — shard-host failures under attach churn, on both RATs.
+
+The distributed broker (``repro.core.shardhost``) claims that losing a
+shard host mid-storm costs bounded time and no correctness: attaches
+keep succeeding (the UE retries retryable degraded denials), replayed
+nonces stay denied *across* the failover (the replica carried the replay
+window), and a revoked subscriber never accrues unauthorized session
+seconds.  This drill kills shard hosts mid-attach-storm and
+mid-rebalance and gates on exactly those properties; CI runs it with
+``repro.cli broker-ha --smoke``.
+
+Timeline per cell (times scale with the churn length):
+
+1. attach/revoke churn starts across two bTelco sites;
+2. the primary host of the shard owning the churned subscriber is
+   crashed (fail-stop) and restarted a little later — failover promotes
+   the replica, the restarted host rejoins empty and is resynced;
+3. a spare shard is activated (``add_shard``) so a live rebalance runs,
+   and a second crash lands right after it begins;
+4. after the churn drains, a probe replays an ``authReqU`` that was
+   served by the crashed shard *before* the first crash — the promoted
+   replica must still deny it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.stats import percentile
+from repro.core.messages import BrokerAuthRequest, BrokerAuthResponse
+from repro.core.shardhost import deploy_shard_hosts
+from repro.emulation.chaos import ChaosSchedule, node_crash, run_chaos
+from repro.lte.signaling import SignalingNode
+from repro.net import Host, Link
+
+#: failure-detector knobs the recovery-time gate is written against.
+HEARTBEAT_INTERVAL = 0.2
+DETECTION_TIMEOUT = 0.65
+#: promoted-and-serving deadline after a crash: one missed-heartbeat
+#: window, one extra probe period, plus promotion round trips.
+RECOVERY_BOUND_S = DETECTION_TIMEOUT + 2 * HEARTBEAT_INTERVAL + 0.5
+
+GATE_SUCCESS_RATE = 0.99
+
+
+def run_cell(rat: str = "lte", *, attaches: int = 150, shards: int = 2,
+             spares: int = 1, seed: int = 11, revoke_every: int = 25,
+             think_time: float = 0.02, obs=None) -> dict:
+    """One RAT's drill: churn + two crashes + rebalance + replay probe."""
+    schedule = ChaosSchedule()
+    captured: dict = {}
+    replay: dict = {"denied": False, "cause": "probe never fired"}
+    crash_1 = 0.8
+    restart_after = 1.5
+    rebalance_at = 3.0
+    crash_2 = 3.1
+    # Probe after both failovers settled but well inside the replay
+    # window (the chaos sim drains session-TTL cleanup events, so a
+    # post-run probe would arrive after the window legitimately closed).
+    probe_at = 5.5
+
+    def on_network_built(network):
+        frontend = deploy_shard_hosts(
+            network, num_shards=shards, spares=spares,
+            heartbeat_interval=HEARTBEAT_INTERVAL,
+            detection_timeout=DETECTION_TIMEOUT)
+        victim = frontend.ring.shard_for(network.credentials.id_u)
+        captured.update(network=network, frontend=frontend,
+                        victim=victim)
+        # Background subscribers (never attached) so the scale-out
+        # rebalance has a population to re-shard: roughly a third of
+        # them move, exercising begin/chunk/commit over real links.
+        for index in range(12):
+            network.brokerd.enroll_subscriber(
+                f"ha-filler-{index:02d}",
+                network.credentials.ue_key.public_key)
+        # Crash the victim's primary mid-storm; it restarts empty and
+        # must be re-provisioned + resynced.  The second crash takes out
+        # the promoted replica right after the rebalance starts, so the
+        # resynced original must carry the shard through the handoff.
+        schedule.add(node_crash(crash_1, f"shard{victim}",
+                                duration=restart_after))
+        schedule.add(node_crash(crash_2, f"shard{victim}r"))
+        network.sim.schedule(rebalance_at, frontend.add_shard)
+        network.sim.schedule(
+            probe_at, _replay_probe, network, frontend, victim,
+            crash_1, replay)
+
+    report = run_chaos(
+        attaches=attaches, schedule=schedule, revoke_every=revoke_every,
+        seed=seed, think_time=think_time,
+        on_network_built=on_network_built, obs=obs, rat=rat)
+
+    frontend = captured["frontend"]
+    victim = captured["victim"]
+    distributed = report.broker_stats["distributed"]
+    recoveries = _recovery_times(distributed["failover_log"],
+                                 crashes=(crash_1, crash_2))
+    return {
+        "rat": rat,
+        "attaches": attaches,
+        "attempts": report.attempts,
+        "successes": report.successes,
+        "failures": report.failures,
+        "success_rate": round(report.success_rate, 4),
+        "failure_causes": report.failure_causes,
+        "attach_p50_ms": round(report.attach_p50_ms, 3),
+        "attach_p99_ms": round(report.attach_p99_ms, 3),
+        "revocations": report.revocations,
+        "unauthorized_session_seconds":
+            report.unauthorized_session_seconds,
+        "victim_shard": victim,
+        "failovers_total": distributed["failovers_total"],
+        "failover_log": distributed["failover_log"],
+        "recovery_s": recoveries,
+        "recovery_bound_s": RECOVERY_BOUND_S,
+        "resyncs_total": distributed["resyncs_total"],
+        "rebalances_total": distributed["rebalances_total"],
+        "rebalance_log": distributed["rebalance_log"],
+        "degraded_denials": distributed["degraded_denials"],
+        "parked_attaches": distributed["parked_attaches"],
+        "forward_giveups": distributed["forward_giveups"],
+        "handoff_chunks_retried": distributed["handoff_chunks_retried"],
+        "replay_denied_across_failover": replay["denied"],
+        "replay_cause": replay["cause"],
+        "active_shards": distributed["active_shards"],
+        "shard_status": distributed["shard_status"],
+    }
+
+
+def _recovery_times(failover_log: list, crashes: tuple) -> list:
+    """Crash-to-promoted seconds, pairing each failover with the most
+    recent crash before its detection."""
+    out = []
+    for entry in failover_log:
+        prior = [at for at in crashes if at <= entry["detected_at"]]
+        if prior:
+            out.append(round(entry["promoted_at"] - max(prior), 6))
+    return out
+
+
+def _replay_probe(network, frontend, victim: int, crash_at: float,
+                  outcome: dict) -> None:
+    """Re-submit an ``authReqU`` the victim shard approved before it
+    crashed (re-signed by the same bTelco, as a stolen-request attacker
+    would) and record whether the promoted replica denies it.  Fires as
+    a scheduled event mid-run; writes into ``outcome``."""
+    # Only auths old enough to have been replicated before the crash
+    # prove anything about the replica's replay window.
+    replicated_by = crash_at - 0.15
+    candidates = [entry for entry in frontend.recent_auths
+                  if entry["at"] < replicated_by
+                  and entry["shard_id"] == victim]
+    if not candidates:
+        outcome["cause"] = "no pre-crash auth captured"
+        return
+    entry = candidates[-1]
+    site = network.sites[entry["id_t"]]
+    # Re-sign with a flipped LI flag: a *different* request envelope
+    # (so the idempotency cache cannot legitimately re-serve the cached
+    # response) carrying the *same* single-use nonce — exactly what a
+    # stolen authReqU replayed through a colluding bTelco looks like.
+    auth_req_t = site.agw.sap.augment_request(entry["auth_req_u"],
+                                              lawful_intercept=True)
+
+    sim = network.sim
+    probe_host = Host(sim, "replay-probe", address="52.23.0.2")
+    probe = SignalingNode(probe_host, name="replay-probe")
+    link = Link(sim, "probe-broker", probe_host, network.broker_host,
+                bandwidth_bps=1e9, delay_s=0.001)
+    probe_host.add_route(
+        network.broker_host.address.rsplit(".", 1)[0], link)
+    network.broker_host.add_route(
+        probe_host.address.rsplit(".", 1)[0], link)
+    outcome["cause"] = "no response"
+
+    def _on_response(src_ip, response):
+        outcome["denied"] = not response.approved
+        outcome["cause"] = response.cause or "approved"
+
+    probe.on(BrokerAuthResponse, _on_response)
+    probe.send_request(
+        network.broker_host.address,
+        BrokerAuthRequest(auth_req_t=auth_req_t, reply_token=0),
+        size=auth_req_t.wire_size, timeout=0.5, max_attempts=5)
+
+
+def run_suite(*, rats=("lte", "5g"), attaches: int = 150,
+              shards: int = 2, spares: int = 1, seed: int = 11,
+              revoke_every: int = 25, obs=None) -> dict:
+    """Both RATs' cells plus the pass/fail gates CI enforces."""
+    cells = [run_cell(rat, attaches=attaches, shards=shards,
+                      spares=spares, seed=seed,
+                      revoke_every=revoke_every, obs=obs)
+             for rat in rats]
+    gates = []
+    for cell in cells:
+        rat = cell["rat"]
+        gates.extend([
+            {"gate": f"{rat}:attach_success_rate",
+             "value": cell["success_rate"],
+             "threshold": GATE_SUCCESS_RATE,
+             "pass": cell["success_rate"] >= GATE_SUCCESS_RATE},
+            {"gate": f"{rat}:unauthorized_session_seconds",
+             "value": cell["unauthorized_session_seconds"],
+             "threshold": 0.0,
+             "pass": cell["unauthorized_session_seconds"] == 0.0},
+            {"gate": f"{rat}:replay_denied_across_failover",
+             "value": cell["replay_denied_across_failover"],
+             "threshold": True,
+             "pass": cell["replay_denied_across_failover"]},
+            {"gate": f"{rat}:failovers_exercised",
+             "value": cell["failovers_total"], "threshold": 2,
+             "pass": cell["failovers_total"] >= 2},
+            {"gate": f"{rat}:recovery_time",
+             "value": max(cell["recovery_s"], default=0.0),
+             "threshold": RECOVERY_BOUND_S,
+             "pass": bool(cell["recovery_s"]) and
+             max(cell["recovery_s"]) <= RECOVERY_BOUND_S},
+        ])
+    return {
+        "bench": "broker_ha",
+        "shards": shards,
+        "spares": spares,
+        "attaches": attaches,
+        "seed": seed,
+        "heartbeat_interval_s": HEARTBEAT_INTERVAL,
+        "detection_timeout_s": DETECTION_TIMEOUT,
+        "cells": cells,
+        "gates": gates,
+        "pass": all(gate["pass"] for gate in gates),
+    }

@@ -1,0 +1,144 @@
+"""Regression tests for ChaosMonkey restore paths under *overlapping*
+faults.
+
+Each injector tracks the pre-fault baseline plus the multiset of
+currently-applied fault values; restoring one event must recompute the
+surviving maximum rather than blindly writing back a snapshot captured
+mid-fault.  These tests pin that behavior for outages (link-level
+``_down_until`` extension), loss bursts (per-half rate multiset), and
+brownouts (broker cost-factor multiset), including full restoration of
+the pre-fault state once every overlapping event has ended.
+"""
+
+from repro.core.broker import Brokerd
+from repro.core.mobility import build_cellbricks_network
+from repro.emulation import (
+    ChaosMonkey,
+    ChaosSchedule,
+    brownout,
+    loss_burst,
+    outage,
+)
+from repro.net import Simulator
+
+
+def build():
+    sim = Simulator()
+    net = build_cellbricks_network(sim, site_names=("btelco-a",))
+    return sim, net
+
+
+class TestOverlappingOutages:
+    def test_second_outage_extends_the_first(self):
+        sim, net = build()
+        link = net.links["btelco-a-broker"]
+        monkey = ChaosMonkey(sim, net.links)
+        monkey.arm(ChaosSchedule()
+                   .add(outage(1.0, 1.0, target="*-broker"))
+                   .add(outage(1.5, 2.0, target="*-broker")))
+        sim.run(until=2.2)
+        # The first outage's deadline (t=2.0) has passed, but the
+        # overlapping second one holds the link down until t=3.5.
+        assert not link.a_to_b.up and not link.b_to_a.up
+        sim.run(until=3.6)
+        assert link.a_to_b.up and link.b_to_a.up
+
+    def test_contained_outage_cannot_cut_the_longer_one_short(self):
+        sim, net = build()
+        link = net.links["btelco-a-broker"]
+        monkey = ChaosMonkey(sim, net.links)
+        monkey.arm(ChaosSchedule()
+                   .add(outage(1.0, 3.0, target="*-broker"))
+                   .add(outage(1.5, 0.5, target="*-broker")))
+        sim.run(until=2.2)
+        # The inner outage ended at t=2.0; its restore must not revive
+        # a link the outer outage still holds down until t=4.0.
+        assert not link.a_to_b.up and not link.b_to_a.up
+        sim.run(until=4.1)
+        assert link.a_to_b.up and link.b_to_a.up
+
+
+class TestOverlappingLossBursts:
+    def test_max_rate_wins_and_base_rate_is_restored(self):
+        sim, net = build()
+        link = net.links["btelco-a-sig-radio"]
+        link.a_to_b.loss_rate = link.b_to_a.loss_rate = 0.02
+        monkey = ChaosMonkey(sim, net.links)
+        monkey.arm(ChaosSchedule()
+                   .add(loss_burst(1.0, 2.0, 0.3, target="*-sig-radio"))
+                   .add(loss_burst(1.5, 2.0, 0.1, target="*-sig-radio")))
+        sim.run(until=1.7)
+        # Overlap: the strongest active burst applies, not the sum.
+        assert link.a_to_b.loss_rate == 0.3
+        assert link.b_to_a.loss_rate == 0.3
+        sim.run(until=3.2)
+        # The 0.3 burst ended at t=3.0; the surviving 0.1 burst (not the
+        # 0.02 baseline, not a stale snapshot of 0.3) now applies.
+        assert link.a_to_b.loss_rate == 0.1
+        sim.run(until=3.7)
+        # All bursts done: exactly the pre-fault baseline, bookkeeping
+        # empty.
+        assert link.a_to_b.loss_rate == 0.02
+        assert link.b_to_a.loss_rate == 0.02
+        assert not monkey._loss_active
+
+    def test_weak_burst_inside_strong_burst_leaves_no_residue(self):
+        sim, net = build()
+        link = net.links["btelco-a-sig-radio"]
+        monkey = ChaosMonkey(sim, net.links)
+        monkey.arm(ChaosSchedule()
+                   .add(loss_burst(1.0, 2.5, 0.5, target="*-sig-radio"))
+                   .add(loss_burst(1.5, 0.5, 0.1, target="*-sig-radio")))
+        sim.run(until=1.7)
+        assert link.a_to_b.loss_rate == 0.5
+        sim.run(until=2.2)
+        # The weaker burst ended while the stronger one is live: its
+        # restore must not drag the rate down.
+        assert link.a_to_b.loss_rate == 0.5
+        sim.run(until=3.7)
+        assert link.a_to_b.loss_rate == 0.0
+        assert not monkey._loss_active
+
+
+class TestOverlappingBrownouts:
+    def test_max_factor_wins_and_class_costs_are_restored(self):
+        sim, net = build()
+        brokerd = net.brokerd
+        base = dict(brokerd.processing_costs)
+        assert "processing_costs" not in brokerd.__dict__
+        monkey = ChaosMonkey(sim, net.links, brokerd=brokerd)
+        monkey.arm(ChaosSchedule()
+                   .add(brownout(1.0, 2.0, factor=10.0))
+                   .add(brownout(1.5, 2.0, factor=4.0)))
+        sim.run(until=1.7)
+        for message, cost in base.items():
+            assert brokerd.processing_costs[message] == cost * 10.0
+        sim.run(until=3.2)
+        # First brownout over: the surviving 4x factor applies over the
+        # *baseline*, not over the 10x-inflated snapshot.
+        for message, cost in base.items():
+            assert brokerd.processing_costs[message] == cost * 4.0
+        sim.run(until=3.7)
+        # Fully restored: the instance shadow is gone, the class dict
+        # untouched, and other broker instances were never affected.
+        assert "processing_costs" not in brokerd.__dict__
+        assert dict(brokerd.processing_costs) == base
+        assert dict(Brokerd.processing_costs) == base
+        assert monkey._brownout_active is None
+
+    def test_instance_override_is_restored_not_popped(self):
+        sim, net = build()
+        brokerd = net.brokerd
+        custom = {message: cost * 2.0 for message, cost
+                  in brokerd.processing_costs.items()}
+        brokerd.processing_costs = custom   # pre-existing instance dict
+        monkey = ChaosMonkey(sim, net.links, brokerd=brokerd)
+        monkey.arm(ChaosSchedule().add(brownout(1.0, 1.0, factor=5.0)))
+        sim.run(until=1.5)
+        for message, cost in custom.items():
+            assert brokerd.processing_costs[message] == cost * 5.0
+        sim.run(until=2.5)
+        # The brownout restores the operator's instance override, not
+        # the class default.
+        assert brokerd.__dict__["processing_costs"] is custom
+        assert monkey._brownout_active is None
