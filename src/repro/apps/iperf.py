@@ -16,6 +16,10 @@ from .transport import StreamClient, StreamServer
 
 IPERF_PORT = 5201
 BACKLOG_BYTES = 10_000_000_000  # effectively infinite source
+#: inter-delivery gap (s) above which the client annotates the trace —
+#: covers handover stalls (detach -> re-auth -> transport re-establish)
+#: without firing on ordinary ACK-clocked spacing.
+STALL_GAP_S = 0.1
 
 
 @dataclass
@@ -78,4 +82,14 @@ class IperfClient:
         self.client.connect()
 
     def _on_data(self, nbytes: int) -> None:
-        self.stats.record(self.sim.now, nbytes)
+        now = self.sim.now
+        if self.stats.deliveries:
+            gap = now - self.stats.deliveries[-1][0]
+            if gap >= STALL_GAP_S:
+                obs = getattr(self.sim, "obs", None)
+                if obs is not None and obs.tracing:
+                    obs.tracer.instant(
+                        "iperf.delivery_gap", f"iperf:{self.host.name}",
+                        now, category="app",
+                        data={"gap_ms": round(gap * 1000.0, 3)})
+        self.stats.record(now, nbytes)

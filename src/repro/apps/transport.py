@@ -86,6 +86,7 @@ class StreamClient:
     def __init__(self, kind: str, host: Host, server_ip: str, port: int,
                  address_wait: float = DEFAULT_ADDRESS_WAIT):
         self.kind = kind
+        self._host = host
         self.bytes_received = 0
         self.on_established: Optional[Callable[[], None]] = None
         self.on_data: Optional[Callable[[int], None]] = None
@@ -112,8 +113,26 @@ class StreamClient:
 
     def _handle(self, nbytes: int) -> None:
         self.bytes_received += nbytes
+        obs = getattr(self._host.sim, "obs", None)
+        if obs is not None and obs.active_migrations:
+            self._obs_close_migration(obs)
         if self.on_data is not None:
             self.on_data(nbytes)
+
+    def _obs_close_migration(self, obs) -> None:
+        """First payload byte delivered after a switch: the stall is
+        over.  Close the migration root the :class:`MobilityManager`
+        registered for this host — its duration *is* the end-to-end
+        stall the leg breakdown decomposes."""
+        root = obs.active_migrations.pop(self._host.name, None)
+        if root is None:
+            return
+        if root.end is None:
+            obs.tracer.instant(
+                "migration.first_data", "mobility", self._host.sim.now,
+                trace_id=root.trace_id, parent_id=root.span_id,
+                category="mobility")
+            obs.tracer.finish(root, self._host.sim.now)
 
     def _established(self) -> None:
         if self.on_established is not None:

@@ -162,9 +162,15 @@ class HlsPlayer:
             if self.stats.startup_delay is None:
                 self.stats.startup_delay = self.sim.now - self._started_at
             if self._stalled_since is not None:
-                self.stats.rebuffer_seconds += \
-                    self.sim.now - self._stalled_since
+                stalled = self.sim.now - self._stalled_since
+                self.stats.rebuffer_seconds += stalled
                 self._stalled_since = None
+                obs = getattr(self.sim, "obs", None)
+                if obs is not None and obs.tracing:
+                    obs.tracer.instant(
+                        "video.resume", f"video:{self.host.name}",
+                        self.sim.now, category="app",
+                        data={"stalled_ms": round(stalled * 1000.0, 3)})
         self._request_next()
 
     # -- playout drain -------------------------------------------------------------
@@ -179,5 +185,10 @@ class HlsPlayer:
                 self.playing = False
                 self.stats.rebuffer_events += 1
                 self._stalled_since = now
+                obs = getattr(self.sim, "obs", None)
+                if obs is not None and obs.tracing:
+                    obs.tracer.instant(
+                        "video.rebuffer", f"video:{self.host.name}",
+                        now, category="app")
         if not self.done:
             self.sim.schedule(0.25, self._drain_tick)

@@ -457,6 +457,178 @@ def _cmd_megaload(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+#: curated dashboard rows per observed bench (everything else is still
+#: in the KPI JSON; these are the ones worth terminal space).
+_OBSERVE_DASH_KEYS = {
+    "megaload": ["workload.arrived_per_s", "workload.attach_ok_per_s",
+                 "workload.attach_failures_per_s",
+                 "workload.idle_detaches_per_s", "broker.requests_per_s",
+                 "broker.batches_per_s", "sites.attached_total",
+                 "sites.max_load", "sites.loaded_sites"],
+    "broker-ha": ["brokerd.approved_per_s", "brokerd.denied_per_s",
+                  "frontend.failovers", "frontend.degraded_denials",
+                  "frontend.forward_giveups", "shards.pending_forwards"],
+}
+
+#: collected-vs-bare throughput floor for the --smoke overhead gate.
+OBSERVE_OVERHEAD_FLOOR = 0.95
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """Fleet observatory: live KPI aggregation over a running bench.
+
+    Attaches a read-only :class:`~repro.obs.fleet.KpiCollector` to the
+    chosen bench (``megaload`` or ``broker-ha``), samples windowed KPIs
+    on the *sim clock* (attaches/sec, per-shard load, replication lag,
+    degraded denials), and renders them as a terminal dashboard plus
+    deterministic JSON (and optional HTML) artifacts.  ``--smoke``
+    gates on machine-independent facts — the collected workload digest
+    must equal the collector-free digest (the collector is passive) and
+    two seeded runs must emit byte-identical KPI JSON — plus one
+    in-process wall-clock fact: collected UEs/sec must stay within 5%
+    of a collector-free run on the same machine."""
+    import json
+
+    from repro.obs.fleet import FleetKpiStore
+
+    if args.bench == "megaload":
+        return _observe_megaload(args, json, FleetKpiStore)
+    return _observe_broker_ha(args, json, FleetKpiStore)
+
+
+def _observe_megaload(args, json, store_cls) -> int:
+    from repro.testbed.megaload import run_cell
+
+    ues = 20_000 if args.smoke else args.ues
+    duration = 30.0 if args.smoke else args.duration
+    interval = args.interval if args.interval else 1.0
+    config = dict(ues=ues, sites=args.sites, duration=duration,
+                  seed=args.seed, engine="optimized")
+
+    store = store_cls("megaload")
+    cell = run_cell(kpi_store=store, kpi_interval=interval, **config)
+    _print_observe_summary("megaload", store)
+
+    failed = False
+    if args.smoke:
+        # Passivity: the collected workload digest must equal the
+        # collector-free one, and the collector-free run doubles as the
+        # overhead baseline.
+        bare = run_cell(**config)
+        if cell["digest"] != bare["digest"]:
+            print(f"FAIL digest: collected {cell['digest'][:12]} != "
+                  f"bare {bare['digest'][:12]} (collector perturbed "
+                  f"the workload)")
+            failed = True
+        else:
+            print(f"ok   digest matches collector-free run "
+                  f"({cell['digest'][:12]})")
+        # Determinism: a second seeded collected run must emit
+        # byte-identical KPI JSON.
+        store2 = store_cls("megaload")
+        run_cell(kpi_store=store2, kpi_interval=interval, **config)
+        if store.to_json() != store2.to_json():
+            print("FAIL kpi json differs between two seeded runs")
+            failed = True
+        else:
+            print(f"ok   kpi json byte-identical across two runs "
+                  f"({len(store.rows)} windows)")
+        # Overhead: one sampling event per window must not move
+        # throughput measurably.  Wall-clock is noisy, so a miss gets
+        # one fresh pair before failing.
+        ratio = cell["perf"]["ues_per_sec"] / max(
+            bare["perf"]["ues_per_sec"], 1e-9)
+        if ratio < OBSERVE_OVERHEAD_FLOOR:
+            collected2 = run_cell(kpi_store=store_cls("retry"),
+                                  kpi_interval=interval, **config)
+            bare2 = run_cell(**config)
+            ratio = max(ratio, collected2["perf"]["ues_per_sec"]
+                        / max(bare2["perf"]["ues_per_sec"], 1e-9))
+        if ratio < OBSERVE_OVERHEAD_FLOOR:
+            print(f"FAIL collector overhead: {ratio:.3f}x bare "
+                  f"throughput < {OBSERVE_OVERHEAD_FLOOR}")
+            failed = True
+        else:
+            print(f"ok   collector overhead: {ratio:.3f}x bare "
+                  f"throughput (floor {OBSERVE_OVERHEAD_FLOOR})")
+
+    report = {
+        "bench": "megaload",
+        "config": {**config, "kpi_interval_s": interval},
+        "digest": cell["digest"],
+        "kpis": json.loads(store.to_json()),
+    }
+    _write_observe_artifacts(args, json, report, [store])
+    return 1 if failed else 0
+
+
+def _observe_broker_ha(args, json, store_cls) -> int:
+    from repro.testbed.broker_ha import run_cell
+
+    rats = ("lte", "5g") if args.rat == "both" else (args.rat,)
+    attaches = 80 if args.smoke else 150
+    interval = args.interval if args.interval else 0.5
+    failed = False
+    stores, cells = [], []
+    for rat in rats:
+        store = store_cls(f"broker-ha-{rat}")
+        cell = run_cell(rat, attaches=attaches, seed=args.seed,
+                        kpi_store=store, kpi_interval=interval)
+        stores.append(store)
+        cells.append(cell)
+        _print_observe_summary("broker-ha", store)
+        print(f"{rat}: {cell['successes']}/{cell['attempts']} attaches, "
+              f"{cell['failovers_total']} failovers, "
+              f"{cell['degraded_denials']} degraded denials")
+        if args.smoke:
+            store2 = store_cls(f"broker-ha-{rat}")
+            run_cell(rat, attaches=attaches, seed=args.seed,
+                     kpi_store=store2, kpi_interval=interval)
+            if store.to_json() != store2.to_json():
+                print(f"FAIL {rat}: kpi json differs between two "
+                      f"seeded runs")
+                failed = True
+            else:
+                print(f"ok   {rat}: kpi json byte-identical across two "
+                      f"runs ({len(store.rows)} windows)")
+
+    report = {
+        "bench": "broker-ha",
+        "config": {"attaches": attaches, "seed": args.seed,
+                   "kpi_interval_s": interval, "rats": list(rats)},
+        "cells": [{"rat": cell["rat"],
+                   "success_rate": cell["success_rate"],
+                   "failovers_total": cell["failovers_total"],
+                   "degraded_denials": cell["degraded_denials"],
+                   "kpis": json.loads(store.to_json())}
+                  for cell, store in zip(cells, stores)],
+    }
+    _write_observe_artifacts(args, json, report, stores)
+    return 1 if failed else 0
+
+
+def _print_observe_summary(bench: str, store) -> None:
+    curated = [key for key in _OBSERVE_DASH_KEYS[bench]
+               if key in set(store.keys())]
+    extra = sorted(key for key in store.keys()
+                   if key.endswith("repl_lag_s") or key.endswith("health"))
+    print(store.dashboard(keys=curated + extra))
+
+
+def _write_observe_artifacts(args, json, report: dict, stores) -> None:
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, sort_keys=True,
+                      separators=(",", ":"))
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    if args.html:
+        parts = [store.to_html() for store in stores]
+        with open(args.html, "w") as fh:
+            fh.write("\n<hr>\n".join(parts))
+        print(f"wrote {args.html}")
+
+
 def _cmd_churn(args: argparse.Namespace) -> int:
     """Attach-churn the broker and print its lifecycle counters.
 
@@ -900,6 +1072,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_megaload.json",
                    help="report path (default BENCH_megaload.json)")
     p.set_defaults(func=_cmd_megaload)
+
+    p = sub.add_parser("observe", help="fleet observatory: windowed KPI "
+                                       "aggregation over a running bench")
+    p.add_argument("--bench", choices=("megaload", "broker-ha"),
+                   default="megaload",
+                   help="which bench to observe (default megaload)")
+    p.add_argument("--rat", choices=("lte", "5g", "both"), default="both",
+                   help="broker-ha only: control plane(s) (default both)")
+    p.add_argument("--ues", type=int, default=100_000,
+                   help="megaload population (default 100000; --smoke "
+                        "uses 20000)")
+    p.add_argument("--sites", type=int, default=256,
+                   help="megaload bTelco sites (default 256)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="megaload arrival window in sim seconds "
+                        "(default 60; --smoke uses 30)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--interval", type=float, default=0.0,
+                   help="KPI window in sim seconds (default: 1.0 for "
+                        "megaload, 0.5 for broker-ha)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI gates: collected digest == collector-free "
+                        "digest, byte-identical KPI JSON across two "
+                        "seeded runs, <= 5%% UEs/sec overhead")
+    p.add_argument("--output", default="OBS_fleet.json",
+                   help="KPI report path (default OBS_fleet.json)")
+    p.add_argument("--html", default="",
+                   help="also write an HTML dashboard snapshot here")
+    p.set_defaults(func=_cmd_observe)
 
     p = sub.add_parser("fig10", help="day vs night rate limiting")
     p.add_argument("--duration", type=float, default=500.0)

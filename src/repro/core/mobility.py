@@ -163,10 +163,18 @@ class MobilityManager:
     def __init__(self, network: CellBricksNetwork,
                  data_path: Optional[CellularPath] = None,
                  detach_interruption: float = 0.05,
-                 enforce_qos: bool = False):
+                 enforce_qos: bool = False,
+                 ue_class: Optional[type] = None):
         self.network = network
         self.sim = network.sim
-        self.data_path = data_path or network.data_path
+        # ``network`` may be the 5G dataclass (same site/ue_host shape via
+        # its RAT-generic aliases); it carries no data_path field.
+        self.data_path = data_path or getattr(network, "data_path", None)
+        #: UE agent class — defaults to the LTE CellBricks UE; pass
+        #: ``CellBricksUe5G`` with a 5G network for host-driven mobility
+        #: across gNB sites (both classes share the attach()/retarget()/
+        #: detach_and_forget()/on_attach_done surface).
+        self.ue_class = ue_class or CellBricksUe
         self.detach_interruption = detach_interruption
         #: when True, the serving bTelco's PGW polices the UE's downlink
         #: to the broker-assigned AMBR (the qosInfo enforcement of §4.1).
@@ -185,12 +193,66 @@ class MobilityManager:
         self.on_attached: Optional[Callable] = None
         #: fired with (site, result) after each *failed* attach
         self.on_failed: Optional[Callable] = None
+        #: open ``migration`` root span for the in-flight switch (closed
+        #: by the app layer when the first post-switch byte is delivered,
+        #: or superseded by the next switch).
+        self._migration_span = None
+
+    # -- observability ----------------------------------------------------
+    def _obs_begin_migration(self, site_name: str) -> None:
+        """Open the handover stall's root span and register it so the
+        transport (MPTCP/QUIC) and app layers can parent under / close
+        it.  The signaling UE's re-attach is parented here too."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is None or not obs.tracing:
+            return
+        key = self.data_path.ue.name if self.data_path is not None \
+            else self.network.ue_host.name
+        prior = obs.active_migrations.pop(key, None)
+        if prior is not None and prior.end is None:
+            obs.tracer.finish(prior, self.sim.now, status="superseded")
+        root = obs.tracer.start_trace("migration", "mobility", "mobility",
+                                      start=self.sim.now)
+        root.data = {"from_site": self.current_site.name,
+                     "to_site": site_name}
+        obs.active_migrations[key] = root
+        self._migration_span = root
+        self.ue._obs_parent_ctx = root.context
+        obs.tracer.instant(
+            "migration.detach", "mobility", self.sim.now,
+            trace_id=root.trace_id, parent_id=root.span_id,
+            category="mobility",
+            data={"interruption_s": self.detach_interruption})
+
+    def _obs_end_reauth(self, status: str) -> None:
+        """Record the broker re-auth leg (switch start -> attach done)
+        under the open migration root; on failure the root itself closes
+        with an error status (no data will flow to close it)."""
+        root = self._migration_span
+        if root is None:
+            return
+        self.ue._obs_parent_ctx = None
+        obs = getattr(self.sim, "obs", None)
+        if obs is None or not obs.tracing:
+            return
+        if root.end is not None:
+            self._migration_span = None
+            return
+        leg = obs.tracer.begin(
+            "migration.reauth", "mobility", "mobility",
+            start=root.start, end=self.sim.now,
+            trace_id=root.trace_id, parent_id=root.span_id)
+        leg.status = status
+        if status != "ok":
+            obs.tracer.finish(root, self.sim.now, status=status)
+            self._migration_span = None
 
     def start(self, site_name: str) -> None:
         """Initial attach (no prior detach)."""
         site = self.network.sites[site_name]
-        self.ue = CellBricksUe(self.network.ue_host, site.enb_address,
-                               self.network.credentials, target_id_t=site.name)
+        self.ue = self.ue_class(self.network.ue_host, site.enb_address,
+                                self.network.credentials,
+                                target_id_t=site.name)
         self.ue.on_attach_done = self._attach_done
         self.current_site = site
         self.ue.attach()
@@ -201,6 +263,7 @@ class MobilityManager:
             raise RuntimeError("call start() first")
         site = self.network.sites[site_name]
         self.switches += 1
+        self._obs_begin_migration(site_name)
         if self.data_path is not None:
             self.data_path.detach(interruption_s=self.detach_interruption)
         # Courtesy switch-off detach towards the old bTelco (it frees the
@@ -215,14 +278,41 @@ class MobilityManager:
             self.attach_failures += 1
             cause = getattr(result, "cause", "") or "unspecified"
             self.failure_causes[cause] = self.failure_causes.get(cause, 0) + 1
+            self._obs_end_reauth("error")
             if self.on_failed is not None:
                 self.on_failed(self.current_site, result)
             return
         self.attach_latencies.append(result.latency)
-        if self.data_path is not None:
-            self.data_path.install_ue_address(result.ue_ip)
+        ue_ip = getattr(result, "ue_ip", None)
+        if ue_ip is None and hasattr(self.ue, "establish_session"):
+            # 5G: registration grants no bearer IP — that comes from the
+            # PDU session.  The re-auth leg of a switch isn't over until
+            # the session is up, so the span closes in _session_done.
+            self.ue.on_session_done = lambda sres: \
+                self._session_done(result, sres)
+            self.ue.establish_session()
+            return
+        self._obs_end_reauth("ok")
+        self._install_and_notify(result, ue_ip)
+
+    def _session_done(self, reg_result, session_result) -> None:
+        """5G PDU-session completion: the point the bearer is usable."""
+        if not session_result.success:
+            self.attach_failures += 1
+            cause = session_result.cause or "session"
+            self.failure_causes[cause] = self.failure_causes.get(cause, 0) + 1
+            self._obs_end_reauth("error")
+            if self.on_failed is not None:
+                self.on_failed(self.current_site, session_result)
+            return
+        self._obs_end_reauth("ok")
+        self._install_and_notify(reg_result, session_result.ue_ip)
+
+    def _install_and_notify(self, result, ue_ip: Optional[str]) -> None:
+        if self.data_path is not None and ue_ip is not None:
+            self.data_path.install_ue_address(ue_ip)
             if self.enforce_qos:
-                self._apply_ambr(result.ue_ip)
+                self._apply_ambr(ue_ip)
         if self.on_attached is not None:
             self.on_attached(self.current_site, result)
 

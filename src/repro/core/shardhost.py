@@ -391,6 +391,7 @@ class ShardHost(SignalingNode):
         self.sap = self._new_sap()
         # A crashed node no longer streams state anywhere.
         self.replicating = False
+        self._update_repl_gauges()
 
     def restart(self) -> None:
         """Rejoin empty.  The frontend notices the heartbeat acks
@@ -486,10 +487,33 @@ class ShardHost(SignalingNode):
             size=32)
 
     # -- replication: primary side ------------------------------------------
+    @property
+    def repl_backlog_ops(self) -> int:
+        """Ops minted but not yet acked by the replica (queued + the
+        frozen in-flight batch)."""
+        inflight = self._repl_inflight
+        return len(self._repl_log) + (len(inflight.ops)
+                                      if inflight is not None else 0)
+
+    @property
+    def repl_lag_s(self) -> float:
+        """Time since the replica last confirmed the stream.  Zero when
+        nothing is outstanding — an idle primary is not lagging."""
+        if self._repl_inflight is None and not self._repl_log:
+            return 0.0
+        return self.sim.now - self._repl_last_ack_at
+
+    def _update_repl_gauges(self) -> None:
+        self.metrics.gauge("shard.repl_backlog_ops").set(
+            self.repl_backlog_ops)
+        self.metrics.gauge("shard.repl_lag_s").set(
+            round(self.repl_lag_s, 9))
+
     def _queue_op(self, op: tuple) -> None:
         if not self.replicating or self.crashed:
             return
         self._repl_log.append(op)
+        self._update_repl_gauges()
         if self._repl_timer is None:
             self._repl_timer = self.sim.schedule(
                 self.replication_interval, self._flush_repl)
@@ -508,6 +532,7 @@ class ShardHost(SignalingNode):
         self._repl_log.clear()
         self._repl_inflight = update
         self.repl_batches_sent += 1
+        self._update_repl_gauges()
         self._transmit_repl()
 
     def _transmit_repl(self) -> None:
@@ -533,7 +558,9 @@ class ShardHost(SignalingNode):
             self.replicating = False
             self._repl_inflight = None
             self._repl_log.clear()
+            self._update_repl_gauges()
             return
+        self._update_repl_gauges()
         self.sim.schedule(self.replication_interval, self._transmit_repl)
 
     def _handle_replica_ack(self, src_ip: str,
@@ -543,6 +570,7 @@ class ShardHost(SignalingNode):
             return
         self._repl_inflight = None
         self._repl_last_ack_at = self.sim.now
+        self._update_repl_gauges()
         if self._repl_log and self._repl_timer is None:
             self._repl_timer = self.sim.schedule(
                 self.replication_interval, self._flush_repl)
@@ -790,6 +818,8 @@ class ShardHost(SignalingNode):
             "repl_ops_applied": self.repl_ops_applied,
             "repl_giveups": self.repl_giveups,
             "repl_applied_seq": self._applied_seq,
+            "repl_backlog_ops": self.repl_backlog_ops,
+            "repl_lag_s": round(self.repl_lag_s, 9),
             "handoff_chunks_sent": self.handoff_chunks_sent,
             "handoff_chunk_retx": self.handoff_chunk_retx,
             "promotions": self.promotions,
@@ -909,6 +939,20 @@ class ShardFrontend:
     def broker_processing_costs(self) -> dict:
         return dict(FRONTEND_PROCESSING_COSTS)
 
+    def _obs_instant(self, name: str, ctx: Optional[tuple] = None,
+                     **data) -> None:
+        """Point event in the frontend's routing plane.  With ``ctx``
+        (a deferred reply's captured ``(trace_id, span_id)``) the event
+        lands inside the attach trace it concerns, so a slow broker-ha
+        attach decomposes into *which* failover step delayed it."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is None or not obs.tracing:
+            return
+        trace_id, parent_id = ctx if ctx is not None else (0, 0)
+        obs.tracer.instant(name, "frontend", self.sim.now,
+                           trace_id=trace_id, parent_id=parent_id,
+                           category="cloud", data=data or None)
+
     # -- health checking -----------------------------------------------------
     def _start_heartbeats(self) -> None:
         if not self._hb_running:
@@ -963,6 +1007,8 @@ class ShardFrontend:
         st.failover_started = self.sim.now
         st.gauge.set(0)
         self.failovers_total.inc()
+        self._obs_instant("broker.failover", shard=st.shard_id,
+                          epoch=st.epoch, primary=st.primary_addr)
         self._send_promote(st)
 
     def _send_promote(self, st: _ShardState) -> None:
@@ -1014,6 +1060,10 @@ class ShardFrontend:
             st.standby_addr, st.primary_addr
         st.status = "healthy"
         st.gauge.set(1)
+        self._obs_instant(
+            "broker.promoted", shard=st.shard_id, epoch=st.epoch,
+            promotion_ms=round(
+                (self.sim.now - st.failover_started) * 1000.0, 3))
         now = self.sim.now
         self.failover_log.append({
             "shard": st.shard_id,
@@ -1092,6 +1142,11 @@ class ShardFrontend:
             # Serve retransmit-replays from the still-syncing replica;
             # fresh auths will fast-fail there with a retryable cause.
             addr, replay_only = st.standby_addr, True
+            self._obs_instant(
+                "broker.failover_reroute",
+                ctx=getattr(record.deferred, "obs_ctx", None),
+                shard=record.shard_id, standby=addr,
+                attempt=record.attempts)
         else:
             addr, replay_only = st.primary_addr, False
         forward = ShardAuthRequest(
@@ -1120,6 +1175,10 @@ class ShardFrontend:
     def _deny_degraded(self, record: _PendingAttach) -> None:
         self.brokerd.requests_denied += 1
         self.degraded_denials.inc()
+        self._obs_instant(
+            "attach.degraded_denial",
+            ctx=getattr(record.deferred, "obs_ctx", None),
+            shard=record.shard_id, attempts=record.attempts)
         response = BrokerAuthResponse(
             approved=False,
             cause=(f"{DenialCause.DEGRADED.value}: shard "

@@ -152,8 +152,12 @@ class Ue5G(SignalingNode):
         if obs is None or not obs.tracing:
             return
         tracer = obs.tracer
+        # Inside a mobility switch the manager sets ``_obs_parent_ctx``
+        # so the re-auth nests under the migration root (parent_id != 0
+        # keeps these out of the Fig 7 attach breakdowns).
         root = tracer.start_trace("attach", self.name, self.obs_category,
-                                  start=self.sim.now)
+                                  start=self.sim.now,
+                                  ctx=getattr(self, "_obs_parent_ctx", None))
         self._attach_span = root
         self._obs_ctx = root.context
         tracer.begin(self.craft_span_name, self.name, self.obs_category,
@@ -172,6 +176,23 @@ class Ue5G(SignalingNode):
                 latency * 1000.0)
         else:
             self.metrics.counter("attach.failures").inc()
+
+    def _obs_degraded_retry(self, reject, delay: float) -> None:
+        """Annotate the open attach span when a retryable (degraded
+        shard) denial forces a backoff — the trace then shows *why*
+        this registration was slow, not just that it was."""
+        span = self._attach_span
+        if span is None:
+            return
+        obs = self.obs()
+        if obs is not None and obs.tracing:
+            obs.tracer.instant(
+                "attach.degraded_retry", self.name, self.sim.now,
+                trace_id=span.trace_id, parent_id=span.span_id,
+                category=self.obs_category,
+                data={"retry": self._reject_retries,
+                      "backoff_ms": round(delay * 1000.0, 3),
+                      "cause": getattr(reject, "cause", "") or "degraded"})
 
     # -- registration ------------------------------------------------------------
     def craft_cost(self) -> float:
@@ -381,6 +402,7 @@ class Ue5G(SignalingNode):
                 self.reject_backoff_factor ** (self._reject_retries - 1))
             delay *= 1.0 + self.attach_retx_jitter \
                 * (2.0 * self._retx_rng.random() - 1.0)
+            self._obs_degraded_retry(reject, delay)
             self.sim.schedule(delay, self._retry_after_reject)
             return
         self._fail(reject.cause)

@@ -163,6 +163,30 @@ class MptcpEndpoint:
                                self.sim.now, category="mptcp",
                                data=data or None)
 
+    def _obs_begin_span(self, name: str, **data):
+        """Open a data-path span.  When a mobility switch is in flight for
+        this host (``obs.active_migrations``), the span parents under the
+        migration root so the handover stall decomposes into legs; outside
+        a switch it roots a trace of its own."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is None or not obs.tracing:
+            return None
+        parent = obs.active_migrations.get(self.host.name)
+        ctx = parent.context if parent is not None \
+            and parent.end is None else None
+        span = obs.tracer.start_trace(name, f"mptcp:{self.host.name}",
+                                      "mptcp", self.sim.now, ctx=ctx)
+        if data:
+            span.data = data
+        return span
+
+    @staticmethod
+    def _obs_finish(span, end: float, status: str = "ok") -> None:
+        """Close an open data-path span (idempotent; no-op on None)."""
+        if span is not None and span.end is None:
+            span.end = end
+            span.status = status
+
     # -- subflow plumbing ---------------------------------------------------
     def _wire_subflow(self, subflow: TcpConnection) -> None:
         self.subflows.append(subflow)
@@ -207,6 +231,8 @@ class MptcpEndpoint:
                 self.on_close()
 
     def _on_subflow_fail(self, subflow: TcpConnection, reason: str) -> None:
+        self._obs_finish(getattr(subflow, "_obs_span", None),
+                         self.sim.now, status="error")
         if subflow in self.subflows:
             self.subflows.remove(subflow)
             self.subflows_failed += 1
@@ -252,6 +278,7 @@ class MptcpConnection(MptcpEndpoint):
         self._started = False
         self.handover_count = 0
         self.subflow_established_times: list[float] = []
+        self._wait_span = None
         host.add_address_listener(self._on_address_change)
 
     # -- lifecycle ----------------------------------------------------------
@@ -263,6 +290,8 @@ class MptcpConnection(MptcpEndpoint):
     def _open_subflow(self, syn_meta: object) -> None:
         subflow = TcpConnection(self.host, self.remote_ip, self.remote_port,
                                 mss=self.mss)
+        subflow._obs_span = self._obs_begin_span(
+            "mptcp.subflow_establish", syn=type(syn_meta).__name__)
         self._wire_subflow(subflow)
         subflow.on_established = lambda sf=subflow: \
             self._on_subflow_established(sf)
@@ -272,6 +301,7 @@ class MptcpConnection(MptcpEndpoint):
         subflow.connect()
 
     def _on_subflow_established(self, subflow: TcpConnection) -> None:
+        self._obs_finish(getattr(subflow, "_obs_span", None), self.sim.now)
         self.active_subflow = subflow
         self.subflow_established_times.append(self.sim.now)
         if self._pending_remove is not None \
@@ -298,6 +328,9 @@ class MptcpConnection(MptcpEndpoint):
             # Invalidation: remember the stale address, start the watch
             # timeout, and (as mainline does) defer action to the worker.
             self._previous_address = old_ip
+            if self._wait_span is None or self._wait_span.end is not None:
+                self._wait_span = self._obs_begin_span(
+                    "mptcp.address_wait", stale=old_ip)
             self._timeout_timer.start(self.address_timeout)
             self._worker_timer.start(self.address_wait)
         else:
@@ -313,6 +346,8 @@ class MptcpConnection(MptcpEndpoint):
             return
         if not self.host.has_address:
             return  # still no address; we re-run when one shows up
+        self._obs_finish(self._wait_span, self.sim.now)
+        self._wait_span = None
         stale = [sf for sf in self.subflows
                  if sf.local_ip != self.host.address]
         active_ok = (self.active_subflow is not None
@@ -350,6 +385,8 @@ class MptcpConnection(MptcpEndpoint):
     def _on_address_timeout(self) -> None:
         """No new address within the timeout: tear the connection down."""
         self.closed = True
+        self._obs_finish(self._wait_span, self.sim.now, status="timeout")
+        self._wait_span = None
         self._worker_timer.stop()
         for subflow in self.subflows:
             subflow.abort("address timeout")

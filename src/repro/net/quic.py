@@ -163,6 +163,38 @@ class QuicEndpoint:
         self.stats_packets_lost = 0
         self.migrations = 0
 
+    # -- observability ------------------------------------------------------
+    def _obs_instant(self, name: str, **data) -> None:
+        """Annotate a connection-lifecycle event when tracing is installed."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is not None and obs.tracing:
+            obs.tracer.instant(name, f"quic:{self.host.name}",
+                               self.sim.now, category="quic",
+                               data=data or None)
+
+    def _obs_begin_span(self, name: str, **data):
+        """Open a data-path span, parented under an in-flight mobility
+        switch for this host when one is registered (so the handover
+        stall decomposes into legs); otherwise a fresh root."""
+        obs = getattr(self.sim, "obs", None)
+        if obs is None or not obs.tracing:
+            return None
+        parent = obs.active_migrations.get(self.host.name)
+        ctx = parent.context if parent is not None \
+            and parent.end is None else None
+        span = obs.tracer.start_trace(name, f"quic:{self.host.name}",
+                                      "quic", self.sim.now, ctx=ctx)
+        if data:
+            span.data = data
+        return span
+
+    @staticmethod
+    def _obs_finish(span, end: float, status: str = "ok") -> None:
+        """Close an open data-path span (idempotent; no-op on None)."""
+        if span is not None and span.end is None:
+            span.end = end
+            span.status = status
+
     # -- sending ------------------------------------------------------------
     def send(self, nbytes: int) -> None:
         if nbytes <= 0:
@@ -371,14 +403,22 @@ class QuicConnection(QuicEndpoint):
         self.socket = UdpSocket(host)
         self.socket.on_datagram = self._on_udp
         self._handshake_timer = Timer(self.sim, self._send_handshake)
+        self._challenge_timer = Timer(self.sim, self._resend_challenge)
         self._challenge_token = 0
         self._path_pending = False
+        self._handshake_span = None
+        self._path_span = None
         host.add_address_listener(self._on_address_change)
 
     def connect(self) -> None:
         self._send_handshake()
 
     def _send_handshake(self) -> None:
+        if self._handshake_span is None:
+            self._handshake_span = self._obs_begin_span("quic.handshake",
+                                                        cid=self.cid)
+        else:
+            self._obs_instant("quic.handshake_retx", cid=self.cid)
         self._emit([HandshakeFrame()])
         self._handshake_timer.start(1.0)
 
@@ -391,6 +431,7 @@ class QuicConnection(QuicEndpoint):
                       frame: HandshakeFrame) -> None:
         if frame.is_response and not self.established:
             self.established = True
+            self._obs_finish(self._handshake_span, self.sim.now)
             self._handshake_timer.stop()
             if self.on_established is not None:
                 self.on_established()
@@ -405,12 +446,31 @@ class QuicConnection(QuicEndpoint):
         self.migrations += 1
         self._challenge_token += 1
         self._path_pending = True
+        self._obs_finish(self._path_span, self.sim.now, status="superseded")
+        self._path_span = self._obs_begin_span(
+            "quic.path_validation", new_local=new_ip,
+            token=self._challenge_token)
         self._emit([PathChallenge(token=self._challenge_token)])
+        # RFC 9000 §8.2.1: PATH_CHALLENGE is retransmitted if the probe
+        # is lost (a real risk here — the challenge races the radio
+        # interruption that accompanies the switch).
+        self._challenge_timer.start(self._pto_interval())
+
+    def _resend_challenge(self) -> None:
+        if not self._path_pending:
+            return
+        self._obs_instant("quic.path_challenge_retx",
+                          token=self._challenge_token)
+        self._emit([PathChallenge(token=self._challenge_token)])
+        self._challenge_timer.start(self._pto_interval())
 
     def _on_path_response(self, src_ip: str, src_port: int,
                           response: PathResponse) -> None:
         if self._path_pending and response.token == self._challenge_token:
             self._path_pending = False
+            self._challenge_timer.stop()
+            self._obs_finish(self._path_span, self.sim.now)
+            self._path_span = None
             # Path validated: resume sending; anything lost during the
             # blackout is recovered by normal loss detection/PTO.
             self._pump()
@@ -439,6 +499,8 @@ class QuicServerConnection(QuicEndpoint):
             self.peer_ip = src_ip
             self.peer_port = src_port
             self.migrations += 1
+            self._obs_instant("quic.peer_migrated", cid=self.cid,
+                              new_peer=src_ip)
             self.retransmit_outstanding()
         super().handle_datagram(src_ip, src_port, datagram)
 

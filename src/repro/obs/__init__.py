@@ -19,18 +19,25 @@ from .metrics import (
 from .trace import Obs, Span, Tracer, get, install
 from .export import (
     LEG_NAMES,
+    MIGRATION_LEG_NAMES,
     attach_leg_breakdown,
+    chrome_thread_ids,
     mean_leg_breakdown,
+    migration_leg_breakdown,
     spans_to_chrome,
     spans_to_jsonl,
     summarize,
     write_chrome,
     write_jsonl,
 )
+from .fleet import FleetKpiStore, KpiCollector
 
 __all__ = [
+    "FleetKpiStore",
+    "KpiCollector",
     "LATENCY_BUCKETS_MS",
     "LEG_NAMES",
+    "MIGRATION_LEG_NAMES",
     "Counter",
     "CounterAttr",
     "CounterVec",
@@ -41,9 +48,11 @@ __all__ = [
     "Span",
     "Tracer",
     "attach_leg_breakdown",
+    "chrome_thread_ids",
     "get",
     "install",
     "mean_leg_breakdown",
+    "migration_leg_breakdown",
     "spans_to_chrome",
     "spans_to_jsonl",
     "summarize",

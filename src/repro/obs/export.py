@@ -56,17 +56,46 @@ def write_jsonl(spans, path: str) -> int:
     return len(text.splitlines())
 
 
+#: Chrome's synthetic process id — the whole sim is one "process"; rows
+#: (tids) are nodes.
+_CHROME_PID = 1
+
+
+def chrome_thread_ids(spans) -> dict:
+    """Deterministic collision-free ``node name -> tid`` mapping: nodes
+    are enumerated in sorted order, so two runs over the same topology
+    assign identical tids and their Chrome traces line up row-for-row."""
+    return {node: tid for tid, node
+            in enumerate(sorted({span.node for span in spans}), start=1)}
+
+
 def spans_to_chrome(spans) -> dict:
-    """Chrome ``trace_event`` JSON (open in chrome://tracing)."""
-    events = []
+    """Chrome ``trace_event`` JSON (open in chrome://tracing).
+
+    One row (tid) per node, assigned by :func:`chrome_thread_ids`;
+    ``M``-phase metadata events name the process and each thread so the
+    viewer shows node names instead of bare integers.  The trace id
+    travels in ``args`` (Chrome has no native trace grouping).
+    """
+    tids = chrome_thread_ids(spans)
+    events = [{
+        "name": "process_name", "ph": "M", "pid": _CHROME_PID, "tid": 0,
+        "args": {"name": "repro-sim"},
+    }]
+    for node in sorted(tids):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _CHROME_PID,
+            "tid": tids[node], "args": {"name": node},
+        })
     for span in spans:
         base = {
             "name": span.name,
             "cat": span.category or "obs",
-            "pid": span.trace_id,
-            "tid": span.node,
+            "pid": _CHROME_PID,
+            "tid": tids[span.node],
             "ts": round(span.start * _US, 3),
-            "args": {"span_id": span.span_id,
+            "args": {"trace_id": span.trace_id,
+                     "span_id": span.span_id,
                      "parent_id": span.parent_id},
         }
         if span.corr_id:
@@ -151,6 +180,71 @@ def attach_leg_breakdown(spans, root_name: str = "attach") -> list:
             "btelco_verify_ms": sums["agw"] * 1000.0,
             "broker_verify_sign_ms": sums["cloud"] * 1000.0,
             "enb_ms": sums["enb"] * 1000.0,
+        })
+    return breakdowns
+
+
+#: Migration leg names, in timeline order.  Unlike the Fig 7 legs (which
+#: clip per-category processing), a handover's phases *overlap* in wall
+#: time (the broker re-auth races the transport's address-loss timer), so
+#: the stall is partitioned sequentially at two boundaries: re-auth done,
+#: transport re-established.  The three legs sum exactly to ``total_ms``
+#: by construction.
+MIGRATION_LEG_NAMES = ("reauth_ms", "transport_ms", "drain_ms")
+
+#: child spans that mark the transport re-established boundary.
+_TRANSPORT_ESTABLISH = ("mptcp.subflow_establish", "quic.path_validation")
+
+
+def migration_leg_breakdown(spans, root_name: str = "migration") -> list:
+    """Per-switch stall decomposition from a recorded migration trace.
+
+    Each completed ``migration`` root (opened by ``switch_to``, closed
+    when the first post-switch payload byte reaches the application)
+    yields ``total_ms`` partitioned into:
+
+    * ``reauth_ms`` — detach until the broker-brokered re-attach granted
+      a new bearer (the ``migration.reauth`` child span's end);
+    * ``transport_ms`` — until the data path re-established (last MPTCP
+      subflow join / QUIC path validation finishing inside the window);
+    * ``drain_ms`` — remainder: retransmit/reinject drain of the old
+      path until payload flows again.
+
+    Boundaries are clamped monotonic, so the legs sum *exactly* to
+    ``total_ms`` — the Fig 7 invariant, extended to the data path.
+    """
+    by_trace: dict[int, list] = {}
+    roots: list = []
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+        if span.name == root_name and span.parent_id == 0 \
+                and span.end is not None and span.status == "ok":
+            roots.append(span)
+
+    breakdowns = []
+    for root in roots:
+        t0, t3 = root.start, root.end
+        reauth_end = t0
+        transport_end = t0
+        establish_name = ""
+        for span in by_trace[root.trace_id]:
+            if span is root or span.kind == "instant" or span.end is None:
+                continue
+            if span.name == "migration.reauth" and span.status == "ok":
+                reauth_end = max(reauth_end, span.end)
+            elif span.name in _TRANSPORT_ESTABLISH and span.status == "ok":
+                if span.end >= transport_end:
+                    transport_end = span.end
+                    establish_name = span.name
+        t1 = min(max(reauth_end, t0), t3)
+        t2 = min(max(transport_end, t1), t3)
+        breakdowns.append({
+            "trace_id": root.trace_id,
+            "total_ms": (t3 - t0) * 1000.0,
+            "reauth_ms": (t1 - t0) * 1000.0,
+            "transport_ms": (t2 - t1) * 1000.0,
+            "drain_ms": (t3 - t2) * 1000.0,
+            "transport": establish_name,
         })
     return breakdowns
 

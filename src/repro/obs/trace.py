@@ -110,12 +110,20 @@ class Tracer:
         return span
 
     def start_trace(self, name: str, node: str, category: str,
-                    start: float) -> Span:
+                    start: float, ctx: Optional[tuple] = None) -> Span:
         """Open a new root span under a fresh trace id (ends later via
-        :meth:`finish` — e.g. the UE's whole-attach span)."""
+        :meth:`finish` — e.g. the UE's whole-attach span).  With ``ctx``
+        (a parent span's ``(trace_id, span_id)``) the open span joins
+        that trace as a child instead — used when an attach runs *inside*
+        a mobility switch, so the re-auth leg nests under the migration
+        root rather than starting a trace of its own."""
+        if ctx is not None:
+            trace_id, parent_id = ctx
+        else:
+            trace_id, parent_id = next(self._trace_ids), 0
         return self._record(Span(
-            trace_id=next(self._trace_ids), span_id=next(self._span_ids),
-            parent_id=0, name=name, node=node, category=category,
+            trace_id=trace_id, span_id=next(self._span_ids),
+            parent_id=parent_id, name=name, node=node, category=category,
             start=start, end=None))
 
     def begin(self, name: str, node: str, category: str, start: float,
@@ -197,6 +205,13 @@ class Obs:
         #: registry for harness-level metrics (per-leg histograms etc.);
         #: node metrics live on each node and are merged on demand.
         self.metrics = MetricsRegistry(node="obs")
+        #: open ``migration`` root spans keyed by data-path UE host name.
+        #: :class:`~repro.core.mobility.MobilityManager` opens them on
+        #: ``switch_to``; MPTCP/QUIC endpoints parent their re-establish
+        #: spans under the entry for ``self.host.name``; the app layer
+        #: (``repro.apps.transport``) closes the root when the first
+        #: post-switch payload byte is delivered.
+        self.active_migrations: dict = {}
 
 
 def install(sim, obs: Optional[Obs] = None) -> Obs:

@@ -17,6 +17,7 @@ from .attach_bench5g import (
 from .megaload import MegaloadWorkload, run_megaload
 from .megaload import run_cell as run_megaload_cell
 from .placement import PLACEMENTS, TestbedTopology
+from .traced_drive import run_traced_drive
 
 __all__ = [
     "MegaloadWorkload",
@@ -34,4 +35,5 @@ __all__ = [
     "run_figure7_5g",
     "run_traced_attach",
     "run_traced_attach_5g",
+    "run_traced_drive",
 ]

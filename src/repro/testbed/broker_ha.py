@@ -45,8 +45,13 @@ GATE_SUCCESS_RATE = 0.99
 
 def run_cell(rat: str = "lte", *, attaches: int = 150, shards: int = 2,
              spares: int = 1, seed: int = 11, revoke_every: int = 25,
-             think_time: float = 0.02, obs=None) -> dict:
-    """One RAT's drill: churn + two crashes + rebalance + replay probe."""
+             think_time: float = 0.02, obs=None, kpi_store=None,
+             kpi_interval: float = 0.5) -> dict:
+    """One RAT's drill: churn + two crashes + rebalance + replay probe.
+
+    With ``kpi_store`` a read-only collector samples the frontend's
+    routing counters plus every shard host's replication backlog/lag
+    into windowed KPI rows on the sim clock."""
     schedule = ChaosSchedule()
     captured: dict = {}
     replay: dict = {"denied": False, "cause": "probe never fired"}
@@ -85,11 +90,18 @@ def run_cell(rat: str = "lte", *, attaches: int = 150, shards: int = 2,
         network.sim.schedule(
             probe_at, _replay_probe, network, frontend, victim,
             crash_1, replay)
+        if kpi_store is not None:
+            captured["collector"] = _attach_kpi_collector(
+                network, frontend, kpi_store, kpi_interval,
+                horizon=probe_at + 2.0)
 
     report = run_chaos(
         attaches=attaches, schedule=schedule, revoke_every=revoke_every,
         seed=seed, think_time=think_time,
         on_network_built=on_network_built, obs=obs, rat=rat)
+    collector = captured.get("collector")
+    if collector is not None:
+        collector.stop()
 
     frontend = captured["frontend"]
     victim = captured["victim"]
@@ -126,6 +138,62 @@ def run_cell(rat: str = "lte", *, attaches: int = 150, shards: int = 2,
         "active_shards": distributed["active_shards"],
         "shard_status": distributed["shard_status"],
     }
+
+
+def _attach_kpi_collector(network, frontend, store, interval: float,
+                          horizon: Optional[float] = None):
+    """Probe the distributed broker: frontend routing counters, attach
+    outcomes, per-shard replication backlog/lag and degraded denials."""
+    from repro.obs.fleet import KpiCollector
+
+    collector = KpiCollector(network.sim, store, interval=interval,
+                             horizon=horizon)
+    collector.add_counter_probe("frontend", lambda: {
+        "failovers": frontend.failovers_total.value,
+        "resyncs": frontend.resyncs_total.value,
+        "rebalances": frontend.rebalances_total.value,
+        "degraded_denials": frontend.degraded_denials.value,
+        "parked_attaches": frontend.parked_attaches.value,
+        "forward_giveups": frontend.forward_giveups.value,
+        "handoff_chunks_retried": frontend.handoff_chunks_retried.value,
+    })
+    collector.add_counter_probe("brokerd", lambda: {
+        "approved": network.brokerd.requests_approved,
+        "denied": network.brokerd.requests_denied,
+    })
+
+    def shard_gauges() -> dict:
+        out = {"pending_forwards": len(frontend._pending)}
+        for sid, st in sorted(frontend.states.items()):
+            out[f"s{sid}.health"] = \
+                1 if st.status == "healthy" else 0
+            for addr in (st.primary_addr, st.standby_addr):
+                host = st.hosts[addr]
+                role = "primary" if addr == st.primary_addr \
+                    else "standby"
+                out[f"s{sid}.{role}.repl_backlog_ops"] = \
+                    host.repl_backlog_ops
+                out[f"s{sid}.{role}.repl_lag_s"] = \
+                    round(host.repl_lag_s, 9)
+        return out
+
+    def shard_counters() -> dict:
+        out: dict = {}
+        for sid, st in sorted(frontend.states.items()):
+            served = denied = degraded = 0
+            for host in st.hosts.values():
+                served += host.auths_served
+                denied += host.auths_denied
+                degraded += host.degraded_denials
+            out[f"s{sid}.auths_served"] = served
+            out[f"s{sid}.auths_denied"] = denied
+            out[f"s{sid}.degraded_denials"] = degraded
+        return out
+
+    collector.add_gauge_probe("shards", shard_gauges)
+    collector.add_counter_probe("shards", shard_counters)
+    collector.start()
+    return collector
 
 
 def _recovery_times(failover_log: list, crashes: tuple) -> list:

@@ -262,7 +262,41 @@ class MegaloadWorkload:
         self.actions = 0
         self.attach_latencies_ms: list[float] = []
         self._idle_ticks = max(1, round(IDLE_TIMEOUT / tick))
+        self.kpi_collector = None
         self._population = self._build_population()
+
+    # -- fleet KPIs --------------------------------------------------------
+    def attach_kpi_collector(self, store, interval: float = 1.0):
+        """Sample this workload's counters into ``store`` every
+        ``interval`` sim-seconds.  The probes only *read* state the
+        workload already maintains, so the workload digest is unchanged
+        and the overhead is one event per window."""
+        from repro.obs.fleet import KpiCollector
+
+        collector = KpiCollector(self.sim, store, interval=interval)
+        collector.add_counter_probe("workload", lambda: {
+            "arrived": self.arrived,
+            "attach_ok": self.attach_ok,
+            "attach_failures": self.attach_failures,
+            "retries": self.retries,
+            "gave_up": self.gave_up,
+            "moves": self.moves,
+            "idle_detaches": self.idle_detaches,
+            "departed": self.departed,
+            "actions": self.actions,
+        })
+        collector.add_counter_probe("broker", lambda: {
+            "batches": self.broker.batches,
+            "requests": self.broker.requests,
+            "full_flushes": self.broker.full_flushes,
+        })
+        collector.add_gauge_probe("sites", lambda: {
+            "attached_total": sum(self.site_attached),
+            "max_load": max(self.site_attached),
+            "loaded_sites": sum(1 for n in self.site_attached if n > 0),
+        })
+        self.kpi_collector = collector
+        return collector
 
     # -- population script ------------------------------------------------
     def _build_population(self) -> list[_Ue]:
@@ -412,9 +446,13 @@ class MegaloadWorkload:
 
     def run(self) -> dict:
         """Execute to completion; returns the cell dict for the report."""
+        if self.kpi_collector is not None:
+            self.kpi_collector.start()
         wall_start = time.perf_counter()
         processed = self.sim.run(until=self.duration + DRAIN_GRACE)
         wall = max(time.perf_counter() - wall_start, 1e-9)
+        if self.kpi_collector is not None:
+            self.kpi_collector.stop()
         sim_seconds = self.sim.now
         latencies = self.attach_latencies_ms
         workload = {
@@ -476,11 +514,15 @@ def run_cell(*, ues: int = 100_000, sites: int = 256,
              duration: float = 60.0, tick: float = 0.05, seed: int = 7,
              engine: str = "optimized",
              adaptive: Optional[bool] = None,
-             compaction: Optional[bool] = None) -> dict:
+             compaction: Optional[bool] = None,
+             kpi_store=None, kpi_interval: float = 1.0) -> dict:
     """Run one megaload cell.  ``adaptive``/``compaction`` default to the
     engine's natural configuration (legacy = fixed window, no
     compaction; optimized = adaptive window, compaction on) but can be
-    pinned for apples-to-apples engine-equivalence checks."""
+    pinned for apples-to-apples engine-equivalence checks.  With
+    ``kpi_store`` (a :class:`~repro.obs.fleet.FleetKpiStore`), a
+    read-only collector samples workload/broker/site KPIs every
+    ``kpi_interval`` sim-seconds — the workload digest is unaffected."""
     if adaptive is None:
         adaptive = engine == "optimized"
     if compaction is None:
@@ -488,6 +530,8 @@ def run_cell(*, ues: int = 100_000, sites: int = 256,
     workload = MegaloadWorkload(
         ues=ues, sites=sites, duration=duration, tick=tick, seed=seed,
         engine=engine, adaptive=adaptive, compaction=compaction)
+    if kpi_store is not None:
+        workload.attach_kpi_collector(kpi_store, interval=kpi_interval)
     return workload.run()
 
 

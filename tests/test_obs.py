@@ -118,7 +118,12 @@ class TestTracer:
         jsonl = spans_to_jsonl(tracer.spans())
         assert jsonl.count("\n") == 2
         chrome = spans_to_chrome(tracer.spans())
-        assert len(chrome["traceEvents"]) == 2
+        # 1 process_name + 1 thread_name ("ue") metadata event + 2 spans.
+        assert len(chrome["traceEvents"]) == 4
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        spans = [e for e in chrome["traceEvents"] if e["ph"] != "M"]
+        assert all(isinstance(e["tid"], int) for e in spans)
         assert "attach" in summarize(tracer.spans())
 
 
