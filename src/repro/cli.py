@@ -366,6 +366,52 @@ def _cmd_broker_ha(args: argparse.Namespace) -> int:
     return 0 if report["pass"] else 1
 
 
+def _cmd_fleet_drive(args: argparse.Namespace) -> int:
+    """Fleet drive over the geometric RAN (FLEET-DRIVE).
+
+    A fleet of UEs drives a corridor of randomly-assigned operator
+    cells; emergent A3 handovers feed ``MobilityManager.switch_to``.
+    Scoped cells re-attach with broker-signed mobility grants (target:
+    zero broker auth RPCs per handover); scopes-disabled cells pay a
+    full authReqU per handover.  Mid-drive one operator's towers go
+    dark, producing an attach storm.  Gates: scoped auth-RPCs == 0 and
+    < baseline, denial probes (replay / bad MAC / out-of-scope /
+    expired) all denied, zero unauthorized session seconds, and a
+    deterministic MTTHO digest.  ``--smoke`` is the seeded CI subset."""
+    import json
+
+    from repro.testbed.fleet_drive import run_fleet_suite
+
+    rats = ("lte", "5g") if args.rat == "both" else (args.rat,)
+    ues = 4 if args.smoke else args.ues
+    duration = 20.0 if args.smoke else args.duration
+    report = run_fleet_suite(rats=rats, ues=ues, duration=duration,
+                             seed=args.seed, sites=args.sites)
+
+    for cell in report["cells"]:
+        mode = "scoped" if cell["scoped"] else "plain "
+        mttho = cell["mttho_s"]["fleet_mean_s"]
+        print(f"{cell['rat']:>3} {mode}: "
+              f"{cell['operator_handovers']} op-handovers "
+              f"({cell['ran_handovers']} RAN), "
+              f"auth RPCs {cell['broker_auth_rpcs']} "
+              f"({cell['rpcs_per_handover'] or 0:.2f}/ho), "
+              f"MTTHO {mttho if mttho is not None else float('nan'):.1f}s, "
+              f"stall p50 {cell['stall_ms']['p50'] or 0:.1f}ms "
+              f"p95 {cell['stall_ms']['p95'] or 0:.1f}ms, "
+              f"storm ho {cell['storm'].get('handovers', 0)} "
+              f"rpcs {cell['storm'].get('broker_auth_rpcs', 0)}, "
+              f"unauth {cell['unauthorized_session_s']}s")
+    for gate, ok in report["gates"].items():
+        print(f"{'ok  ' if ok else 'FAIL'} {gate}")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.output}")
+    return 0 if report["pass"] else 1
+
+
 def _cmd_megaload(args: argparse.Namespace) -> int:
     """Population-scale workload over the event engine (MEGALOAD).
 
@@ -1046,6 +1092,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="BENCH_broker_ha.json",
                    help="report path (default BENCH_broker_ha.json)")
     p.set_defaults(func=_cmd_broker_ha)
+
+    p = sub.add_parser("fleet-drive", help="fleet of UEs over the "
+                       "geometric RAN; gate scoped re-attach broker load")
+    p.add_argument("--rat", choices=("lte", "5g", "both"), default="both",
+                   help="control plane(s) to drive (default both)")
+    p.add_argument("--ues", type=int, default=6,
+                   help="fleet size, <= 8 (default 6)")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="drive duration in sim seconds (default 30)")
+    p.add_argument("--sites", type=int, default=3,
+                   help="bTelco operators along the corridor (default 3)")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--smoke", action="store_true",
+                   help="seeded CI subset (4 UEs, 20 s drives)")
+    p.add_argument("--output", default="BENCH_fleet_drive.json",
+                   help="report path (default BENCH_fleet_drive.json)")
+    p.set_defaults(func=_cmd_fleet_drive)
 
     p = sub.add_parser("megaload", help="population-scale workload over "
                                         "the event engine")

@@ -14,12 +14,14 @@ from repro.crypto import PrivateKey, PublicKey, generate_keypair
 from repro.lte.signaling import CounterAttr, SignalingNode
 from repro.net import Host
 
-from .billing import BillingVerifier, TrafficReportUpload
+from .billing import BillingVerifier, REPORTER_BTELCO, TrafficReportUpload
 from .messages import (
     BrokerAuthRequest,
     BrokerAuthResponse,
     ReportAck,
     RevocationAck,
+    ScopeAttachAck,
+    ScopeAttachNotice,
     SessionRevocation,
     SessionRevocationBatch,
 )
@@ -32,6 +34,9 @@ from .sap import BrokerSap, BrokerSubscriber, SapError, SapGrant
 AUTH_REQUEST_PROCESSING = 0.0046
 REPORT_PROCESSING = 0.0003
 ACK_PROCESSING = 0.0002
+# Scope-attach notice: one cert check (memoized at the CA layer), one
+# signature verify, a counter compare — far off the attach critical path.
+SCOPE_NOTICE_PROCESSING = 0.0009
 
 # Calibrated decomposition of AUTH_REQUEST_PROCESSING for the batching
 # pipeline.  The serial handler charges the lump sum; the pipeline
@@ -134,15 +139,19 @@ class Brokerd(SignalingNode):
         BrokerAuthRequest: AUTH_REQUEST_PROCESSING,
         TrafficReportUpload: REPORT_PROCESSING,
         RevocationAck: ACK_PROCESSING,
+        ScopeAttachNotice: SCOPE_NOTICE_PROCESSING,
     }
     obs_category = "cloud"
     _SPAN_NAMES = {
         BrokerAuthRequest: "sap.broker_verify",
         TrafficReportUpload: "billing.report_verify",
         RevocationAck: "revocation.ack_verify",
+        ScopeAttachNotice: "sap.broker_scope_notice",
     }
     requests_approved = CounterAttr("broker.requests_approved")
     requests_denied = CounterAttr("broker.requests_denied")
+    scope_notices_accepted = CounterAttr("broker.scope_notices_accepted")
+    scope_notices_denied = CounterAttr("broker.scope_notices_denied")
     revocations_sent = CounterAttr("broker.revocations_sent")
     revocation_batches_sent = CounterAttr("broker.revocation_batches_sent")
     revocation_batches_acked = CounterAttr("broker.revocation_batches_acked")
@@ -223,9 +232,12 @@ class Brokerd(SignalingNode):
         self.revocation_batches_failed = 0
         self.revocation_acks_bad = 0
         self.reports_retried = 0
+        self.scope_notices_accepted = 0
+        self.scope_notices_denied = 0
         self.on(BrokerAuthRequest, self._handle_auth_request)
         self.on(TrafficReportUpload, self._handle_report)
         self.on(RevocationAck, self._handle_revocation_ack)
+        self.on(ScopeAttachNotice, self._handle_scope_notice)
 
     @property
     def public_key(self) -> PublicKey:
@@ -288,11 +300,13 @@ class Brokerd(SignalingNode):
             ResyncAck,
             ShardAuthResponse,
             ShardHeartbeatAck,
+            ShardScopeAck,
         )
         self.frontend = frontend
         self.processing_costs = dict(self.processing_costs)
         self.processing_costs.update(frontend.broker_processing_costs())
         self.on(ShardAuthResponse, frontend._on_shard_auth_response)
+        self.on(ShardScopeAck, frontend._on_shard_scope_ack)
         self.on(ShardHeartbeatAck, frontend._on_heartbeat_ack)
         self.on(PromoteAck, frontend._on_promote_ack)
         self.on(ResyncAck, lambda src_ip, ack: None)
@@ -424,6 +438,8 @@ class Brokerd(SignalingNode):
                          self._outstanding_batches),
                      revocation_acks_bad=self.revocation_acks_bad,
                      reports_retried=self.reports_retried,
+                     scope_notices_accepted=self.scope_notices_accepted,
+                     scope_notices_denied=self.scope_notices_denied,
                      reports_lost=self.billing.reports_unmatched,
                      ledgers_archived=self.billing.ledgers_archived,
                      sessions_tracked=len(self._session_btelco),
@@ -650,6 +666,77 @@ class Brokerd(SignalingNode):
         sealed_t, sealed_u, grant = approved
         self._approve(item.src_ip, item.request, sealed_t, sealed_u,
                       grant, deferred=item.deferred)
+
+    # -- mobility-scoped attach notices (§4.2) --------------------------------
+    def register_btelco(self, certificate, now: Optional[float] = None) -> bool:
+        """Admit a bTelco to the scope directory (CA-validated): its key
+        becomes available for sealing per-site scope secrets, so the
+        broker can include it in minted mobility scopes."""
+        return self.sap.register_btelco(
+            certificate, self.sim.now if now is None else now)
+
+    def _handle_scope_notice(self, src_ip: str,
+                             notice: ScopeAttachNotice) -> None:
+        """A bTelco reports a scope-local attach it validated itself.
+
+        Off the attach critical path, but load-bearing for everything
+        else: the counter becomes the authoritative cross-site replay
+        floor, revocation routing re-points at the new serving site, and
+        the billing ledger learns the site's reporter key.  A terminal
+        nack tells the bTelco to tear the session down.
+        """
+        certificate = notice.certificate
+        if certificate is None \
+                or not self.sap.register_btelco(certificate, self.sim.now) \
+                or not certificate.public_key.verify(
+                    notice.signed_bytes(), notice.signature) \
+                or certificate.subject != notice.id_t:
+            # Unverifiable notice: don't touch the counter floor, and
+            # don't ack-tear-down a session on an attacker's say-so
+            # either — deny terminally so a *legitimate* sender (which
+            # would never produce one) is unaffected.
+            self.scope_notices_denied += 1
+            self.send(src_ip, ScopeAttachAck(
+                session_id=notice.session_id, counter=notice.counter,
+                accepted=False, cause="unverifiable notice"), size=64)
+            return
+        if self.frontend is not None:
+            self.frontend.handle_scope_notice(src_ip, notice)
+            return
+        accepted, retryable, cause = self.sap.note_scope_attach(
+            notice.session_id, notice.counter, self.sim.now)
+        self._finish_scope_notice(src_ip, notice, accepted, retryable,
+                                  cause)
+
+    def _finish_scope_notice(self, src_ip: str, notice: ScopeAttachNotice,
+                             accepted: bool, retryable: bool,
+                             cause: str, deferred=None) -> None:
+        """Shared tail of the local and distributed notice paths.
+
+        The distributed path passes the ``deferred`` reply captured when
+        the notice arrived, so the eventual ack still correlates with the
+        bTelco's reliable request (stopping its retransmissions).
+        """
+        if accepted:
+            self.scope_notices_accepted += 1
+            # The session moved: revocations now go to the new site, and
+            # its reports verify under the new site's key.
+            self._session_btelco[notice.session_id] = src_ip
+            self._btelco_keys[src_ip] = notice.certificate.public_key
+            if notice.session_id in self.billing.sessions:
+                self.billing.register_reporter_key(
+                    notice.session_id, REPORTER_BTELCO,
+                    notice.certificate.public_key)
+        else:
+            self.scope_notices_denied += 1
+        ack = ScopeAttachAck(
+            session_id=notice.session_id, counter=notice.counter,
+            accepted=accepted, retryable=retryable, cause=cause)
+        if deferred is not None:
+            deferred.send(src_ip, ack, size=64)
+            deferred.complete()
+        else:
+            self.send(src_ip, ack, size=64)
 
     def _handle_report(self, src_ip: str,
                        upload: TrafficReportUpload) -> None:

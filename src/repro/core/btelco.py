@@ -28,6 +28,7 @@ from repro.lte.nas import (
     SapAttachChallenge,
     SapAttachReject,
     SapAttachRequest,
+    SapScopedAttachRequest,
 )
 from repro.lte.security import SecurityContext
 from repro.net import Host
@@ -37,8 +38,11 @@ from .intercept import LawfulInterceptFunction
 from .messages import (
     BrokerAuthRequest,
     BrokerAuthResponse,
+    DenialCause,
     ReportAck,
     RevocationAck,
+    ScopeAttachAck,
+    ScopeAttachNotice,
     SessionRevocation,
     SessionRevocationBatch,
 )
@@ -54,6 +58,10 @@ CELLBRICKS_COSTS = {
     "broker_auth_response": 0.0055,
     "smc_complete": 0.0046,     # includes immediate session establishment
     "attach_complete": 0.0015,
+    # Scoped re-attach (§4.2): verify the broker signature on the token,
+    # decrypt our ess entry, check one MAC — no authReqT signing and no
+    # broker round-trip on the critical path.
+    "scoped_attach_request": 0.0018,
 }
 
 
@@ -69,10 +77,17 @@ class CellBricksAgw(Agw):
     reports_retried = CounterAttr("btelco.reports_retried")
     reports_lost = CounterAttr("btelco.reports_lost")
     reports_acked = CounterAttr("btelco.reports_acked")
+    scoped_attaches = CounterAttr("btelco.scoped_attaches")
+    scoped_rejects = CounterAttr("btelco.scoped_rejects")
+    scope_replays_denied = CounterAttr("btelco.scope_replays_denied")
+    scope_notices_sent = CounterAttr("btelco.scope_notices_sent")
+    scope_notice_nacks = CounterAttr("btelco.scope_notice_nacks")
 
     def nas_span_name(self, nas: NasMessage) -> str:
         if isinstance(nas, SapAttachRequest):
             return "sap.btelco_sign"
+        if isinstance(nas, SapScopedAttachRequest):
+            return "sap.btelco_scope_validate"
         return super().nas_span_name(nas)
 
     def span_name(self, message: object) -> str:
@@ -122,8 +137,24 @@ class CellBricksAgw(Agw):
         self.reports_retried = 0
         self.reports_lost = 0
         self.reports_acked = 0
+        self.scoped_attaches = 0
+        self.scoped_rejects = 0
+        self.scope_replays_denied = 0
+        self.scope_notices_sent = 0
+        self.scope_notice_nacks = 0
+        #: seconds of service rendered by scoped sessions the broker
+        #: later vetoed (fleet-drive gate: must stay 0.0).
+        self.scope_unauthorized_session_s = 0.0
+        #: per-grant highest attach counter seen at *this* site — the
+        #: local replay floor for mobility-scoped re-attaches (the broker
+        #: holds the authoritative cross-site floor).
+        self._scope_counters: dict[str, int] = {}
+        #: session_id -> (token, counter, attempt) notices still awaiting
+        #: a broker verdict (retryable nacks re-notify with backoff).
+        self._scope_notice_pending: dict[str, tuple] = {}
         self.sap_costs = dict(CELLBRICKS_COSTS)
         self.on(BrokerAuthResponse, self._handle_broker_response)
+        self.on(ScopeAttachAck, self._handle_scope_ack)
         self.on(SessionRevocation, self._handle_session_revocation)
         self.on(SessionRevocationBatch, self._handle_revocation_batch)
         self.on(ReportAck, self._handle_report_ack)
@@ -132,6 +163,8 @@ class CellBricksAgw(Agw):
     def nas_processing_cost(self, nas: NasMessage) -> float:
         if isinstance(nas, SapAttachRequest):
             return self.sap_costs["sap_attach_request"]
+        if isinstance(nas, SapScopedAttachRequest):
+            return self.sap_costs["scoped_attach_request"]
         return super().nas_processing_cost(nas)
 
     def processing_cost(self, message: object) -> float:
@@ -165,6 +198,8 @@ class CellBricksAgw(Agw):
                              nas: NasMessage) -> None:
         if isinstance(nas, SapAttachRequest):
             self._on_sap_attach_request(context, nas)
+        elif isinstance(nas, SapScopedAttachRequest):
+            self._on_sap_scoped_attach(context, nas)
 
     def _on_sap_attach_request(self, context: UeContext,
                                request: SapAttachRequest) -> None:
@@ -263,6 +298,155 @@ class CellBricksAgw(Agw):
         self.downlink(context, challenge)
         context.state = "WAIT_SMC_COMPLETE"
         self.send_smc(context)
+
+    # -- mobility-scoped re-attach (§4.2) ----------------------------------------------
+    def _on_sap_scoped_attach(self, context: UeContext,
+                              request: SapScopedAttachRequest) -> None:
+        """Scope-local re-attach: validate the broker-signed token right
+        here — signature, scope membership, expiry, possession MAC and
+        the monotonic attach counter — with **no** broker round-trip.
+        The broker is told asynchronously (:meth:`_notify_scope_attach`)
+        so revocation routing, billing and the authoritative cross-site
+        replay floor stay correct."""
+        token = request.token
+        key = ("scope", token.sig, request.counter)
+        if context.sap_request_key == key:
+            # Retransmission of the attempt we already served: replay the
+            # SMC leg (there is no challenge downlink on the scoped path).
+            self.dup_attach_requests += 1
+            if context.state == "WAIT_SMC_COMPLETE":
+                self.send_smc(context)
+            return
+        # Fresh attempt: drop any stale broker leg from a prior full
+        # attach on this context.
+        if context.broker_token is not None:
+            self._pending.pop(context.broker_token, None)
+            self.cancel_request(context.broker_corr_id)
+            context.broker_token = None
+        context.sap_request_key = key
+        context.sap_challenge = None
+        context.attach_started_at = self.sim.now
+        context.broker_id = token.id_b
+        try:
+            session = self.sap.validate_scoped_attach(
+                token, request.counter, request.mac,
+                self.broker_public_keys, self.sim.now,
+                self._scope_counters.get(token.session_id, 0))
+        except SapError as exc:
+            self.scoped_rejects += 1
+            if exc.cause == DenialCause.REPLAY:
+                self.scope_replays_denied += 1
+            self.attaches_rejected += 1
+            context.state = "REJECTED"
+            self.downlink(context, SapAttachReject(cause=str(exc)))
+            return
+        # Commit the local replay floor only after full validation so
+        # probes cannot burn counters.
+        self._scope_counters[token.session_id] = request.counter
+        self.scoped_attaches += 1
+        context.subscriber_id = session.id_u_opaque
+        context.security = SecurityContext(kasme=session.ss)
+        context.subscription = s6a.SubscriptionData(
+            qci=session.qos_info.qci,
+            ambr_dl_bps=session.qos_info.ambr_dl_bps,
+            ambr_ul_bps=session.qos_info.ambr_ul_bps)
+        self.sessions[session.session_id] = session
+        self.session_brokers[session.session_id] = token.id_b
+        context.sap_session = session
+        # Both sides already hold ss: skip the challenge downlink and go
+        # straight to SMC.
+        context.state = "WAIT_SMC_COMPLETE"
+        self.send_smc(context)
+        self._notify_scope_attach(token, request.counter)
+
+    def validate_scope_probe(self, token, counter: int,
+                             mac: bytes) -> Optional[str]:
+        """Dry-run a scoped attach against this site's local state and
+        return the denial cause (``None`` if it would be accepted).
+        Read-only — no counter is committed, no session created.  Used
+        by harnesses to assert that replayed / out-of-scope / expired
+        grants are denied without perturbing live state."""
+        try:
+            self.sap.validate_scoped_attach(
+                token, counter, mac, self.broker_public_keys, self.sim.now,
+                self._scope_counters.get(token.session_id, 0))
+        except SapError as exc:
+            cause = exc.cause
+            return cause.value if cause is not None else str(exc)
+        return None
+
+    #: retryable-nack re-notify schedule (broker shard failing over).
+    scope_notice_backoff = 0.5
+    scope_notice_max_attempts = 6
+
+    def _notify_scope_attach(self, token, counter: int,
+                             attempt: int = 0) -> None:
+        """Asynchronously tell the issuing broker about the scope-local
+        attach (reliable leg, off the attach critical path): it advances
+        the authoritative replay floor, re-points revocation routing at
+        this site, and keeps billing session continuity."""
+        unsigned = ScopeAttachNotice(session_id=token.session_id,
+                                     counter=counter, id_t=self.id_t)
+        notice = ScopeAttachNotice(
+            session_id=token.session_id, counter=counter, id_t=self.id_t,
+            certificate=self.sap.config.certificate,
+            signature=self.key.sign(unsigned.signed_bytes()))
+        self.scope_notices_sent += 1
+        self._scope_notice_pending[token.session_id] = \
+            (token, counter, attempt)
+        self.send_request(self.broker_endpoint(token.id_b), notice,
+                          size=notice.wire_size)
+
+    def _handle_scope_ack(self, src_ip: str, ack: ScopeAttachAck) -> None:
+        pending = self._scope_notice_pending.get(ack.session_id)
+        if ack.accepted:
+            self._scope_notice_pending.pop(ack.session_id, None)
+            return
+        if ack.retryable:
+            # A broker shard is failing over: the nack completed our
+            # reliable request, so *we* own the retry.  Re-notify with
+            # backoff while the session is still live — the counter
+            # floor must eventually reach the broker.
+            if pending is not None and pending[1] == ack.counter:
+                token, counter, attempt = pending
+                if attempt + 1 < self.scope_notice_max_attempts \
+                        and ack.session_id in self.sessions:
+                    self.sim.schedule(
+                        self.scope_notice_backoff * (attempt + 1),
+                        self._notify_scope_attach, token, counter,
+                        attempt + 1)
+                else:
+                    self._scope_notice_pending.pop(ack.session_id, None)
+            return
+        self._scope_notice_pending.pop(ack.session_id, None)
+        # Terminal nack: the broker says this scoped attach must not
+        # stand (revoked, expired, or a cross-site replay our local
+        # floor could not see).  Withdraw the session now.
+        self.scope_notice_nacks += 1
+        self.sap.revoke_session(ack.session_id)
+        if ack.session_id not in self.sessions:
+            return
+        self.revoked_sessions += 1
+        context = next(
+            (c for c in self.contexts.values()
+             if getattr(getattr(c, "sap_session", None), "session_id",
+                        None) == ack.session_id),
+            None)
+        if context is not None:
+            # Service rendered between the optimistic local validation
+            # and the broker's veto was unauthorized — account for it
+            # (the fleet-drive gate requires this stays 0).
+            started = getattr(context, "attach_started_at", None)
+            if started is not None:
+                self.scope_unauthorized_session_s += \
+                    max(0.0, self.sim.now - started)
+        if context is not None and context.state == "ATTACHED":
+            self._teardown_session(context, ack.session_id)
+        else:
+            # Mid-attach: _on_attach_complete refuses revoked sessions.
+            self.meters.pop(ack.session_id, None)
+            self.sessions.pop(ack.session_id, None)
+            self.session_brokers.pop(ack.session_id, None)
 
     def after_security_established(self, context: UeContext) -> None:
         """No ULR: straight to session establishment (the Fig 7 win)."""
@@ -471,6 +655,13 @@ class CellBricksAgw(Agw):
             "reports_retried": self.reports_retried,
             "reports_lost": self.reports_lost,
             "reports_acked": self.reports_acked,
+            "scoped_attaches": self.scoped_attaches,
+            "scoped_rejects": self.scoped_rejects,
+            "scope_replays_denied": self.scope_replays_denied,
+            "scope_notices_sent": self.scope_notices_sent,
+            "scope_notice_nacks": self.scope_notice_nacks,
+            "scope_unauthorized_session_s":
+                round(self.scope_unauthorized_session_s, 9),
         }
         stats.update(self.reliable_stats())
         return stats

@@ -40,15 +40,20 @@ from repro.net import Host
 from .messages import (
     BrokerAuthRequest,
     BrokerAuthResponse,
+    DenialCause,
     RevocationAck,
+    ScopeAttachAck,
+    ScopeAttachNotice,
     SessionRevocation,
     SessionRevocationBatch,
+    scope_attach_mac,
 )
 from .qos import QosCapabilities
 from .sap import (
     AuthorizedSession,
     BtelcoSap,
     BtelcoSapConfig,
+    MobilityGrant,
     SapError,
     UeSap,
     UeSapCredentials,
@@ -57,6 +62,8 @@ from .sap import (
 CB_AMF_COSTS = {
     "sap_registration": 0.0055,
     "broker_auth_response": 0.0057,
+    # Scoped re-registration (§4.2): local token validation only.
+    "scoped_registration": 0.0019,
 }
 
 
@@ -71,10 +78,17 @@ class CellBricksAmf(Amf):
     revocation_acks_sent = CounterAttr("btelco.revocation_acks_sent")
     dup_attach_requests = CounterAttr("btelco.dup_attach_requests")
     broker_timeouts = CounterAttr("btelco.broker_timeouts")
+    scoped_attaches = CounterAttr("btelco.scoped_attaches")
+    scoped_rejects = CounterAttr("btelco.scoped_rejects")
+    scope_replays_denied = CounterAttr("btelco.scope_replays_denied")
+    scope_notices_sent = CounterAttr("btelco.scope_notices_sent")
+    scope_notice_nacks = CounterAttr("btelco.scope_notice_nacks")
 
     def nas_span_name(self, nas: NasMessage) -> str:
         if isinstance(nas, nas5g.SapRegistrationRequest):
             return "sap.btelco_sign"
+        if isinstance(nas, nas5g.SapScopedRegistrationRequest):
+            return "sap.btelco_scope_validate"
         return super().nas_span_name(nas)
 
     def span_name(self, message: object) -> str:
@@ -110,8 +124,23 @@ class CellBricksAmf(Amf):
         self.revocation_acks_sent = 0
         self.dup_attach_requests = 0
         self.broker_timeouts = 0
+        self.scoped_attaches = 0
+        self.scoped_rejects = 0
+        self.scope_replays_denied = 0
+        self.scope_notices_sent = 0
+        self.scope_notice_nacks = 0
+        #: seconds of service rendered by scoped sessions the broker
+        #: later vetoed (fleet-drive gate: must stay 0.0).
+        self.scope_unauthorized_session_s = 0.0
+        #: per-grant highest attach counter seen at *this* site (the
+        #: local replay floor; the broker holds the cross-site floor).
+        self._scope_counters: dict[str, int] = {}
+        #: session_id -> (token, counter, attempt) notices still awaiting
+        #: a broker verdict (retryable nacks re-notify with backoff).
+        self._scope_notice_pending: dict[str, tuple] = {}
         self.sap_costs = dict(CB_AMF_COSTS)
         self.on(BrokerAuthResponse, self._handle_broker_response)
+        self.on(ScopeAttachAck, self._handle_scope_ack)
         self.on(SessionRevocation, self._handle_session_revocation)
         self.on(SessionRevocationBatch, self._handle_revocation_batch)
 
@@ -122,6 +151,8 @@ class CellBricksAmf(Amf):
     def nas_processing_cost(self, nas: NasMessage) -> float:
         if isinstance(nas, nas5g.SapRegistrationRequest):
             return self.sap_costs["sap_registration"]
+        if isinstance(nas, nas5g.SapScopedRegistrationRequest):
+            return self.sap_costs["scoped_registration"]
         return super().nas_processing_cost(nas)
 
     def processing_cost(self, message: object) -> float:
@@ -132,12 +163,15 @@ class CellBricksAmf(Amf):
     # -- SAP flow ------------------------------------------------------------------
     def nas_initiates(self, nas: NasMessage) -> bool:
         return super().nas_initiates(nas) \
-            or isinstance(nas, nas5g.SapRegistrationRequest)
+            or isinstance(nas, (nas5g.SapRegistrationRequest,
+                                nas5g.SapScopedRegistrationRequest))
 
     def handle_extension_nas(self, context: UeContext5G,
                              nas: NasMessage) -> None:
         if isinstance(nas, nas5g.SapRegistrationRequest):
             self._on_sap_registration(context, nas)
+        elif isinstance(nas, nas5g.SapScopedRegistrationRequest):
+            self._on_sap_scoped_registration(context, nas)
 
     def _on_sap_registration(self, context: UeContext5G,
                              request: nas5g.SapRegistrationRequest) -> None:
@@ -224,6 +258,134 @@ class CellBricksAmf(Amf):
         self.downlink(context, challenge)
         context.state = "WAIT_SMC_COMPLETE"
         self.send_smc5g(context)
+
+    # -- mobility-scoped re-registration (§4.2) --------------------------------------
+    def _on_sap_scoped_registration(
+            self, context: UeContext5G,
+            request: nas5g.SapScopedRegistrationRequest) -> None:
+        """Scope-local re-registration: the broker-signed token is
+        validated entirely at the AMF (signature, scope, expiry, MAC,
+        monotonic counter) — no broker round-trip; the broker is told
+        asynchronously."""
+        token = request.token
+        key = ("scope", token.sig, request.counter)
+        if context.sap_request_key == key:
+            self.dup_attach_requests += 1
+            if context.state == "WAIT_SMC_COMPLETE":
+                self.send_smc5g(context)
+            return
+        if context.broker_token is not None:
+            self._pending_sap.pop(context.broker_token, None)
+            self.cancel_request(context.broker_corr_id)
+            context.broker_token = None
+        context.sap_request_key = key
+        context.sap_challenge = None
+        context.registration_started_at = self.sim.now
+        context.broker_id = token.id_b
+        try:
+            session = self.sap.validate_scoped_attach(
+                token, request.counter, request.mac,
+                self.broker_public_keys, self.sim.now,
+                self._scope_counters.get(token.session_id, 0))
+        except SapError as exc:
+            self.scoped_rejects += 1
+            if exc.cause == DenialCause.REPLAY:
+                self.scope_replays_denied += 1
+            self.reject(context, str(exc))
+            return
+        # Commit the local replay floor only after full validation.
+        self._scope_counters[token.session_id] = request.counter
+        self.scoped_attaches += 1
+        self._watch_registration(context)
+        context.supi = session.id_u_opaque
+        context.security = SecurityContext(kasme=session.ss)
+        context.sap_session = session
+        self.sessions[session.session_id] = session
+        self.session_brokers[session.session_id] = token.id_b
+        # Both sides already hold ss: no challenge downlink, straight to
+        # the SMC.
+        context.state = "WAIT_SMC_COMPLETE"
+        self.send_smc5g(context)
+        self._notify_scope_attach(token, request.counter)
+
+    def validate_scope_probe(self, token, counter: int,
+                             mac: bytes) -> Optional[str]:
+        """Dry-run a scoped registration (read-only; no counter commit,
+        no session).  Returns the denial cause, or ``None`` if the
+        attach would be accepted."""
+        try:
+            self.sap.validate_scoped_attach(
+                token, counter, mac, self.broker_public_keys, self.sim.now,
+                self._scope_counters.get(token.session_id, 0))
+        except SapError as exc:
+            cause = exc.cause
+            return cause.value if cause is not None else str(exc)
+        return None
+
+    #: retryable-nack re-notify schedule (broker shard failing over).
+    scope_notice_backoff = 0.5
+    scope_notice_max_attempts = 6
+
+    def _notify_scope_attach(self, token, counter: int,
+                             attempt: int = 0) -> None:
+        unsigned = ScopeAttachNotice(session_id=token.session_id,
+                                     counter=counter, id_t=self.id_t)
+        notice = ScopeAttachNotice(
+            session_id=token.session_id, counter=counter, id_t=self.id_t,
+            certificate=self.sap.config.certificate,
+            signature=self.key.sign(unsigned.signed_bytes()))
+        self.scope_notices_sent += 1
+        self._scope_notice_pending[token.session_id] = \
+            (token, counter, attempt)
+        self.send_request(self.broker_ip, notice, size=notice.wire_size)
+
+    def _handle_scope_ack(self, src_ip: str, ack: ScopeAttachAck) -> None:
+        pending = self._scope_notice_pending.get(ack.session_id)
+        if ack.accepted:
+            self._scope_notice_pending.pop(ack.session_id, None)
+            return
+        if ack.retryable:
+            # Shard failing over: the nack completed our reliable
+            # request, so this site owns the retry until the counter
+            # floor reaches the broker (or the session dies).
+            if pending is not None and pending[1] == ack.counter:
+                token, counter, attempt = pending
+                if attempt + 1 < self.scope_notice_max_attempts \
+                        and ack.session_id in self.sessions:
+                    self.sim.schedule(
+                        self.scope_notice_backoff * (attempt + 1),
+                        self._notify_scope_attach, token, counter,
+                        attempt + 1)
+                else:
+                    self._scope_notice_pending.pop(ack.session_id, None)
+            return
+        self._scope_notice_pending.pop(ack.session_id, None)
+        # Terminal nack (revoked / expired / cross-site replay): the
+        # scoped registration must not stand.
+        self.scope_notice_nacks += 1
+        self.sap.revoke_session(ack.session_id)
+        if ack.session_id not in self.sessions:
+            return
+        self.revoked_sessions += 1
+        context = next(
+            (c for c in self.contexts.values()
+             if getattr(getattr(c, "sap_session", None), "session_id",
+                        None) == ack.session_id),
+            None)
+        if context is not None:
+            # Service rendered between the optimistic local validation
+            # and the broker's veto was unauthorized — account for it
+            # (the fleet-drive gate requires this stays 0).
+            started = getattr(context, "registration_started_at", None)
+            if started is not None:
+                self.scope_unauthorized_session_s += \
+                    max(0.0, self.sim.now - started)
+        if context is not None \
+                and context.state in ("REGISTERED", "WAIT_SMF"):
+            self._teardown_session(context, ack.session_id)
+        else:
+            self.sessions.pop(ack.session_id, None)
+            self.session_brokers.pop(ack.session_id, None)
 
     # -- grant lifecycle ------------------------------------------------------------
     def after_security_established(self, context: UeContext5G) -> None:
@@ -353,6 +515,13 @@ class CellBricksAmf(Amf):
             "revocation_acks_sent": self.revocation_acks_sent,
             "dup_attach_requests": self.dup_attach_requests,
             "broker_timeouts": self.broker_timeouts,
+            "scoped_attaches": self.scoped_attaches,
+            "scoped_rejects": self.scoped_rejects,
+            "scope_replays_denied": self.scope_replays_denied,
+            "scope_notices_sent": self.scope_notices_sent,
+            "scope_notice_nacks": self.scope_notice_nacks,
+            "scope_unauthorized_session_s":
+                round(self.scope_unauthorized_session_s, 9),
         })
         stats.update(self.reliable_stats())
         return stats
@@ -375,11 +544,27 @@ class CellBricksUe5G(Ue5G):
         self.sap = UeSap(credentials)
         self.target_id_t = target_id_t
         self.session_id: Optional[str] = None
+        #: optional scope request dict ({"telcos": [...], "ttl": s}) sent
+        #: inside the encrypted authVec on the next full registration.
+        self.scope_request: Optional[dict] = None
+        #: broker-issued mobility grant — survives deregister_and_forget
+        #: so the next in-scope registration skips the broker.
+        self.mobility_grant: Optional[MobilityGrant] = None
+        self._scoped_attempt = False
+        self.scoped_attaches = 0
+        self.scoped_fallbacks = 0
         self.processing_costs = dict(Ue5G.processing_costs)
         self.processing_costs[nas5g.SapRegistrationChallenge] = 0.0006
         self.on(nas5g.SapRegistrationChallenge, self._on_sap_challenge)
 
+    def _grant_covers_target(self) -> bool:
+        grant = self.mobility_grant
+        return (grant is not None
+                and grant.covers(self.target_id_t, self.sim.now))
+
     def craft_cost(self) -> float:
+        if self._grant_covers_target():
+            return 0.0003  # scoped re-registration: one MAC, no crypto
         return 0.0016  # authReqU crafting: hybrid encrypt + sign
 
     def register(self) -> None:
@@ -389,8 +574,41 @@ class CellBricksUe5G(Ue5G):
         super().register()
 
     def initial_request(self):
-        auth_req_u = self.sap.craft_request(self.target_id_t)
+        if self._grant_covers_target():
+            grant = self.mobility_grant
+            counter = grant.next_counter
+            grant.next_counter += 1
+            self._scoped_attempt = True
+            self.scoped_attaches += 1
+            # The grant restores what register() cleared: ss seeds the
+            # security context the AMF's SMC will validate against, and
+            # the session id keeps billing continuity across bTelcos.
+            self.session_id = grant.session_id
+            self.security = SecurityContext(kasme=grant.ss)
+            mac = scope_attach_mac(grant.ss, grant.session_id, counter,
+                                   self.target_id_t)
+            return nas5g.SapScopedRegistrationRequest(
+                token=grant.token, counter=counter, mac=mac)
+        self._scoped_attempt = False
+        auth_req_u = self.sap.craft_request(self.target_id_t,
+                                            scope=self.scope_request)
         return nas5g.SapRegistrationRequest(auth_req_u=auth_req_u)
+
+    def _on_reject(self, src_ip: str, reject) -> None:
+        if (self.state == "REGISTERING" and self._scoped_attempt
+                and not getattr(reject, "retryable", False)):
+            # The scope-local fast path failed terminally: drop the grant
+            # and fall back to a full SAP registration within the same
+            # attempt (the latency clock keeps running).
+            self.mobility_grant = None
+            self._scoped_attempt = False
+            self.scoped_fallbacks += 1
+            self.session_id = None
+            self.security = None
+            self._stop_registration_supervision()
+            self.sim.schedule(0.0, self._retry_after_reject)
+            return
+        super()._on_reject(src_ip, reject)
 
     def _on_registration_give_up(self) -> None:
         super()._on_registration_give_up()
@@ -416,4 +634,10 @@ class CellBricksUe5G(Ue5G):
             self._fail(str(exc))
             return
         self.session_id = response.session_id
+        if getattr(response, "scope", None) is not None:
+            # Broker granted a mobility scope: keep it past deregistration
+            # so the next in-scope registration needs no broker round-trip.
+            self.mobility_grant = MobilityGrant(
+                token=response.scope, session_id=response.session_id,
+                ss=response.ss, next_counter=1)
         self.security = SecurityContext(kasme=response.ss)

@@ -9,9 +9,11 @@ the sender.  Field names follow the paper: ``authVec``, ``authReqU``,
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Optional
 
 from repro.crypto import Certificate, PrivateKey, PublicKey
 
@@ -82,23 +84,34 @@ class AuthVec:
 
     Only the broker can read it — the UE encrypts it under pkB, so the
     bTelco never sees idU (no IMSI catching).
+
+    ``scope`` is an optional mobility-scope request (§4.2): a dict
+    ``{"telcos": [...], "ttl": seconds}`` asking the broker to mint a
+    :class:`ScopeToken` alongside the grant.  Riding *inside* the
+    encrypted+signed authVec means neither the serving bTelco nor an
+    on-path attacker can widen the requested scope.
     """
 
     id_u: str
     id_b: str
     id_t: str
     nonce: bytes
+    scope: Optional[dict] = None
 
     def to_bytes(self) -> bytes:
-        return _canonical({"idU": self.id_u, "idB": self.id_b,
-                           "idT": self.id_t, "n": self.nonce.hex()})
+        data = {"idU": self.id_u, "idB": self.id_b,
+                "idT": self.id_t, "n": self.nonce.hex()}
+        if self.scope is not None:
+            data["scope"] = self.scope
+        return _canonical(data)
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "AuthVec":
         data = _parse(raw)
         try:
             return cls(id_u=data["idU"], id_b=data["idB"], id_t=data["idT"],
-                       nonce=bytes.fromhex(data["n"]))
+                       nonce=bytes.fromhex(data["n"]),
+                       scope=data.get("scope"))
         except (KeyError, ValueError) as exc:
             raise MessageError(f"bad authVec: {exc}") from exc
 
@@ -220,19 +233,30 @@ class AuthRespU:
     ss: bytes
     nonce: bytes
     session_id: str
+    #: optional broker-minted mobility :class:`ScopeToken` (§4.2) — the
+    #: UE presents it on scope-local re-attaches instead of a fresh
+    #: authReqU.
+    scope: Optional["ScopeToken"] = None
 
     def to_bytes(self) -> bytes:
-        return _canonical({"idU": self.id_u, "idT": self.id_t,
-                           "ss": self.ss.hex(), "n": self.nonce.hex(),
-                           "sid": self.session_id})
+        data = {"idU": self.id_u, "idT": self.id_t,
+                "ss": self.ss.hex(), "n": self.nonce.hex(),
+                "sid": self.session_id}
+        if self.scope is not None:
+            data["scope"] = self.scope.to_wire()
+        return _canonical(data)
 
     @classmethod
     def from_bytes(cls, raw: bytes) -> "AuthRespU":
         data = _parse(raw)
         try:
+            scope = None
+            if data.get("scope") is not None:
+                scope = ScopeToken.from_wire(data["scope"])
             return cls(id_u=data["idU"], id_t=data["idT"],
                        ss=bytes.fromhex(data["ss"]),
-                       nonce=bytes.fromhex(data["n"]), session_id=data["sid"])
+                       nonce=bytes.fromhex(data["n"]),
+                       session_id=data["sid"], scope=scope)
         except (KeyError, ValueError) as exc:
             raise MessageError(f"bad authRespU: {exc}") from exc
 
@@ -343,6 +367,142 @@ class RevocationAck:
 
     def verify(self, btelco_key: PublicKey) -> bool:
         return btelco_key.verify(self.signed_bytes(), self.signature)
+
+
+# -- mobility-scoped grants (§4.2: grant reuse across bTelco switches) ----------
+
+@dataclass(frozen=True)
+class ScopeToken:
+    """A broker-signed mobility scope riding alongside a grant.
+
+    ``payload`` (canonically serialized under the broker signature):
+
+    * ``sid``  — the grant's session id (billing/revocation handle);
+    * ``idU``  — the opaque per-session pseudonym (never the IMSI);
+    * ``idB``  — the minting broker, so the validating bTelco picks the
+      right trusted key;
+    * ``scope`` — sorted list of bTelco ids the grant may roam to;
+    * ``exp``  — absolute expiry (min of requested TTL and grant life);
+    * ``qos``  — the grant's qosInfo (``{"qci","dl","ul","arp"}``);
+    * ``li``   — broker-mandated lawful intercept flag;
+    * ``ess``  — per-bTelco sealed copies of the shared secret:
+      ``{id_t: hex(Enc_pk_idT(ss))}``.  authRespT is sealed to the
+      *original* serving bTelco only, so without this map an in-scope
+      bTelco could verify the token but never recover ss -> KASME.
+
+    Any bTelco in the scope validates the token **locally**: broker
+    signature, membership, expiry, then proof-of-possession of ss via
+    :func:`scope_attach_mac` and a per-grant monotonic attach counter.
+    """
+
+    payload: dict
+    sig: bytes
+
+    def signed_bytes(self) -> bytes:
+        return _canonical(self.payload)
+
+    def verify(self, broker_key: PublicKey) -> bool:
+        return broker_key.verify(self.signed_bytes(), self.sig)
+
+    @property
+    def session_id(self) -> str:
+        return self.payload.get("sid", "")
+
+    @property
+    def id_b(self) -> str:
+        return self.payload.get("idB", "")
+
+    @property
+    def id_u_opaque(self) -> str:
+        return self.payload.get("idU", "")
+
+    @property
+    def expires_at(self) -> float:
+        return float(self.payload.get("exp", 0.0))
+
+    @property
+    def telcos(self) -> tuple:
+        return tuple(self.payload.get("scope", ()))
+
+    def sealed_ss_for(self, id_t: str) -> Optional[bytes]:
+        blob = self.payload.get("ess", {}).get(id_t)
+        return bytes.fromhex(blob) if blob else None
+
+    def covers(self, id_t: str, now: float) -> bool:
+        """Scope membership + expiry (signature/counter checked apart)."""
+        return (id_t in self.payload.get("scope", ())
+                and id_t in self.payload.get("ess", {})
+                and now < self.expires_at)
+
+    def to_wire(self) -> dict:
+        return {"payload": self.payload, "sig": self.sig.hex()}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ScopeToken":
+        try:
+            return cls(payload=data["payload"],
+                       sig=bytes.fromhex(data["sig"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MessageError(f"bad scope token: {exc}") from exc
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.signed_bytes()) + len(self.sig)
+
+
+def scope_attach_mac(ss: bytes, session_id: str, counter: int,
+                     id_t: str) -> bytes:
+    """Proof-of-possession MAC for a scoped attach.
+
+    Keyed with the grant's shared secret (which only the subscriber and
+    in-scope bTelcos can recover) over the (sid, counter, target) triple
+    — binding the counter and the *target* bTelco kills cut-and-paste
+    replay of a sniffed scoped attach at a different site.
+    """
+    return hashlib.sha256(ss + _canonical(
+        {"ctr": counter, "idT": id_t, "sid": session_id})).digest()
+
+
+@dataclass(frozen=True)
+class ScopeAttachNotice:
+    """bTelco -> brokerd (async, reliable): a scope-local attach happened.
+
+    The broker round-trip is *off* the attach critical path — this
+    notice keeps revocation cascades routed to the new serving bTelco,
+    keeps the billing ledger open under the same session id, and lets
+    the broker's authoritative per-grant counter catch cross-site
+    replays.  ``certificate`` authenticates the notifying bTelco.
+    """
+
+    session_id: str
+    counter: int
+    id_t: str
+    certificate: Certificate = None
+    signature: bytes = b""
+
+    def signed_bytes(self) -> bytes:
+        return _canonical({"ctr": self.counter, "idT": self.id_t,
+                           "sid": self.session_id})
+
+    @property
+    def wire_size(self) -> int:
+        return 480 + len(self.signature)
+
+
+@dataclass(frozen=True)
+class ScopeAttachAck:
+    """brokerd -> bTelco: verdict on a :class:`ScopeAttachNotice`.
+
+    A terminal nack (revoked grant, unknown session, replayed counter)
+    obliges the bTelco to tear the scope-local session down — the local
+    validation was optimistic and the broker is authoritative.
+    """
+
+    session_id: str
+    counter: int
+    accepted: bool
+    retryable: bool = False
+    cause: str = ""
 
 
 @dataclass(frozen=True)

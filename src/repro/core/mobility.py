@@ -117,6 +117,10 @@ def build_cellbricks_network(
             qos_capabilities=QosCapabilities(supported_qcis=(1, 8, 9)),
             name=f"{name}-agw", ue_pool_prefix=f"10.{128 + index}.0")
         agw.trust_broker(broker_id, brokerd.public_key)
+        # Pre-register the site in the broker's bTelco directory so a
+        # UE can request a mobility scope covering it before ever
+        # attaching there (§4.2 scoped grants).
+        brokerd.register_btelco(certificate, 0.0)
         enb = ENodeB(enb_host, agw_ip=agw_host.address, name=f"{name}-enb")
 
         # Signaling links: UE <-> eNB, eNB <-> AGW, AGW <-> broker.
@@ -180,6 +184,18 @@ class MobilityManager:
         #: to the broker-assigned AMBR (the qosInfo enforcement of §4.1).
         self.enforce_qos = enforce_qos
         self.current_site: Optional[BtelcoSite] = None
+        #: the site an in-flight switch is attaching to.  ``current_site``
+        #: commits to it only when the attach fully succeeds (5G: PDU
+        #: session included) — a *failed* switch must not leave
+        #: ``current_site`` pointing at a bTelco the UE never attached to
+        #: (the next migration span would misreport ``from_site`` and
+        #: ``on_failed`` would receive the wrong site).
+        self.target_site: Optional[BtelcoSite] = None
+        #: True between a failed switch and the next successful attach:
+        #: the UE is attached nowhere, and ``current_site`` still names
+        #: the last site it *was* attached to so a drive can
+        #: :meth:`reattach` there.
+        self.detached = False
         self.ue: Optional[CellBricksUe] = None
         self.attach_latencies: list[float] = []
         self.switches = 0
@@ -255,6 +271,7 @@ class MobilityManager:
                                 target_id_t=site.name)
         self.ue.on_attach_done = self._attach_done
         self.current_site = site
+        self.target_site = site
         self.ue.attach()
 
     def switch_to(self, site_name: str) -> None:
@@ -270,41 +287,72 @@ class MobilityManager:
         # bearer immediately instead of waiting for session expiry).
         self.ue.detach_and_forget()
         self.ue.retarget(site.enb_address, site.name)
-        self.current_site = site
+        self.target_site = site
         self.ue.attach()
 
+    def reattach(self) -> None:
+        """Re-attach to the last successfully-attached site after a
+        failed switch (the UE is attached nowhere; ``current_site``
+        still names where it last held a bearer)."""
+        if self.ue is None or self.current_site is None:
+            raise RuntimeError("nothing to re-attach to")
+        site = self.current_site
+        self.ue.retarget(site.enb_address, site.name)
+        self.target_site = site
+        self.ue.attach()
+
+    def _commit_site(self, site) -> None:
+        """The attach fully succeeded: only now does the UE *hold* a
+        bearer at ``site``."""
+        self.current_site = site
+        self.target_site = None
+        self.detached = False
+
+    def _attach_failed(self, site, result,
+                       default_cause: str = "unspecified") -> None:
+        self.attach_failures += 1
+        cause = getattr(result, "cause", "") or default_cause
+        self.failure_causes[cause] = self.failure_causes.get(cause, 0) + 1
+        self.detached = True
+        self.target_site = None
+        self._obs_end_reauth("error")
+        if self.on_failed is not None:
+            self.on_failed(site, result)
+
     def _attach_done(self, result) -> None:
+        site = self.target_site or self.current_site
         if not result.success:
-            self.attach_failures += 1
-            cause = getattr(result, "cause", "") or "unspecified"
-            self.failure_causes[cause] = self.failure_causes.get(cause, 0) + 1
-            self._obs_end_reauth("error")
-            if self.on_failed is not None:
-                self.on_failed(self.current_site, result)
+            self._attach_failed(site, result)
             return
-        self.attach_latencies.append(result.latency)
         ue_ip = getattr(result, "ue_ip", None)
         if ue_ip is None and hasattr(self.ue, "establish_session"):
             # 5G: registration grants no bearer IP — that comes from the
             # PDU session.  The re-auth leg of a switch isn't over until
-            # the session is up, so the span closes in _session_done.
+            # the session is up, so the span closes — and the switch's
+            # latency is recorded — in _session_done.
             self.ue.on_session_done = lambda sres: \
                 self._session_done(result, sres)
             self.ue.establish_session()
             return
+        self.attach_latencies.append(result.latency)
+        self._commit_site(site)
         self._obs_end_reauth("ok")
         self._install_and_notify(result, ue_ip)
 
     def _session_done(self, reg_result, session_result) -> None:
         """5G PDU-session completion: the point the bearer is usable."""
+        site = self.target_site or self.current_site
         if not session_result.success:
-            self.attach_failures += 1
-            cause = session_result.cause or "session"
-            self.failure_causes[cause] = self.failure_causes.get(cause, 0) + 1
-            self._obs_end_reauth("error")
-            if self.on_failed is not None:
-                self.on_failed(self.current_site, session_result)
+            self._attach_failed(site, session_result,
+                                default_cause="session")
             return
+        # Full re-auth time: registration plus the PDU-session leg, the
+        # same interval the reauth span covers.  Recording it here (not
+        # in _attach_done) keeps a switch whose session later fails out
+        # of the success-latency series.
+        self.attach_latencies.append(
+            reg_result.latency + session_result.latency)
+        self._commit_site(site)
         self._obs_end_reauth("ok")
         self._install_and_notify(reg_result, session_result.ue_ip)
 

@@ -46,7 +46,9 @@ from .messages import (
     DenialCause,
     MessageError,
     NONCE_SIZE,
+    ScopeToken,
     SealedResponse,
+    scope_attach_mac,
     seal_and_sign,
     signed_bytes_for_auth_req_t,
 )
@@ -95,14 +97,20 @@ class UeSap:
         self._outstanding_nonce: Optional[bytes] = None
         self._target_id_t: Optional[str] = None
 
-    def craft_request(self, id_t: str) -> AuthReqU:
-        """Steps 1-4 of Fig 2: build authReqU for bTelco ``id_t``."""
+    def craft_request(self, id_t: str,
+                      scope: Optional[dict] = None) -> AuthReqU:
+        """Steps 1-4 of Fig 2: build authReqU for bTelco ``id_t``.
+
+        ``scope`` optionally asks the broker for a mobility scope
+        (``{"telcos": [...], "ttl": seconds}``); it rides inside the
+        encrypted+signed authVec so nobody on path can widen it.
+        """
         creds = self.credentials
         nonce = self._nonce_source()
         self._outstanding_nonce = nonce
         self._target_id_t = id_t
         auth_vec = AuthVec(id_u=creds.id_u, id_b=creds.id_b, id_t=id_t,
-                           nonce=nonce)
+                           nonce=nonce, scope=scope)
         encrypted = creds.broker_public_key.encrypt(auth_vec.to_bytes())
         signature = creds.ue_key.sign(encrypted)
         return AuthReqU(sig_authvec=signature, auth_vec_encrypted=encrypted,
@@ -153,6 +161,27 @@ class UeSap:
         return response
 
 
+@dataclass
+class MobilityGrant:
+    """UE-side retained state for scope-local re-attach (§4.2).
+
+    Survives ``detach_and_forget`` (unlike the per-attach EMM state):
+    while the scope covers the target bTelco and has not expired, a
+    re-attach presents the token + a fresh monotonic counter instead of
+    crafting a new authReqU.
+    """
+
+    token: ScopeToken
+    session_id: str
+    ss: bytes
+    #: next attach counter to present — globally monotonic per grant
+    #: across every bTelco in the scope.
+    next_counter: int = 1
+
+    def covers(self, id_t: str, now: float) -> bool:
+        return self.token.covers(id_t, now)
+
+
 # ---------------------------------------------------------------------------
 # bTelco side (Fig 3, top)
 # ---------------------------------------------------------------------------
@@ -175,7 +204,10 @@ class AuthorizedSession:
     qos_info: QosInfo
     session_id: str
     expires_at: float
-    authorization: SealedResponse  # irrefutable broker-signed proof
+    #: irrefutable broker-signed proof: the sealed authRespT for a full
+    #: SAP run, or the :class:`~repro.core.messages.ScopeToken` for a
+    #: scope-local re-attach.
+    authorization: object
     lawful_intercept: bool = False
 
 
@@ -245,6 +277,64 @@ class BtelcoSap:
             qos_info=response.qos_info, session_id=response.session_id,
             expires_at=response.expires_at, authorization=sealed,
             lawful_intercept=response.lawful_intercept)
+
+    def validate_scoped_attach(self, token: ScopeToken, counter: int,
+                               mac: bytes,
+                               broker_public_keys: dict,
+                               now: float,
+                               highest_counter: int) -> AuthorizedSession:
+        """Validate a scope-local re-attach **locally** — no broker RTT.
+
+        Checks, in order: the broker signature over the token payload,
+        scope membership + expiry, no local revocation tombstone,
+        recovery of ss from our sealed ``ess`` entry, the UE's
+        proof-of-possession MAC, and the monotonic attach counter
+        against ``highest_counter`` (the highest this bTelco has seen
+        for the grant).  Read-only: a pure function of its arguments —
+        the caller commits the counter only when it actually admits the
+        UE, so probes cannot burn counters.
+        """
+        broker_key = broker_public_keys.get(token.id_b)
+        if broker_key is None:
+            raise SapError("scope: token from an unknown broker",
+                           cause=DenialCause.MISMATCH)
+        if not token.verify(broker_key):
+            raise SapError("scope: broker signature invalid",
+                           cause=DenialCause.BAD_SIGNATURE)
+        if not token.covers(self.config.id_t, now):
+            if now >= token.expires_at:
+                raise SapError("scope: token expired",
+                               cause=DenialCause.EXPIRED)
+            raise SapError("scope: bTelco not in the grant's scope",
+                           cause=DenialCause.POLICY)
+        if token.session_id in self.revoked_sessions:
+            raise SapError("scope: session revoked",
+                           cause=DenialCause.REVOKED)
+        try:
+            ss = self.config.key.decrypt(token.sealed_ss_for(
+                self.config.id_t))
+        except CryptoError as exc:
+            raise SapError(f"scope: sealed ss undecryptable: {exc}",
+                           cause=DenialCause.MALFORMED) from exc
+        if scope_attach_mac(ss, token.session_id, counter,
+                            self.config.id_t) != mac:
+            raise SapError("scope: possession MAC invalid",
+                           cause=DenialCause.BAD_SIGNATURE)
+        if counter <= highest_counter:
+            raise SapError("scope: replayed attach counter",
+                           cause=DenialCause.REPLAY)
+        qos = token.payload.get("qos", {})
+        qos_info = QosInfo(qci=qos.get("qci", 9),
+                           ambr_dl_bps=qos.get("dl", 20e6),
+                           ambr_ul_bps=qos.get("ul", 10e6),
+                           arp_priority=qos.get("arp", 9))
+        if not self.config.qos_capabilities.can_satisfy(qos_info):
+            raise SapError("scope: qosInfo exceeds advertised capability")
+        return AuthorizedSession(
+            id_u_opaque=token.id_u_opaque, ss=ss, qos_info=qos_info,
+            session_id=token.session_id, expires_at=token.expires_at,
+            authorization=token,
+            lawful_intercept=bool(token.payload.get("li", False)))
 
 
 # ---------------------------------------------------------------------------
@@ -362,6 +452,11 @@ class SapShard:
         #: session_id -> (owner, original expiry) so the tombstone and
         #: its eviction deadline survive a handoff.
         self.revoked_sessions: dict[str, tuple[str, float]] = {}
+        #: per-grant highest attach counter seen via scope-attach
+        #: notices — the broker's *authoritative* replay floor for
+        #: mobility-scoped re-attaches (replicated by shard hosts, moved
+        #: with the subscriber on rebalance).
+        self.scope_counters: dict[str, int] = {}
         label = str(shard_id)
         self.attach_ok = metrics.counter("sap.shard.attach_ok", shard=label)
         self.replay_hits = metrics.counter(
@@ -370,6 +465,8 @@ class SapShard:
             "sap.shard.grants_expired", shard=label)
         self.grants_revoked = metrics.counter(
             "sap.shard.grants_revoked", shard=label)
+        self.scope_attaches = metrics.counter(
+            "sap.shard.scope_attaches", shard=label)
 
     def evict_nonces(self, now: float) -> None:
         """Drop nonces whose replay window has closed (monotone sweep).
@@ -399,6 +496,8 @@ class SapShard:
             "grants_revoked": self.grants_revoked.value,
             "replay_cache_size": len(self.seen_nonces),
             "subscribers": len(self.subscribers),
+            "scope_attaches": self.scope_attaches.value,
+            "scope_counters": len(self.scope_counters),
         }
 
 
@@ -453,6 +552,10 @@ class BrokerSap:
     #: requests (idempotency window; clamped to ``session_ttl``).
     response_cache_ttl = 30.0
 
+    #: longest mobility-scope TTL the broker will sign (policy knob —
+    #: the scope is also clamped to the grant's own lifetime).
+    scope_ttl_max = 600.0
+
     # -- registry-backed lifecycle counters --------------------------------
     attach_ok = CounterAttr("sap.attach_ok")
     replay_hits = CounterAttr("sap.replay_hits")
@@ -500,6 +603,12 @@ class BrokerSap:
         #: must short-circuit ahead of any shard work.
         self._response_cache: dict[bytes, tuple] = {}
         self._response_cache_expiry: list[tuple[float, bytes]] = []  # heap
+        #: bTelco directory for mobility scopes: id_t -> public key of
+        #: every CA-validated site the broker has seen (explicitly via
+        #: :meth:`register_btelco` or implicitly from processed
+        #: authReqTs).  Scope tokens can only name directory members —
+        #: each needs a sealed copy of ss encrypted to that site's key.
+        self.btelco_directory: dict[str, PublicKey] = {}
         #: policy hook: returns None to approve or a denial cause string.
         self.authorize_btelco: Callable[[str], Optional[str]] = lambda id_t: None
         #: lifecycle hooks for the hosting broker daemon.
@@ -616,6 +725,12 @@ class BrokerSap:
             owner, expires_at = source.revoked_sessions.pop(session_id)
             target.revoked_sessions[session_id] = (owner, expires_at)
             heapq.heappush(target.grant_expiry, (expires_at, session_id))
+        # Scope counters ride with their session (live grant or
+        # tombstone): the replay floor must survive the handoff.
+        for session_id in sorted(sessions or ()) + tombstones:
+            counter = source.scope_counters.pop(session_id, None)
+            if counter is not None:
+                target.scope_counters[session_id] = counter
         moved_nonces = sorted(
             nonce for nonce, (_, owner) in source.seen_nonces.items()
             if owner == id_u)
@@ -676,6 +791,22 @@ class BrokerSap:
     def enroll(self, subscriber: BrokerSubscriber) -> None:
         self.shard_of(subscriber.id_u).subscribers[subscriber.id_u] = \
             subscriber
+
+    def register_btelco(self, certificate: Certificate,
+                        now: float) -> bool:
+        """Admit a bTelco into the mobility-scope directory.
+
+        CA-validated; also called implicitly for every authReqT that
+        passes certificate checks, so the directory self-populates as
+        sites first touch the broker.
+        """
+        try:
+            validate_certificate(certificate, self.ca_public_key, now,
+                                 expected_role="btelco")
+        except CertificateError:
+            return False
+        self.btelco_directory[certificate.subject] = certificate.public_key
+        return True
 
     def revoke(self, id_u: str) -> list[SapGrant]:
         """Revoke a UE's key by invalidating it in the database (§4.1).
@@ -761,11 +892,13 @@ class BrokerSap:
             heap = shard.grant_expiry
             while heap and heap[0][0] <= now:
                 _, session_id = heapq.heappop(heap)
-                shard.revoked_sessions.pop(session_id, None)
+                if shard.revoked_sessions.pop(session_id, None) is not None:
+                    shard.scope_counters.pop(session_id, None)
                 grant = shard.grants.get(session_id)
                 if grant is None or grant.expires_at > now:
                     continue
                 del shard.grants[session_id]
+                shard.scope_counters.pop(session_id, None)
                 sessions = shard.sessions_by_ue.get(grant.id_u)
                 if sessions is not None:
                     sessions.discard(session_id)
@@ -840,6 +973,10 @@ class BrokerSap:
                     request.signed_bytes(), request.sig_t):
                 self._deny(DenialCause.BAD_SIGNATURE,
                            "authReqT: bTelco signature invalid")
+            # The certificate just validated: remember the site so scope
+            # tokens can seal ss to it.
+            self.btelco_directory[request.id_t] = \
+                request.t_certificate.public_key
 
             # 2. Decrypt authVec and authenticate U.
             try:
@@ -919,8 +1056,14 @@ class BrokerSap:
                            ss=ss, qos_info=qos_info, session_id=session_id,
                            expires_at=expires_at,
                            lawful_intercept=li_required)
+        scope_token = None
+        if auth_vec.scope:
+            scope_token = self._mint_scope_token(
+                auth_vec.scope, request.id_t, session_id, id_u_opaque, ss,
+                qos_info, li_required, expires_at, now)
         resp_u = AuthRespU(id_u=auth_vec.id_u, id_t=request.id_t, ss=ss,
-                           nonce=auth_vec.nonce, session_id=session_id)
+                           nonce=auth_vec.nonce, session_id=session_id,
+                           scope=scope_token)
         sealed_t = seal_and_sign(resp_t.to_bytes(),
                                  request.t_certificate.public_key, self.key)
         sealed_u = seal_and_sign(resp_u.to_bytes(), subscriber.public_key,
@@ -941,3 +1084,65 @@ class BrokerSap:
             (now + min(self.response_cache_ttl, self.session_ttl),
              prepared.digest))
         return result
+
+    # -- mobility scopes (§4.2 grant reuse) ---------------------------------------
+    def _mint_scope_token(self, scope_req: dict, id_t: str,
+                          session_id: str, id_u_opaque: str, ss: bytes,
+                          qos_info: QosInfo, li_required: bool,
+                          grant_expires_at: float,
+                          now: float) -> Optional[ScopeToken]:
+        """Sign a mobility scope into the grant being minted.
+
+        The granted scope is the *intersection* of the request with the
+        bTelco directory (ss can only be sealed to keys the broker has
+        validated), always including the serving site; the TTL is
+        clamped by ``scope_ttl_max`` and the grant's own lifetime.
+        Returns None when nothing in the request is grantable.
+        """
+        requested = set(scope_req.get("telcos", ())) | {id_t}
+        telcos = sorted(requested & set(self.btelco_directory))
+        if not telcos:
+            return None
+        ttl = float(scope_req.get("ttl", self.scope_ttl_max))
+        expires_at = min(now + max(0.0, min(ttl, self.scope_ttl_max)),
+                         grant_expires_at)
+        ess = {t: self.btelco_directory[t].encrypt(ss).hex()
+               for t in telcos}
+        payload = {
+            "sid": session_id, "idU": id_u_opaque, "idB": self.id_b,
+            "scope": telcos, "exp": expires_at,
+            "qos": {"qci": qos_info.qci, "dl": qos_info.ambr_dl_bps,
+                    "ul": qos_info.ambr_ul_bps,
+                    "arp": qos_info.arp_priority},
+            "li": li_required, "ess": ess,
+        }
+        token = ScopeToken(payload=payload, sig=b"")
+        return ScopeToken(payload=payload,
+                          sig=self.key.sign(token.signed_bytes()))
+
+    def note_scope_attach(self, session_id: str, counter: int,
+                          now: float) -> tuple[bool, bool, str]:
+        """Authoritative verdict on a scope-local attach notice.
+
+        Returns ``(accepted, retryable, cause)``.  Accepting records the
+        counter as the new per-grant floor — a *cross-site* replay of an
+        already-used counter (which the replaying bTelco's local
+        highest-seen floor cannot catch) is denied here, and the
+        notifying bTelco then tears the session down.
+        """
+        for shard in self.shards:
+            if session_id in shard.revoked_sessions:
+                return False, False, DenialCause.REVOKED.value
+            grant = shard.grants.get(session_id)
+            if grant is None:
+                continue
+            if grant.expires_at <= now:
+                return False, False, DenialCause.EXPIRED.value
+            if counter <= shard.scope_counters.get(session_id, 0):
+                self.replay_hits += 1
+                shard.replay_hits.inc()
+                return False, False, DenialCause.REPLAY.value
+            shard.scope_counters[session_id] = counter
+            shard.scope_attaches.inc()
+            return True, False, ""
+        return False, False, DenialCause.UNKNOWN_SUBSCRIBER.value

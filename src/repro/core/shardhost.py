@@ -104,6 +104,29 @@ class ShardAuthResponse:
 
 
 @dataclass(frozen=True)
+class ShardScopeNotice:
+    """Frontend -> shard host: advance a grant's authoritative
+    scope-attach counter (a bTelco validated a scope-local attach and
+    notified the broker; brokerd already checked the notice signature)."""
+
+    session_id: str
+    counter: int
+    reply_token: int = 0
+
+
+@dataclass(frozen=True)
+class ShardScopeAck:
+    """Shard host -> frontend: verdict on a scope-counter advance."""
+
+    session_id: str
+    counter: int
+    reply_token: int = 0
+    accepted: bool = False
+    retryable: bool = False
+    cause: str = ""
+
+
+@dataclass(frozen=True)
 class ShardHeartbeat:
     """Frontend -> shard host liveness probe (plain datagram: losing a
     few of these *is* the failure signal, so no retransmission)."""
@@ -125,6 +148,7 @@ class ReplicaUpdate:
     Ops are tuples: ``("nonce", nonce, id_u, window_end)``,
     ``("grant", grant)``, ``("response", digest, triple, expires_at)``,
     ``("tombstone", session_id, id_u, expires_at)``,
+    ``("scope_counter", session_id, counter)``,
     ``("forget", id_u)``, ``("reset",)``.
     """
 
@@ -228,6 +252,7 @@ class HandoffCommitAck:
 FRONTEND_PROCESSING_COSTS = {
     ShardAuthResponse: 0.0001,
     ShardHeartbeatAck: 0.00002,
+    ShardScopeAck: 0.00005,
     PromoteAck: 0.0001,
     ResyncAck: 0.00005,
     HandoffBeginAck: 0.00005,
@@ -251,6 +276,7 @@ class ShardHost(SignalingNode):
 
     processing_costs = {
         ShardAuthRequest: AUTH_REQUEST_PROCESSING,
+        ShardScopeNotice: 0.0002,
         ShardHeartbeat: 0.00002,
         ReplicaUpdate: 0.0002,
         PromoteReplica: 0.0001,
@@ -281,6 +307,8 @@ class ShardHost(SignalingNode):
     handoff_chunk_retx = CounterAttr("shard.handoff_chunk_retx")
     promotions = CounterAttr("shard.promotions")
     crashes = CounterAttr("shard.crashes")
+    scope_advances = CounterAttr("shard.scope_advances")
+    scope_nacks = CounterAttr("shard.scope_nacks")
 
     def span_name(self, message: object) -> str:
         name = self._SPAN_NAMES.get(type(message))
@@ -334,7 +362,10 @@ class ShardHost(SignalingNode):
         self.handoff_chunk_retx = 0
         self.promotions = 0
         self.crashes = 0
+        self.scope_advances = 0
+        self.scope_nacks = 0
         self.on(ShardAuthRequest, self._handle_auth)
+        self.on(ShardScopeNotice, self._handle_scope_notice)
         self.on(ShardHeartbeat, self._handle_heartbeat)
         self.on(ReplicaUpdate, self._handle_replica_update)
         self.on(ReplicaUpdateAck, self._handle_replica_ack)
@@ -416,6 +447,7 @@ class ShardHost(SignalingNode):
         shard.grant_expiry.clear()
         shard.sessions_by_ue.clear()
         shard.revoked_sessions.clear()
+        shard.scope_counters.clear()
         self.sap._response_cache.clear()
         self.sap._response_cache_expiry.clear()
 
@@ -480,6 +512,34 @@ class ShardHost(SignalingNode):
             approved=True, reply_token=request.reply_token,
             auth_resp_t=sealed_t, auth_resp_u=sealed_u, grant=grant),
             size=sealed_t.wire_size + sealed_u.wire_size + 96)
+
+    def _handle_scope_notice(self, src_ip: str,
+                             notice: ShardScopeNotice) -> None:
+        """Advance the authoritative scope-attach counter for a grant.
+        Brokerd already verified the notifying bTelco's signature; the
+        shard only arbitrates the counter and the session's liveness."""
+        if self.is_replica:
+            # Same degraded posture as fresh auths: the bTelco's
+            # reliable notice retries until the failover settles.
+            self.send(src_ip, ShardScopeAck(
+                session_id=notice.session_id, counter=notice.counter,
+                reply_token=notice.reply_token, accepted=False,
+                retryable=True,
+                cause=(f"{DenialCause.DEGRADED.value}: shard "
+                       f"{self.shard_id} failing over")), size=64)
+            return
+        accepted, retryable, cause = self.sap.note_scope_attach(
+            notice.session_id, notice.counter, self.sim.now)
+        if accepted:
+            self.scope_advances += 1
+            self._queue_op(("scope_counter", notice.session_id,
+                            notice.counter))
+        else:
+            self.scope_nacks += 1
+        self.send(src_ip, ShardScopeAck(
+            session_id=notice.session_id, counter=notice.counter,
+            reply_token=notice.reply_token, accepted=accepted,
+            retryable=retryable, cause=cause), size=64)
 
     def _handle_heartbeat(self, src_ip: str, probe: ShardHeartbeat) -> None:
         self.send(src_ip, ShardHeartbeatAck(
@@ -588,6 +648,9 @@ class ShardHost(SignalingNode):
         for session_id in sorted(shard.revoked_sessions):
             id_u, expires_at = shard.revoked_sessions[session_id]
             ops.append(("tombstone", session_id, id_u, expires_at))
+        for session_id in sorted(shard.scope_counters):
+            ops.append(("scope_counter", session_id,
+                        shard.scope_counters[session_id]))
         for digest in sorted(self.sap._response_cache):
             triple = self.sap._response_cache[digest]
             ops.append(("response", digest, triple,
@@ -662,6 +725,12 @@ class ShardHost(SignalingNode):
                         del shard.sessions_by_ue[id_u]
             shard.revoked_sessions[session_id] = (id_u, expires_at)
             heapq.heappush(shard.grant_expiry, (expires_at, session_id))
+        elif kind == "scope_counter":
+            _, session_id, counter = op
+            # Max-merge: duplicated / reordered batches never regress
+            # the replay floor.
+            if counter > shard.scope_counters.get(session_id, 0):
+                shard.scope_counters[session_id] = counter
         elif kind == "forget":
             self._drop_subscriber_state(op[1])
 
@@ -673,12 +742,16 @@ class ShardHost(SignalingNode):
         for nonce in [n for n, (_, owner) in shard.seen_nonces.items()
                       if owner == id_u]:
             del shard.seen_nonces[nonce]
-        for session_id in sorted(shard.sessions_by_ue.pop(id_u, set())):
+        owned = set(shard.sessions_by_ue.pop(id_u, set()))
+        for session_id in sorted(owned):
             shard.grants.pop(session_id, None)
         for session_id in [s for s, (owner, _)
                            in shard.revoked_sessions.items()
                            if owner == id_u]:
+            owned.add(session_id)
             del shard.revoked_sessions[session_id]
+        for session_id in owned:
+            shard.scope_counters.pop(session_id, None)
         for digest in [d for d, triple in sap._response_cache.items()
                        if triple[2].id_u == id_u]:
             del sap._response_cache[digest]
@@ -716,6 +789,12 @@ class ShardHost(SignalingNode):
                                  if owner in moving):
             owner, expires_at = shard.revoked_sessions[session_id]
             entries.append(("tombstone", session_id, owner, expires_at))
+        owned = {s for s, g in shard.grants.items() if g.id_u in moving}
+        owned |= {s for s, (owner, _) in shard.revoked_sessions.items()
+                  if owner in moving}
+        for session_id in sorted(owned & shard.scope_counters.keys()):
+            entries.append(("scope_counter", session_id,
+                            shard.scope_counters[session_id]))
         for digest in sorted(d for d, triple
                              in sap._response_cache.items()
                              if triple[2].id_u in moving):
@@ -824,6 +903,8 @@ class ShardHost(SignalingNode):
             "handoff_chunk_retx": self.handoff_chunk_retx,
             "promotions": self.promotions,
             "crashes": self.crashes,
+            "scope_advances": self.scope_advances,
+            "scope_nacks": self.scope_nacks,
             "sap": self.sap.stats(),
         }
         stats.update(self.reliable_stats())
@@ -920,6 +1001,12 @@ class ShardFrontend:
         self._next_token = 1
         self._next_handoff = 1
         self._pending: dict[int, _PendingAttach] = {}
+        #: reply_token -> (src_ip, notice, deferred) scope notices
+        #: forwarded to their owning shard and awaiting the verdict.
+        self._pending_scope: dict[int, tuple] = {}
+        #: session_id -> id_u, for routing scope notices to the shard
+        #: that owns the grant (notices carry only the session id).
+        self._session_owner: dict[str, str] = {}
         #: id_u -> {session_id: grant} mirror for synchronous revocation.
         self._grants_by_ue: dict[str, dict] = {}
         self._expiry_heap: list = []
@@ -1092,6 +1179,7 @@ class ShardFrontend:
         for subscriber in self.brokerd.sap.subscribers.values():
             host.sap.enroll(subscriber)
         host.sap.li_targets = self.brokerd.sap.li_targets
+        host.sap.btelco_directory = self.brokerd.sap.btelco_directory
 
     # -- attach routing ------------------------------------------------------
     def notify_activity(self) -> None:
@@ -1221,6 +1309,7 @@ class ShardFrontend:
                 btelco_public_key=brokerd._btelco_keys[record.src_ip])
         self._grants_by_ue.setdefault(grant.id_u, {})[grant.session_id] \
             = grant
+        self._session_owner[grant.session_id] = grant.id_u
         heapq.heappush(self._expiry_heap,
                        (grant.expires_at, grant.session_id, grant.id_u))
         if not resp.cached:
@@ -1244,6 +1333,72 @@ class ShardFrontend:
             + resp.auth_resp_u.wire_size + 64)
         record.deferred.complete()
 
+    # -- scope notices -------------------------------------------------------
+    def handle_scope_notice(self, src_ip: str, notice) -> None:
+        """Entry point from ``Brokerd._handle_scope_notice`` (signature
+        already verified there): route the counter advance to the shard
+        owning the grant and ack the bTelco with its verdict."""
+        self.notify_activity()
+        deferred = self.brokerd.defer_reply()
+        id_u = self._session_owner.get(notice.session_id)
+        if id_u is None:
+            # No live grant behind this session id anywhere: terminal,
+            # the bTelco must tear the scope-local session down.
+            self.brokerd._finish_scope_notice(
+                src_ip, notice, False, False,
+                DenialCause.UNKNOWN_SUBSCRIBER.value, deferred=deferred)
+            return
+        if self._rebalance is not None \
+                and id_u in self._rebalance["moving"]:
+            # Mid-handoff: neither shard safely owns the counter yet.
+            self.brokerd._finish_scope_notice(
+                src_ip, notice, False, True,
+                f"{DenialCause.DEGRADED.value}: rebalance in flight",
+                deferred=deferred)
+            return
+        shard_id = self.ring.shard_for(id_u)
+        st = self.states[shard_id]
+        if st.status != "healthy":
+            # The bTelco's reliable notice retries once the failover
+            # settles; the replicated counter floor survives it.
+            self.degraded_denials.inc()
+            self.brokerd._finish_scope_notice(
+                src_ip, notice, False, True,
+                f"{DenialCause.DEGRADED.value}: shard {shard_id} "
+                f"unavailable", deferred=deferred)
+            return
+        token = self._next_token
+        self._next_token += 1
+        self._pending_scope[token] = (src_ip, notice, deferred)
+        self.brokerd.send_request(
+            st.primary_addr,
+            ShardScopeNotice(session_id=notice.session_id,
+                             counter=notice.counter, reply_token=token),
+            size=96, timeout=self.forward_timeout,
+            max_attempts=self.forward_attempts,
+            on_give_up=lambda _m, t=token: self._scope_forward_gave_up(t))
+
+    def _scope_forward_gave_up(self, token: int) -> None:
+        pending = self._pending_scope.pop(token, None)
+        if pending is None:
+            return
+        src_ip, notice, deferred = pending
+        self.forward_giveups.inc()
+        self.brokerd._finish_scope_notice(
+            src_ip, notice, False, True,
+            f"{DenialCause.DEGRADED.value}: scope notice forward "
+            f"timed out", deferred=deferred)
+
+    def _on_shard_scope_ack(self, src_ip: str,
+                            ack: ShardScopeAck) -> None:
+        pending = self._pending_scope.pop(ack.reply_token, None)
+        if pending is None:
+            return   # late duplicate after give-up
+        orig_src_ip, notice, deferred = pending
+        self.brokerd._finish_scope_notice(
+            orig_src_ip, notice, ack.accepted, ack.retryable, ack.cause,
+            deferred=deferred)
+
     def _sweep_expiries(self, now: float) -> None:
         while self._expiry_heap and self._expiry_heap[0][0] <= now:
             _, session_id, id_u = heapq.heappop(self._expiry_heap)
@@ -1253,6 +1408,7 @@ class ShardFrontend:
             del grants[session_id]
             if not grants:
                 del self._grants_by_ue[id_u]
+            self._session_owner.pop(session_id, None)
             self.brokerd._session_btelco.pop(session_id, None)
             self.brokerd.billing.close_session(session_id)
 
@@ -1525,6 +1681,10 @@ def deploy_shard_hosts(network, *, num_shards: int = 2, spares: int = 0,
             host.replication_interval = replication_interval
             host.authorize_btelco = brokerd._btelco_policy
             host.sap.li_targets = brokerd.sap.li_targets
+            # Shared bTelco directory (same trust domain as the
+            # subscriber DB): scope tokens minted at any shard can
+            # seal session keys for every registered site.
+            host.sap.btelco_directory = brokerd.sap.btelco_directory
             for subscriber in brokerd.sap.subscribers.values():
                 host.sap.enroll(subscriber)
         uplink = Link(sim, f"shard{sid}-broker", broker_host,

@@ -15,19 +15,23 @@ from repro.lte.nas import (
     SapAttachChallenge,
     SapAttachReject,
     SapAttachRequest,
+    SapScopedAttachRequest,
 )
 from repro.lte.security import SecurityContext
 from repro.lte.ue import UeNas
 from repro.net import Host
 
 from .billing import Meter, REPORTER_UE
-from .sap import SapError, UeSap, UeSapCredentials
+from .messages import scope_attach_mac
+from .sap import MobilityGrant, SapError, UeSap, UeSapCredentials
 
 # CellBricks UE processing costs (seconds): crafting authReqU costs more
 # than a plain AttachRequest (hybrid encrypt + sign); the response check
 # is a verify + decrypt.  Sum ≈ 3.5 ms (Fig 7 "UE Proc." CB bars).
+# A scoped re-attach only computes one MAC — no hybrid encrypt, no sign.
 CB_UE_COSTS = {
     "craft_sap_request": 0.0015,
+    "craft_scoped_request": 0.0003,
     SapAttachChallenge: 0.0005,
 }
 
@@ -49,6 +53,15 @@ class CellBricksUe(UeNas):
         self.target_id_t = target_id_t
         self.session_id: Optional[str] = None
         self.meter: Optional[Meter] = None
+        #: optional scope request dict ({"telcos": [...], "ttl": s}) sent
+        #: inside the encrypted authVec on the next full attach.
+        self.scope_request: Optional[dict] = None
+        #: broker-issued mobility grant — survives detach_and_forget so
+        #: the next attach to an in-scope bTelco skips the broker.
+        self.mobility_grant: Optional[MobilityGrant] = None
+        self._scoped_attempt = False
+        self.scoped_attaches = 0
+        self.scoped_fallbacks = 0
         self.processing_costs = dict(UeNas.processing_costs)
         self.processing_costs[SapAttachChallenge] = \
             CB_UE_COSTS[SapAttachChallenge]
@@ -65,17 +78,59 @@ class CellBricksUe(UeNas):
         self.security = None  # fresh EMM state for the new attempt
         self.session_id = None
         self._reject_retries = 0
-        craft = CB_UE_COSTS["craft_sap_request"]
+        if self._grant_covers_target():
+            craft = CB_UE_COSTS["craft_scoped_request"]
+        else:
+            craft = CB_UE_COSTS["craft_sap_request"]
         self.charge(craft)
         self._obs_begin_attach(craft)
         self.sim.schedule(craft, self._send_attach_request)
 
-    def initial_request(self) -> SapAttachRequest:
+    def _grant_covers_target(self) -> bool:
+        grant = self.mobility_grant
+        return (grant is not None
+                and grant.covers(self.target_id_t, self.sim.now))
+
+    def initial_request(self):
         # Called once per attach attempt (the supervision layer resends
-        # the cached request): a nonce is minted here and must stay
-        # stable across retransmissions of the same attempt.
-        auth_req_u = self.sap.craft_request(self.target_id_t)
+        # the cached request): a nonce / attach counter is minted here
+        # and must stay stable across retransmissions of the attempt.
+        if self._grant_covers_target():
+            grant = self.mobility_grant
+            counter = grant.next_counter
+            grant.next_counter += 1
+            self._scoped_attempt = True
+            self.scoped_attaches += 1
+            # The grant restores what attach() just cleared: ss is the
+            # session key (KASME for the inherited SMC handler) and the
+            # session id keeps billing continuity across bTelcos.
+            self.session_id = grant.session_id
+            self.security = SecurityContext(kasme=grant.ss)
+            mac = scope_attach_mac(grant.ss, grant.session_id, counter,
+                                   self.target_id_t)
+            return SapScopedAttachRequest(token=grant.token,
+                                          counter=counter, mac=mac)
+        self._scoped_attempt = False
+        auth_req_u = self.sap.craft_request(self.target_id_t,
+                                            scope=self.scope_request)
         return SapAttachRequest(auth_req_u=auth_req_u)
+
+    def _on_reject(self, src_ip: str, reject) -> None:
+        if (self.state == "ATTACHING" and self._scoped_attempt
+                and not getattr(reject, "retryable", False)):
+            # The scope-local fast path failed terminally (expired,
+            # revoked, counter burned...).  Drop the grant and fall back
+            # to a full SAP attach within the same attempt — the latency
+            # clock keeps running, so the fallback cost is visible.
+            self.mobility_grant = None
+            self._scoped_attempt = False
+            self.scoped_fallbacks += 1
+            self.session_id = None
+            self.security = None
+            self._stop_attach_supervision()
+            self.sim.schedule(0.0, self._retry_after_reject)
+            return
+        super()._on_reject(src_ip, reject)
 
     def _on_attach_give_up(self) -> None:
         super()._on_attach_give_up()
@@ -107,6 +162,12 @@ class CellBricksUe(UeNas):
             self._fail(str(exc))
             return
         self.session_id = response.session_id
+        if getattr(response, "scope", None) is not None:
+            # Broker granted a mobility scope: keep it past detach so
+            # the next in-scope attach needs no broker round-trip.
+            self.mobility_grant = MobilityGrant(
+                token=response.scope, session_id=response.session_id,
+                ss=response.ss, next_counter=1)
         # ss becomes KASME (§4.1); the inherited SMC handler validates the
         # bTelco's Security Mode Command against it.
         self.security = SecurityContext(kasme=response.ss)

@@ -118,6 +118,18 @@ class SapRegistrationChallenge(NasMessage):
     auth_resp_u: object
 
 
+@dataclass(frozen=True)
+class SapScopedRegistrationRequest(NasMessage):
+    """Mobility-scoped re-registration (§4.2): the broker-signed scope
+    token + proof-of-possession MAC, validated locally by the AMF with
+    no broker round-trip (the 5G twin of ``SapScopedAttachRequest``)."""
+
+    token: object   # repro.core.messages.ScopeToken
+    counter: int
+    mac: bytes
+    requested_slice: str = "eMBB"
+
+
 # -- SBI (service-based interface) messages ------------------------------------------
 
 @dataclass(frozen=True)
@@ -236,4 +248,5 @@ MESSAGE_SIZES.update({
     PduSessionEstablishmentReject: 32,
     SapRegistrationRequest: 700,
     SapRegistrationChallenge: 560,
+    SapScopedRegistrationRequest: 860,  # signed scope token + ess + MAC
 })

@@ -117,6 +117,9 @@ def build_cellbricks_network_5g(
             qos_capabilities=QosCapabilities(supported_qcis=(1, 8, 9)),
             name=f"{name}-amf")
         amf.trust_broker(broker_id, brokerd.public_key)
+        # Directory entry for mobility-scope minting (§4.2): scopes may
+        # cover this site before the UE ever attaches to it.
+        brokerd.register_btelco(certificate, 0.0)
         gnb = Gnb(gnb_host, agw_ip=amf_host.address, name=f"{name}-gnb")
 
         # Signaling links: UE <-> gNB, gNB <-> AMF, AMF <-> SMF/broker.

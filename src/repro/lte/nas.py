@@ -134,6 +134,21 @@ class SapAttachReject(NasMessage):
     retryable: bool = False
 
 
+@dataclass(frozen=True)
+class SapScopedAttachRequest(NasMessage):
+    """Mobility-scoped re-attach (§4.2): the broker-signed scope token
+    plus a proof-of-possession MAC over (sid, counter, target bTelco).
+
+    The serving bTelco validates everything locally — no broker
+    round-trip on the attach critical path.
+    """
+
+    token: object   # repro.core.messages.ScopeToken
+    counter: int
+    mac: bytes
+    ue_network_capability: tuple = ("EEA2", "EIA2")
+
+
 # Wire-size estimates (bytes) used for transport accounting.
 MESSAGE_SIZES = {
     AttachRequest: 120,
@@ -151,6 +166,7 @@ MESSAGE_SIZES = {
     SapAttachRequest: 680,    # RSA-hybrid authReqU dominates
     SapAttachChallenge: 560,  # sealed authRespU
     SapAttachReject: 24,
+    SapScopedAttachRequest: 840,  # signed scope token + ess map + MAC
 }
 
 

@@ -62,8 +62,18 @@ class DriveLog:
 
     @property
     def mttho(self) -> float:
-        """Mean time between handovers (the paper's MTTHO)."""
-        if len(self.handovers) < 2:
+        """Mean time between handovers (the paper's MTTHO).
+
+        A drive with zero handovers has no inter-handover time at all:
+        returns ``inf`` so fleet aggregates can filter it rather than
+        silently averaging in the drive duration.  With exactly one
+        handover the true MTTHO is unobservable; ``duration`` is
+        returned as a *lower bound* (at most one handover happened in
+        the whole drive, so the mean gap is at least this long).
+        """
+        if not self.handovers:
+            return float("inf")
+        if len(self.handovers) == 1:
             return self.duration
         gaps = [self.handovers[i].at - self.handovers[i - 1].at
                 for i in range(1, len(self.handovers))]
