@@ -421,19 +421,39 @@ def _cmd_megaload(args: argparse.Namespace) -> int:
     batched tick-calendar stepping + adaptive broker window + heap
     compaction).  The report (``BENCH_megaload.json``) carries each
     cell's deterministic workload digest and wall-clock figures plus
-    the optimized-vs-legacy speedup.  ``--smoke`` gates for CI on
-    machine-independent facts: the workload digests must match the
-    committed baseline exactly and the in-process speedup must hold
-    >= 2x (raw wall-clock is reported but never gated)."""
+    the optimized-vs-legacy speedup.  ``--real-fraction`` samples that
+    slice of the population into the full-fidelity SAP cohort
+    (``--real-rat``/``--real-sites`` shape it) and turns on measured
+    crypto sim-cost charging; ``--xl`` runs the 10^6-UE single-engine
+    cell (non-CI).  ``--smoke`` gates for CI on machine-independent
+    facts: the workload digests must match the committed baseline
+    exactly, the in-process speedup must hold >= 2x, the SoA
+    RSS-per-UE profile must stay under the baseline ceiling, and a
+    mixed-fidelity micro-cell must agree scripted-vs-charged on broker
+    service time (raw wall-clock is reported but never gated)."""
     import json
 
-    from repro.testbed.megaload import run_megaload
+    from repro.testbed.megaload import run_cell, run_megaload
 
-    engines = (("legacy", "optimized") if args.engine == "both"
+    engines = (("optimized", "legacy") if args.engine == "both"
                else (args.engine,))
+    if args.xl:
+        # The 10^6-UE memory/throughput profile: optimized engine only
+        # (a 10^6-UE legacy heap takes minutes for no extra signal).
+        args.ues = max(args.ues, 1_000_000)
+        engines = ("optimized",)
+    kpi_store = None
+    if args.kpi_output and not args.smoke:
+        from repro.obs.fleet import FleetKpiStore
+
+        kpi_store = FleetKpiStore("megaload-cohorts")
     report = run_megaload(ues=args.ues, sites=args.sites,
                           duration=args.duration, tick=args.tick,
-                          seed=args.seed, engines=engines)
+                          seed=args.seed, engines=engines,
+                          real_fraction=args.real_fraction,
+                          real_rat=args.real_rat,
+                          real_sites=args.real_sites,
+                          kpi_store=kpi_store)
 
     print(f"{'engine':10s} {'UEs/s':>10s} {'actions/s':>11s} "
           f"{'wall s':>8s} {'s/sim-s':>9s} {'RSS MB':>8s} "
@@ -453,7 +473,16 @@ def _cmd_megaload(args: argparse.Namespace) -> int:
               f"idle_detaches={workload['idle_detaches']} "
               f"batches={workload['broker_batches']} "
               f"full_flushes={workload['broker_full_flushes']} "
+              f"rss/ue={perf['rss_per_ue_bytes']:.0f}B "
               f"digest={cell['digest'][:12]}")
+        cohort = workload.get("real_cohort")
+        if cohort:
+            print(f"  real cohort: {cohort['count']} {cohort['rat']} UEs "
+                  f"on {cohort['sites']} sites "
+                  f"attach_ok={cohort['attach_ok']} "
+                  f"failures={cohort['attach_failures']} "
+                  f"attach p50={cohort['attach_ms_p50']:.1f}ms "
+                  f"p99={cohort['attach_ms_p99']:.1f}ms")
     if "speedup" in report:
         row = report["speedup"]
         print(f"speedup optimized vs legacy: {row['speedup']:.2f}x "
@@ -464,13 +493,18 @@ def _cmd_megaload(args: argparse.Namespace) -> int:
         with open(args.output, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
         print(f"wrote {args.output}")
+    if kpi_store is not None:
+        kpi_store.write_json(args.kpi_output)
+        print(f"wrote {args.kpi_output}")
 
     if not args.smoke:
         return 0
     # CI regression gate.  Wall-clock depends on the runner, so the
     # gate checks machine-independent facts only: exact digest match
-    # per engine (determinism + workload-logic regressions) and the
-    # in-process optimized/legacy throughput ratio (>= 2x).
+    # per engine (determinism + workload-logic regressions), the
+    # in-process optimized/legacy throughput ratio (>= 2x), the SoA
+    # RSS-per-UE ceiling, and scripted-vs-charged service-time
+    # agreement on a mixed-fidelity micro-cell.
     failed = False
     try:
         with open(args.baseline) as fh:
@@ -478,19 +512,24 @@ def _cmd_megaload(args: argparse.Namespace) -> int:
     except FileNotFoundError:
         print(f"no baseline at {args.baseline}; gate skipped")
         return 0
-    baseline_digests = baseline.get("digests", {})
-    for cell in report["cells"]:
-        expected = baseline_digests.get(cell["engine"])
-        if expected is None:
-            print(f"warn {cell['engine']}: no baseline digest")
-            continue
-        if cell["digest"] != expected:
-            print(f"FAIL {cell['engine']}: digest {cell['digest'][:12]} "
-                  f"!= baseline {expected[:12]} (workload outcome "
-                  f"changed or determinism broke)")
-            failed = True
-        else:
-            print(f"ok   {cell['engine']}: digest matches baseline")
+    if args.real_fraction > 0:
+        print("warn digest gate skipped: --real-fraction digests are "
+              "machine-dependent (measured crypto costs)")
+    else:
+        baseline_digests = baseline.get("digests", {})
+        for cell in report["cells"]:
+            expected = baseline_digests.get(cell["engine"])
+            if expected is None:
+                print(f"warn {cell['engine']}: no baseline digest")
+                continue
+            if cell["digest"] != expected:
+                print(f"FAIL {cell['engine']}: digest "
+                      f"{cell['digest'][:12]} != baseline "
+                      f"{expected[:12]} (workload outcome changed or "
+                      f"determinism broke)")
+                failed = True
+            else:
+                print(f"ok   {cell['engine']}: digest matches baseline")
     min_speedup = baseline.get("min_speedup", 2.0)
     if "speedup" in report:
         if report["speedup"]["speedup"] < min_speedup:
@@ -500,7 +539,74 @@ def _cmd_megaload(args: argparse.Namespace) -> int:
         else:
             print(f"ok   speedup {report['speedup']['speedup']:.2f}x "
                   f">= {min_speedup:.1f}x")
+    max_rss_per_ue = baseline.get("max_rss_per_ue_bytes")
+    if max_rss_per_ue is not None:
+        # The first cell ran in a cold process (run_megaload leads with
+        # optimized), so its peak-RSS delta is the SoA footprint.
+        cell = report["cells"][0]
+        rss = cell["perf"]["rss_per_ue_bytes"]
+        if cell["engine"] != "optimized":
+            print("warn rss gate skipped: first cell is not optimized")
+        elif rss > max_rss_per_ue:
+            print(f"FAIL rss_per_ue {rss:.1f} B > ceiling "
+                  f"{max_rss_per_ue:.0f} B")
+            failed = True
+        else:
+            print(f"ok   rss_per_ue {rss:.1f} B <= ceiling "
+                  f"{max_rss_per_ue:.0f} B")
+    failed |= _megaload_mixed_gate(args, json)
     return 1 if failed else 0
+
+
+def _megaload_mixed_gate(args: argparse.Namespace, json) -> bool:
+    """The mixed-fidelity leg of ``megaload --smoke``.
+
+    Runs a micro-cell with a real SAP cohort (both fidelities share one
+    clock) and checks facts that hold on any machine: the cohort
+    completes real attaches, and the scripted broker's accumulated busy
+    time equals requests x the measured per-attach crypto cost (the
+    sim-cost charging bridge is applied consistently).  Also emits the
+    per-cohort KPI JSON artifact when ``--kpi-output`` is set."""
+    from repro.testbed.megaload import run_cell
+
+    kpi_store = None
+    if args.kpi_output:
+        from repro.obs.fleet import FleetKpiStore
+
+        kpi_store = FleetKpiStore("megaload-cohorts")
+    mixed = run_cell(
+        ues=min(args.ues, 20_000), sites=min(args.sites, 64),
+        duration=20.0, tick=args.tick, seed=args.seed,
+        engine="optimized", real_fraction=0.002,
+        real_rat=args.real_rat, real_sites=2, kpi_store=kpi_store)
+    failed = False
+    cohort = mixed["workload"]["real_cohort"]
+    if cohort["attach_ok"] < 1:
+        print(f"FAIL mixed cell: no real-cohort attach completed "
+              f"({cohort['attach_failures']} failures)")
+        failed = True
+    else:
+        print(f"ok   mixed cell: {cohort['attach_ok']} real "
+              f"{cohort['rat']} attaches "
+              f"(p50 {cohort['attach_ms_p50']:.1f} ms)")
+    perf = mixed["perf"]
+    charged = perf["broker_service_cost_s"] \
+        * mixed["workload"]["broker_requests"]
+    busy = perf["broker_busy_s"]
+    # busy_s is rounded to 1e-6 in the report; allow that plus float
+    # accumulation slack across ~1e4 batches.
+    if abs(busy - charged) > 1e-5 + 1e-9 * abs(charged):
+        print(f"FAIL mixed cell: scripted busy {busy:.6f} s != charged "
+              f"{charged:.6f} s")
+        failed = True
+    else:
+        print(f"ok   mixed cell: scripted busy {busy:.6f} s == "
+              f"charged cost x {mixed['workload']['broker_requests']} "
+              f"requests")
+    if kpi_store is not None:
+        kpi_store.write_json(args.kpi_output)
+        print(f"wrote {args.kpi_output}")
+    return failed
 
 
 #: curated dashboard rows per observed bench (everything else is still
@@ -1098,11 +1204,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rat", choices=("lte", "5g", "both"), default="both",
                    help="control plane(s) to drive (default both)")
     p.add_argument("--ues", type=int, default=6,
-                   help="fleet size, <= 8 (default 6)")
+                   help="fleet size, <= 64 (default 6)")
     p.add_argument("--duration", type=float, default=30.0,
                    help="drive duration in sim seconds (default 30)")
     p.add_argument("--sites", type=int, default=3,
-                   help="bTelco operators along the corridor (default 3)")
+                   help="bTelco operators along the corridor, <= 16 "
+                        "(default 3)")
     p.add_argument("--seed", type=int, default=11)
     p.add_argument("--smoke", action="store_true",
                    help="seeded CI subset (4 UEs, 20 s drives)")
@@ -1125,10 +1232,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=("both", "optimized", "legacy"),
                    default="both",
                    help="which event-core path(s) to run (default both)")
+    p.add_argument("--real-fraction", type=float, default=0.0,
+                   help="fraction of the population run as full-fidelity "
+                        "SAP UEs against a real pipelined brokerd; any "
+                        "nonzero value also charges the scripted broker "
+                        "the measured crypto cost (default 0)")
+    p.add_argument("--real-rat", choices=("lte", "5g"), default="lte",
+                   help="RAT for the real cohort (default lte)")
+    p.add_argument("--real-sites", type=int, default=4,
+                   help="real RAN sites the cohort's script folds onto "
+                        "(default 4)")
+    p.add_argument("--xl", action="store_true",
+                   help="the 10^6-UE memory/throughput profile: raises "
+                        "--ues to 1e6 and runs the optimized engine "
+                        "only (minutes of wall time; not for CI)")
+    p.add_argument("--kpi-output", default=None,
+                   help="write per-cohort fleet KPI JSON here (sampled "
+                        "from the first cell, or from the mixed "
+                        "micro-cell under --smoke)")
     p.add_argument("--smoke", action="store_true",
                    help="CI gate: per-engine workload digests must match "
-                        "the committed baseline and the optimized/legacy "
-                        "speedup must hold >= 2x")
+                        "the committed baseline, the optimized/legacy "
+                        "speedup must hold >= 2x, RSS-per-UE must stay "
+                        "under the baseline ceiling, and the mixed "
+                        "micro-cell must agree scripted-vs-charged")
     p.add_argument("--baseline",
                    default="benchmarks/baselines/megaload_baseline.json",
                    help="baseline file for the --smoke gate")

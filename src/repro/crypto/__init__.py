@@ -8,6 +8,8 @@ Public surface:
 * :func:`hkdf`, :func:`kdf_3gpp` — key derivation (SAP sessions, LTE key
   hierarchy).
 * :class:`CertificateAuthority`, :class:`Certificate` — minimal PKI.
+* :func:`measure_crypto_costs` — measured RSA service times for
+  simulation cost charging (the megaload mixed-fidelity bridge).
 """
 
 from .ca import (
@@ -37,6 +39,7 @@ from .rsa import (
     generate_keypair,
     verify_cache_stats,
 )
+from .simcost import clear_measured_costs, measure_crypto_costs
 
 __all__ = [
     "ROLE_BROKER",
@@ -60,6 +63,8 @@ __all__ = [
     "hkdf_extract",
     "hmac_sha256",
     "kdf_3gpp",
+    "clear_measured_costs",
+    "measure_crypto_costs",
     "open_sealed",
     "seal",
     "sha256",

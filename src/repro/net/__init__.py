@@ -31,7 +31,7 @@ from .packet import (
     Packet,
     same_prefix,
 )
-from .sim import Event, SimulationError, Simulator, Timer
+from .sim import Event, SimulationError, Simulator, TickCalendar, Timer
 from .tcp import DEFAULT_MSS, Segment, TcpConnection, TcpListener, TcpStats
 from .topology import CellularPath
 from .tunnel import GreEndpoint, TunneledHost
@@ -62,6 +62,7 @@ __all__ = [
     "SimplexLink",
     "SimulationError",
     "Simulator",
+    "TickCalendar",
     "TcpConnection",
     "TcpListener",
     "TcpStats",

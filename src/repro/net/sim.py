@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from array import array
 from typing import Any, Callable, Optional
 
 
@@ -190,6 +191,80 @@ class Simulator:
         self._queue.clear()
         self._live = 0
         self._dead = 0
+
+
+class TickCalendar:
+    """Quantized wakeup calendar: one heap event per *occupied* tick.
+
+    Population-scale workloads (``repro.testbed.megaload``) step millions
+    of lightweight actors whose wakeups all land on a fixed tick grid.
+    Scheduling each wakeup as its own :class:`Event` costs a heap push, a
+    heap pop, and a retained ``Event`` + args tuple per action; the
+    calendar instead appends a ``(key, code)`` pair of **packed
+    integers** to a per-tick bucket and schedules a single simulator
+    event the first time a tick is occupied.  Firing a tick dispatches
+    every pair in append order.
+
+    The hot path is pure index arithmetic with no per-wake retained
+    allocation: buckets are paired ``array('i')`` columns (8 bytes per
+    pending wakeup, vs ~100 B for a tuple entry) recycled through a
+    freelist, so steady-state stepping allocates no fresh containers.
+    The split into two 31-bit words is deliberate: a single 64-bit word
+    holding an actor id above the low bits forces every decode through
+    CPython's multi-digit int path, while key (actor id) and code
+    (action/token payload) each stay single-digit.  Callers invalidate
+    superseded wakeups by token at dispatch time instead of heap
+    cancellation, which keeps the heap free of dead entries.
+    """
+
+    #: calendars cannot cancel an individual wakeup — callers invalidate
+    #: by token at dispatch time instead (the megaload engines key off
+    #: this to decide whether ``wake`` returns a cancellable handle).
+    cancellable = False
+
+    __slots__ = ("sim", "tick", "dispatch", "_buckets", "_freelist")
+
+    def __init__(self, sim: "Simulator", tick: float,
+                 dispatch: Callable[[int, int], Any]):
+        if tick <= 0:
+            raise SimulationError(f"tick must be positive, got {tick}")
+        self.sim = sim
+        self.tick = tick
+        #: ``dispatch(key, code)`` is called once per queued pair, in
+        #: the order the pairs were appended within each tick.
+        self.dispatch = dispatch
+        self._buckets: dict[int, tuple[array, array]] = {}
+        self._freelist: list[tuple[array, array]] = []
+
+    def wake(self, idx: int, key: int, code: int = 0) -> None:
+        """Queue ``(key, code)`` for dispatch at tick ``idx``
+        (virtual time ``idx * tick``); both must fit a signed 32-bit
+        array slot."""
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            bucket = self._freelist.pop() if self._freelist \
+                else (array("i"), array("i"))
+            self._buckets[idx] = bucket
+            self.sim.schedule_at(idx * self.tick, self._fire, idx)
+        bucket[0].append(key)
+        bucket[1].append(code)
+
+    def pending(self) -> int:
+        """Queued wakeups across all occupied ticks (diagnostics only)."""
+        return sum(len(keys) for keys, _ in self._buckets.values())
+
+    def _fire(self, idx: int) -> None:
+        keys, codes = self._buckets.pop(idx)
+        dispatch = self.dispatch
+        # tolist() boxes each column in one C call; iterating the arrays
+        # would re-box per element through the iterator protocol.  The
+        # unpacking loop lets zip recycle its result tuple.
+        for key, code in zip(keys.tolist(), codes.tolist()):
+            dispatch(key, code)
+        del keys[:]
+        del codes[:]
+        if len(self._freelist) < 64:
+            self._freelist.append((keys, codes))
 
 
 class Timer:

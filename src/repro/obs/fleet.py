@@ -68,6 +68,27 @@ class KpiCollector:
     def add_gauge_probe(self, name: str, fn: Callable[[], dict]) -> None:
         self._gauge_probes.append((name, fn))
 
+    def add_latency_gauge(self, name: str,
+                          values_fn: Callable[[], "list"],
+                          qs: tuple = (50.0, 99.0)) -> None:
+        """Gauge probe over a growing latency series (ms): sample count,
+        mean, and the requested percentiles each window.  ``values_fn``
+        returns the cumulative series; an empty series records only the
+        count so JSON stays deterministic before first data."""
+        from repro.analysis.stats import mean, percentile
+
+        def probe() -> dict:
+            values = values_fn()
+            if not values:
+                return {"count": 0}
+            out = {"count": len(values),
+                   "mean_ms": round(mean(values), 4)}
+            for q in qs:
+                out[f"p{int(q)}_ms"] = round(percentile(values, q), 4)
+            return out
+
+        self.add_gauge_probe(name, probe)
+
     # -- lifecycle --------------------------------------------------------
     def start(self) -> None:
         """Baseline every counter probe now and begin periodic sampling."""

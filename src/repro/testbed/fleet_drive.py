@@ -50,6 +50,8 @@ from repro.ran.propagation import capacity_bps
 from repro.ran.selection import (DEFAULT_SAMPLE_INTERVAL_S, CellSelector,
                                  DriveLog, HandoverRecord)
 
+from .netaddr import HostPrefixAllocator
+
 SIGNALING_BANDWIDTH = 1e9
 #: stationary warm-up before the drive starts: initial attaches (full
 #: authReqU for everyone, scoped or not) complete here, then the broker
@@ -84,14 +86,16 @@ class FleetUe:
 def _fleet_ue_host(sim: Simulator, net, slot: int, seed: int):
     """A dedicated UE host + radio links to every site + credentials.
 
-    Addresses use the ``10.22{slot}.0.0/24`` family — disjoint from the
-    site prefixes (``10.23x``/``10.24x``/``10.25x``), the UE pools
-    (``10.12{8+i}``) and the default UE host (``10.250``), so per-UE
-    routes never shadow infrastructure routes.  ``slot`` ≤ 9.
+    Addresses come from the fleet's :class:`HostPrefixAllocator` block
+    (``10.64.0`` – ``10.71.255``) — disjoint from the site prefixes
+    (``10.23x``/``10.24x``/``10.25x``), the UE pools (``10.12{8+i}``)
+    and the default UE host (``10.250``), so per-UE routes never shadow
+    infrastructure routes.  The historical single-octet concatenation
+    (``10.22{slot}``) capped the fleet at 10 hosts; the allocator
+    spreads slots across a /16-style block instead.
     """
-    if slot > 9:
-        raise ValueError("fleet addressing supports at most 10 UE hosts")
-    host = Host(sim, f"fleet-ue{slot}", address=f"10.22{slot}.0.2")
+    allocator = HostPrefixAllocator(base_octet=64)
+    host = Host(sim, f"fleet-ue{slot}", address=allocator.address(slot))
     ue_prefix = host.address.rsplit(".", 1)[0]
     for name, site in net.sites.items():
         enb_host = getattr(site, "enb_host", None) or site.gnb_host
@@ -228,13 +232,16 @@ def _run_denial_probes(sim: Simulator, net, rat: str, site_names: tuple,
     home, away = site_names[0], site_names[1]
     ue_cls = _ue_class(rat)
 
+    # Probe hosts take the two slots right after the fleet's, so they
+    # never collide with a drive UE at any fleet size.
+    probe_slot = len(fleet)
     # probe A: scope restricted to its serving site (out-of-scope case).
-    view_a = _fleet_ue_host(sim, net, 8, seed)
+    view_a = _fleet_ue_host(sim, net, probe_slot, seed)
     mm_a = MobilityManager(view_a, ue_class=ue_cls)
     mm_a.start(home)
     mm_a.ue.scope_request = {"telcos": [home], "ttl": 300.0}
     # probe B: a tiny TTL so the grant expires before we probe it.
-    view_b = _fleet_ue_host(sim, net, 9, seed)
+    view_b = _fleet_ue_host(sim, net, probe_slot + 1, seed)
     mm_b = MobilityManager(view_b, ue_class=ue_cls)
     mm_b.start(home)
     mm_b.ue.scope_request = {"telcos": list(site_names), "ttl": 0.5}
@@ -337,13 +344,15 @@ def run_fleet_drive(rat: str = "lte", ues: int = 6, duration: float = 30.0,
                     probes: bool = True) -> dict:
     """Run one fleet-drive cell and return its report dict.
 
-    ``sites`` ≤ 5 (single-digit site addressing) and ``ues`` ≤ 8 (two
-    address slots are reserved for the denial probes).
+    ``sites`` ≤ 16 (site keypool slots sit directly below the fleet
+    UEs' slot range) and ``ues`` ≤ 64 (well inside the host-prefix
+    allocator's 2048-slot block; two slots past the fleet are reserved
+    for the denial probes).
     """
-    if not 2 <= sites <= 5:
-        raise ValueError("sites must be between 2 and 5")
-    if not 1 <= ues <= 8:
-        raise ValueError("ues must be between 1 and 8")
+    if not 2 <= sites <= 16:
+        raise ValueError("sites must be between 2 and 16")
+    if not 1 <= ues <= 64:
+        raise ValueError("ues must be between 1 and 64")
     site_names = tuple(f"site{i}" for i in range(sites))
     sim = Simulator()
     net = _build_network(sim, rat, site_names, seed)

@@ -16,12 +16,39 @@ small bTelcos.  This harness drives the gap: hundreds of sites and
   that re-arm an idle timer; sparse pokers idle out and release their
   session.
 
+The population lives in a **struct-of-arrays** layout: no per-UE Python
+object exists.  Mutable state is parallel :mod:`array` columns indexed
+by uid (segment cursor, site, epoch, idle token, retry flag, attach
+start time) and each UE's script is a run of packed 64-bit segment
+codes (``site``/``dwell_ticks``/``poke_gap_ticks`` in 21-bit fields)
+inside one shared ``array('q')``, addressed through a per-uid offset
+column.  A pending wakeup is likewise a pair of packed 31-bit words
+(``uid`` and ``action``/``token``/``arg``) — kept separate so each
+stays a single-digit CPython int — so the resident cost per UE is
+a few dozen bytes of flat array — the ``rss_per_ue_bytes`` profile in
+``BENCH_megaload.json`` tracks it, and the ``--smoke`` gate holds the
+ceiling.
+
 Each attach rides a modeled broker whose batching uses the
 :class:`~repro.core.broker.AdaptiveBatchWindow` (Nagle-style: flush
-when full, stretch under sustained load).  UEs are deliberately *not*
-full crypto stacks: the point of this bench is to stress the event
-engine itself, so per-UE work is a handful of state transitions and the
-interesting costs are heap pushes, event allocations, and timer churn.
+when full, stretch under sustained load).  Scripted UEs are
+deliberately *not* full crypto stacks: the point of this bench is to
+stress the event engine itself.  Two bridges keep the model honest:
+
+* **crypto sim-cost charging** — with ``charge_crypto`` (implied by a
+  real cohort) the modeled broker's per-attach service time is the RSA
+  sign/verify cost actually measured on this machine at startup
+  (:func:`repro.crypto.simcost.measure_crypto_costs`), so scripted
+  broker busy time tracks what real crypto would cost;
+* a **mixed-fidelity cohort** — ``real_fraction`` samples an
+  evenly-spaced slice of uids whose lifecycle runs the full
+  :class:`~repro.core.ue_agent.CellBricksUe` (or 5G) SAP attach against
+  a real pipelined :class:`~repro.core.broker.Brokerd` inside the same
+  simulator, following the same script (sites folded onto a small real
+  RAN).  Population pressure and protocol truth share one clock; the
+  cohort's attach latency percentiles are reported alongside scripted
+  throughput, and seeded runs stay digest-deterministic (within a
+  process — the charged cost is machine-measured).
 
 Two interchangeable engines execute the very same workload script:
 
@@ -29,20 +56,20 @@ Two interchangeable engines execute the very same workload script:
   UE action, idle timers cancelled the ``Timer.start`` way (dead heap
   entries accumulate; compaction is disabled to match the historical
   simulator), fixed 2 ms broker window.
-* ``optimized`` — batched UE stepping: wakeups are quantized onto a
-  tick calendar (the ai-ran-sim "step the whole RAN per cell" idiom),
-  so a tick's worth of UE actions costs *one* heap event; bucket lists
-  are recycled through a freelist; superseded wakeups are invalidated
-  by token instead of heap cancellation; the broker window adapts to
-  the arrival rate; heap compaction stays on.
+* ``optimized`` — batched UE stepping on the shared
+  :class:`~repro.net.TickCalendar`: a tick's worth of UE actions costs
+  *one* heap event, wake pairs land in recycled ``array('i')`` columns,
+  superseded wakeups are invalidated by token instead of heap
+  cancellation, the broker window adapts to the arrival rate, and heap
+  compaction stays on.
 
 Both engines quantize action times to the same tick grid, so with the
 same broker window policy they replay byte-identical workload outcomes
 — ``tests/test_megaload.py`` pins that equivalence.  The report
 (``BENCH_megaload.json``) carries, per engine cell, the deterministic
 workload digest plus wall-clock figures (UEs/sec simulated, wall-clock
-per sim-second, peak RSS) and the optimized-vs-legacy speedup that the
-``--smoke`` CI gate enforces.
+per sim-second, peak RSS, RSS per UE) and the optimized-vs-legacy
+speedup that the ``--smoke`` CI gate enforces.
 """
 
 from __future__ import annotations
@@ -51,25 +78,51 @@ import hashlib
 import json
 import math
 import random
+import sys
 import time
+from array import array
 from typing import Optional
 
 from repro.analysis.stats import mean, percentile
 from repro.core.broker import AdaptiveBatchWindow
 from repro.emulation.policy import SECONDS_PER_HOUR, TimeOfDayPolicy
-from repro.net import Simulator
+from repro.net import Simulator, TickCalendar
 
 try:  # pragma: no cover - platform-dependent
     import resource
 except ImportError:  # pragma: no cover - non-POSIX fallback
     resource = None
 
-# UE lifecycle actions (dispatch codes).
+# UE lifecycle actions (3-bit codes packed into wake words).
 A_ARRIVE = 0
 A_ATTACH_DONE = 1
 A_POKE = 2
 A_IDLE = 3
 A_SEG_END = 4
+A_REAL_ARRIVE = 5    # mixed-fidelity cohort: start the real SAP attach
+A_REAL_SEG = 6       # mixed-fidelity cohort: segment end (move/depart)
+
+# Wake pair layout: the calendar key is the uid, the code word is
+# (action << 20) | (token << 10) | arg — token carries the UE epoch
+# (bounded by the script length, <= 4 detach cycles) and arg the idle
+# token / remaining pokes (<= ~24), so 10-bit fields have an order of
+# magnitude of headroom and both words stay single-digit CPython ints.
+_ARG_BITS = 10
+_TOKEN_BITS = 10
+_ARG_MASK = (1 << _ARG_BITS) - 1
+_TOKEN_MASK = (1 << _TOKEN_BITS) - 1
+_ACTION_SHIFT = _ARG_BITS + _TOKEN_BITS
+_M_ARRIVE = A_ARRIVE << _ACTION_SHIFT
+_M_ATTACH_DONE = A_ATTACH_DONE << _ACTION_SHIFT
+_M_POKE = A_POKE << _ACTION_SHIFT
+_M_IDLE = A_IDLE << _ACTION_SHIFT
+_M_SEG_END = A_SEG_END << _ACTION_SHIFT
+_M_REAL_ARRIVE = A_REAL_ARRIVE << _ACTION_SHIFT
+_M_REAL_SEG = A_REAL_SEG << _ACTION_SHIFT
+
+# Script-segment layout: (site << 42) | (dwell_ticks << 21) | poke_gap.
+_SEG_BITS = 21
+_SEG_MASK = (1 << _SEG_BITS) - 1
 
 # Model constants (seconds unless noted).
 IDLE_TIMEOUT = 6.0          # idle release after this long without a poke
@@ -84,64 +137,30 @@ BROKER_ATTACH_COST = 0.0002  # modeled broker service per attach (s)
 BROKER_WORKERS = 8
 FIXED_WINDOW = 0.002        # the pre-adaptive pipeline constant
 
-
-class _Ue:
-    """One lightweight UE: a scripted lifecycle, no crypto, no NAS."""
-
-    __slots__ = ("uid", "script", "seg", "site", "epoch", "idle_token",
-                 "attach_started", "retried", "idle_event")
-
-    def __init__(self, uid: int, script: tuple):
-        self.uid = uid
-        #: tuple of (site, dwell_ticks, poke_gap_ticks) segments
-        self.script = script
-        self.seg = 0
-        self.site = -1              # site currently attached to (-1 = none)
-        #: bumped on every detach; stale wakeups carry an older epoch
-        self.epoch = 0
-        #: bumped on every idle-timer re-arm; the lazy-cancellation token
-        self.idle_token = 0
-        self.attach_started = 0.0
-        self.retried = False
-        self.idle_event = None      # legacy engine: the cancellable event
+# Mixed-fidelity cohort topology constants.
+REAL_BROKER_ADDRESS = "52.30.0.1"
+REAL_SIGNALING_BANDWIDTH = 1e9
+#: keypool slots reserved for the cohort (clear of other harnesses').
+_REAL_SLOT_BASE = 9650
 
 
-class _BatchedEngine:
-    """Tick-calendar stepping: one simulator event per occupied tick.
+def _rss_bytes(raw: float, platform: Optional[str] = None) -> float:
+    """``ru_maxrss`` to bytes: KiB everywhere except macOS (bytes)."""
+    if platform is None:
+        platform = sys.platform
+    return float(raw) if platform == "darwin" else raw * 1024.0
 
-    Wakeups land in per-tick buckets processed by a single callback —
-    the per-action heap push/pop of the legacy path disappears, and
-    bucket lists are recycled through a freelist so steady-state
-    stepping allocates no fresh containers.
-    """
 
-    cancellable = False
+def _peak_rss_bytes() -> float:
+    """Process peak RSS in bytes (0.0 where ``resource`` is missing)."""
+    if resource is None:  # pragma: no cover - non-POSIX fallback
+        return 0.0
+    return _rss_bytes(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
-    def __init__(self, sim: Simulator, tick: float, dispatch):
-        self.sim = sim
-        self.tick = tick
-        self.dispatch = dispatch
-        self._buckets: dict[int, list] = {}
-        self._freelist: list[list] = []
 
-    def wake(self, idx: int, ue: _Ue, action: int, token: int,
-             arg: int = 0):
-        bucket = self._buckets.get(idx)
-        if bucket is None:
-            bucket = self._freelist.pop() if self._freelist else []
-            self._buckets[idx] = bucket
-            self.sim.schedule_at(idx * self.tick, self._fire, idx)
-        bucket.append((ue, action, token, arg))
-        return None
-
-    def _fire(self, idx: int) -> None:
-        bucket = self._buckets.pop(idx)
-        dispatch = self.dispatch
-        for ue, action, token, arg in bucket:
-            dispatch(ue, action, token, arg)
-        bucket.clear()
-        if len(self._freelist) < 64:
-            self._freelist.append(bucket)
+#: the optimized engine IS the shared tick calendar — wake codes are the
+#: packed words above, dispatch decodes them with shifts and masks.
+_BatchedEngine = TickCalendar
 
 
 class _LegacyEngine:
@@ -154,10 +173,9 @@ class _LegacyEngine:
         self.tick = tick
         self.dispatch = dispatch
 
-    def wake(self, idx: int, ue: _Ue, action: int, token: int,
-             arg: int = 0):
+    def wake(self, idx: int, key: int, code: int = 0):
         return self.sim.schedule_at(idx * self.tick, self.dispatch,
-                                    ue, action, token, arg)
+                                    key, code)
 
 
 class _MegaBroker:
@@ -166,20 +184,29 @@ class _MegaBroker:
     Requests park in a window (fixed 2 ms, or adaptive via
     :class:`AdaptiveBatchWindow`); a flush serves the batch on
     ``BROKER_WORKERS`` earliest-free lanes and posts each completion
-    back through the engine at its modeled finish tick.
+    back through the engine at its modeled finish tick.  The batch is a
+    plain list of uids; ``service_cost`` is the modeled per-attach
+    service time (the calibrated constant, or the measured crypto cost
+    when charging is on) and ``busy_s`` accumulates total modeled
+    service so the smoke gate can check charged-vs-scripted agreement.
     """
 
-    __slots__ = ("sim", "engine", "tick", "adaptive", "batch",
-                 "flush_event", "flushing_now", "lanes", "batches",
-                 "requests", "full_flushes")
+    __slots__ = ("sim", "engine", "tick", "adaptive", "epoch",
+                 "service_cost", "busy_s", "batch", "flush_event",
+                 "flushing_now", "lanes", "batches", "requests",
+                 "full_flushes")
 
     def __init__(self, sim: Simulator, engine, tick: float,
-                 adaptive: Optional[AdaptiveBatchWindow]):
+                 adaptive: Optional[AdaptiveBatchWindow], epoch: array,
+                 service_cost: float = BROKER_ATTACH_COST):
         self.sim = sim
         self.engine = engine
         self.tick = tick
         self.adaptive = adaptive
-        self.batch: list[_Ue] = []
+        self.epoch = epoch
+        self.service_cost = service_cost
+        self.busy_s = 0.0
+        self.batch: list[int] = []
         self.flush_event = None
         self.flushing_now = False
         self.lanes = [0.0] * BROKER_WORKERS
@@ -187,12 +214,12 @@ class _MegaBroker:
         self.requests = 0
         self.full_flushes = 0
 
-    def submit(self, ue: _Ue) -> None:
-        now = self.sim.now
+    def submit(self, uid: int) -> None:
+        now = self.sim._now
         adaptive = self.adaptive
         if adaptive is not None:
             adaptive.observe(now)
-        self.batch.append(ue)
+        self.batch.append(uid)
         if self.flush_event is None:
             window = FIXED_WINDOW if adaptive is None else adaptive.window()
             self.flush_event = self.sim.schedule(window, self._flush)
@@ -209,20 +236,260 @@ class _MegaBroker:
         batch, self.batch = self.batch, []
         if not batch:
             return
-        now = self.sim.now
+        now = self.sim._now
         tick = self.tick
+        cost = self.service_cost
         lanes = self.lanes
+        epoch = self.epoch
         wake = self.engine.wake
         self.batches += 1
         self.requests += len(batch)
-        for ue in batch:
+        self.busy_s += cost * len(batch)
+        for uid in batch:
             lane = min(range(len(lanes)), key=lanes.__getitem__)
-            end = max(now, lanes[lane]) + BROKER_ATTACH_COST
+            end = max(now, lanes[lane]) + cost
             lanes[lane] = end
             # Completion on the next tick boundary at/after the modeled
             # service end (strictly in the future: end > now).
             idx = int(end / tick - 1e-9) + 1
-            wake(idx, ue, A_ATTACH_DONE, ue.epoch)
+            wake(idx, uid, _M_ATTACH_DONE | (epoch[uid] << _ARG_BITS))
+
+
+class _RealCohort:
+    """The full-fidelity slice of a megaload population.
+
+    Builds a small real RAN — ``sites`` bTelcos (AGW or AMF+SMF), one
+    pipelined sharded :class:`~repro.core.broker.Brokerd` — inside the
+    workload's simulator, plus one :class:`CellBricksUe` (or 5G) per
+    sampled uid.  Each cohort UE follows its *scripted* lifecycle
+    (arrival tick, segment dwells, site sequence folded onto the real
+    sites modulo ``sites``) but every attach is the genuine SAP
+    exchange: authReqU crafting, broker batch pipeline, challenge
+    verification, SMC — so population pressure and protocol truth share
+    one clock.  Keep-alive pokes and idle timers stay scripted-only;
+    the cohort measures the attach path.
+
+    Everything here is deterministic under a fixed seed: topology and
+    uid selection derive from the workload config, retransmission
+    jitter RNGs are name-seeded, and modeled processing costs are
+    constants (or the per-process cached measured crypto cost).
+    """
+
+    def __init__(self, workload: "MegaloadWorkload", uids, *,
+                 rat: str = "lte", sites: int = 4):
+        from repro.core import (
+            Brokerd,
+            CellBricksAgw,
+            CellBricksAmf,
+            CellBricksUe,
+            CellBricksUe5G,
+            UeSapCredentials,
+        )
+        from repro.core.broker import BrokerAuthRequest
+        from repro.core.qos import QosCapabilities
+        from repro.crypto import CertificateAuthority, keypool
+        from repro.fivegc import Smf
+        from repro.lte import ENodeB
+        from repro.net import Host, Link
+
+        from .netaddr import HostPrefixAllocator
+
+        if rat not in ("lte", "5g"):
+            raise ValueError(f"unknown rat {rat!r}")
+        self.workload = workload
+        self.rat = rat
+        self.uids = list(uids)
+        self.n_sites = max(1, min(sites, 256))
+        sim = workload.sim
+
+        allocator = HostPrefixAllocator(base_octet=96)
+        if len(self.uids) > allocator.capacity:
+            raise ValueError(
+                f"real cohort of {len(self.uids)} exceeds the "
+                f"{allocator.capacity} host prefixes available")
+
+        keypool.warm(range(_REAL_SLOT_BASE,
+                           _REAL_SLOT_BASE + 3 + self.n_sites))
+        ca = CertificateAuthority(
+            key=keypool.pooled_keypair(_REAL_SLOT_BASE))
+        broker_host = Host(sim, "mega-broker",
+                           address=REAL_BROKER_ADDRESS)
+        self.brokerd = Brokerd(
+            broker_host, id_b="b.mega", ca_public_key=ca.public_key,
+            key=keypool.pooled_keypair(_REAL_SLOT_BASE + 1))
+        self.brokerd.configure_pipeline(
+            enabled=True, batch_window=FIXED_WINDOW, verify_workers=4,
+            shards=min(4, max(1, self.n_sites)), adaptive=True)
+        if workload.charge_crypto:
+            # Charge the real pipeline the same measured per-attach cost
+            # the scripted broker model charges: `_cost_scale` stretches
+            # every calibrated stage proportionally, so modeled and
+            # scripted service times agree by construction.
+            costs = dict(self.brokerd.processing_costs)
+            costs[BrokerAuthRequest] = workload.broker.service_cost
+            self.brokerd.processing_costs = costs
+
+        def _link(name, a, b, delay_s):
+            link = Link(sim, name, a, b,
+                        bandwidth_bps=REAL_SIGNALING_BANDWIDTH,
+                        delay_s=delay_s)
+            a.add_route(b.address.rsplit(".", 1)[0], link)
+            b.add_route(a.address.rsplit(".", 1)[0], link)
+            return link
+
+        self.ran_hosts: list = []
+        qos = QosCapabilities(supported_qcis=(1, 8, 9))
+        for index in range(self.n_sites):
+            ran_host = Host(sim, f"mega-site{index}-ran",
+                            address=f"10.40.{index}.1")
+            core_host = Host(sim, f"mega-site{index}-core",
+                             address=f"10.41.{index}.1")
+            key = keypool.pooled_keypair(_REAL_SLOT_BASE + 3 + index)
+            certificate = ca.issue(f"t.mega-{index}", "btelco",
+                                   key.public_key)
+            if rat == "lte":
+                agw = CellBricksAgw(
+                    core_host, broker_ip=REAL_BROKER_ADDRESS,
+                    id_t=f"t.mega-{index}", key=key,
+                    certificate=certificate,
+                    ca_public_key=ca.public_key, qos_capabilities=qos,
+                    name=f"mega-site{index}-agw",
+                    ue_pool_prefix=f"10.44.{index}")
+                agw.trust_broker("b.mega", self.brokerd.public_key)
+                ENodeB(ran_host, agw_ip=core_host.address,
+                       name=f"mega-site{index}-enb")
+            else:
+                smf_host = Host(sim, f"mega-site{index}-smf",
+                                address=f"10.42.{index}.1")
+                smf = Smf(smf_host, name=f"mega-site{index}-smf",
+                          ue_pool_prefix=f"10.44.{index}")
+                amf = CellBricksAmf(
+                    core_host, broker_ip=REAL_BROKER_ADDRESS,
+                    smf_ip=smf_host.address, id_t=f"t.mega-{index}",
+                    key=key, certificate=certificate,
+                    ca_public_key=ca.public_key, qos_capabilities=qos,
+                    name=f"mega-site{index}-amf")
+                amf.trust_broker("b.mega", self.brokerd.public_key)
+                ENodeB(ran_host, agw_ip=core_host.address,
+                       name=f"mega-site{index}-gnb")
+                _link(f"mega-site{index}-smf-link", core_host, smf_host,
+                      0.0002)
+            _link(f"mega-site{index}-backhaul", ran_host, core_host,
+                  0.00015)
+            _link(f"mega-site{index}-broker", core_host, broker_host,
+                  0.0025)
+            self.ran_hosts.append(ran_host)
+
+        ue_key = keypool.pooled_keypair(_REAL_SLOT_BASE + 2)  # sim-only
+        ue_class = CellBricksUe if rat == "lte" else CellBricksUe5G
+        self.ues: dict = {}
+        for slot, uid in enumerate(self.uids):
+            ue_host = Host(sim, f"mega-ue{uid}",
+                           address=allocator.address(slot))
+            # Radio links to every *distinct* real site the script
+            # visits (the host-driven retarget keeps the same host).
+            for site in sorted(self._visited_sites(uid)):
+                _link(f"mega-radio{uid}-{site}", ue_host,
+                      self.ran_hosts[site], 0.0001)
+            subscriber = f"mega-{uid:07d}"
+            self.brokerd.enroll_subscriber(subscriber, ue_key.public_key)
+            creds = UeSapCredentials(
+                id_u=subscriber, id_b="b.mega", ue_key=ue_key,
+                broker_public_key=self.brokerd.public_key)
+            first = self._real_site(uid, 0)
+            ue = ue_class(ue_host, self.ran_hosts[first].address, creds,
+                          target_id_t=f"t.mega-{first}",
+                          name=f"mega-cb-ue{uid}")
+            ue.on_attach_done = \
+                lambda result, _uid=uid: self._attach_done(_uid, result)
+            self.ues[uid] = ue
+
+        # -- cohort outcome counters (separate from the scripted ones) --
+        self.arrived = 0
+        self.attach_ok = 0
+        self.attach_failures = 0
+        self.moves = 0
+        self.departed = 0
+        self.latencies_ms: list[float] = []
+
+    # -- script mapping ---------------------------------------------------
+    def _real_site(self, uid: int, seg: int) -> int:
+        w = self.workload
+        code = w.script_codes[w.script_off[uid] + seg]
+        return (code >> (2 * _SEG_BITS)) % self.n_sites
+
+    def _visited_sites(self, uid: int) -> set:
+        w = self.workload
+        return {self._real_site(uid, seg) for seg in
+                range(w.script_off[uid + 1] - w.script_off[uid])}
+
+    # -- lifecycle (driven through the workload's engine) -----------------
+    def on_wake(self, uid: int, action: int, token: int) -> None:
+        if action == A_REAL_ARRIVE:
+            self.arrived += 1
+            self.ues[uid].attach()
+            return
+        # A_REAL_SEG
+        if token != self.workload.ue_epoch[uid]:
+            return
+        self._segment_end(uid)
+
+    def _attach_done(self, uid: int, result) -> None:
+        w = self.workload
+        if not result.success:
+            # Terminal SAP failure: the cohort UE's lifecycle ends here
+            # (the real stack already burned its retry budget).
+            self.attach_failures += 1
+            return
+        self.attach_ok += 1
+        # For 5G this is the registration leg (session setup follows
+        # asynchronously), matching Fig 7's attach clock on both RATs.
+        self.latencies_ms.append(round(result.latency * 1000.0, 4))
+        code = w.script_codes[w.script_off[uid] + w.ue_seg[uid]]
+        dwell_ticks = (code >> _SEG_BITS) & _SEG_MASK
+        # Attach completions are not tick-aligned: round up so the
+        # segment-end wake is strictly in the future.
+        idx = int(w.sim.now / w.tick) + 1 + dwell_ticks
+        w.engine.wake(idx, uid,
+                      _M_REAL_SEG | (w.ue_epoch[uid] << _ARG_BITS))
+
+    def _segment_end(self, uid: int) -> None:
+        w = self.workload
+        ue = self.ues[uid]
+        ue.detach_and_forget()
+        w.ue_epoch[uid] += 1
+        nxt = w.ue_seg[uid] + 1
+        if w.script_off[uid] + nxt >= w.script_off[uid + 1]:
+            self.departed += 1
+            return
+        w.ue_seg[uid] = nxt
+        self.moves += 1
+        site = self._real_site(uid, nxt)
+        ue.retarget(self.ran_hosts[site].address, f"t.mega-{site}")
+        ue.attach()
+
+    # -- reporting --------------------------------------------------------
+    def summary(self) -> dict:
+        lat = self.latencies_ms
+        stats = self.brokerd.stats()
+        return {
+            "count": len(self.uids),
+            "rat": self.rat,
+            "sites": self.n_sites,
+            "arrived": self.arrived,
+            "attach_ok": self.attach_ok,
+            "attach_failures": self.attach_failures,
+            "moves": self.moves,
+            "departed": self.departed,
+            "attach_ms_mean": round(mean(lat), 4) if lat else 0.0,
+            "attach_ms_p50": round(percentile(lat, 50), 4) if lat
+            else 0.0,
+            "attach_ms_p99": round(percentile(lat, 99), 4) if lat
+            else 0.0,
+            "broker_attach_ok": stats["attach_ok"],
+            "broker_pipeline_batches": stats["pipeline_batches"],
+            "broker_pipeline_requests": stats["pipeline_requests"],
+        }
 
 
 class MegaloadWorkload:
@@ -230,9 +497,24 @@ class MegaloadWorkload:
 
     def __init__(self, *, ues: int, sites: int, duration: float,
                  tick: float, seed: int, engine: str,
-                 adaptive: bool, compaction: bool):
+                 adaptive: bool, compaction: bool,
+                 real_fraction: float = 0.0, real_rat: str = "lte",
+                 real_sites: int = 4,
+                 charge_crypto: Optional[bool] = None):
         if engine not in ("legacy", "optimized"):
             raise ValueError(f"unknown engine {engine!r}")
+        if not 0.0 <= real_fraction <= 1.0:
+            raise ValueError(f"real_fraction {real_fraction} not in [0,1]")
+        if sites >= 1 << _SEG_BITS \
+                or round(DWELL_MAX / tick) >= 1 << _SEG_BITS \
+                or round(POKE_GAP_MAX / tick) >= 1 << _SEG_BITS:
+            raise ValueError(
+                "site index or tick counts overflow the 21-bit script "
+                "segment fields (tick too fine or too many sites)")
+        # Population delta baseline: everything the workload allocates
+        # from here on (columns, scripts, buckets, latencies) shows up
+        # in rss_per_ue_bytes.
+        self._rss_before = _peak_rss_bytes()
         self.ues = ues
         self.n_sites = sites
         self.duration = duration
@@ -240,12 +522,45 @@ class MegaloadWorkload:
         self.seed = seed
         self.engine_name = engine
         self.adaptive = adaptive
+        self.real_fraction = real_fraction
+        self.real_rat = real_rat
+        if charge_crypto is None:
+            charge_crypto = real_fraction > 0
+        self.charge_crypto = charge_crypto
+        self.crypto_costs: Optional[dict] = None
+        service_cost = BROKER_ATTACH_COST
+        if charge_crypto:
+            from repro.crypto.simcost import measure_crypto_costs
+
+            self.crypto_costs = measure_crypto_costs()
+            service_cost = self.crypto_costs["attach_cost_s"]
         self.sim = Simulator(compaction=compaction)
         dispatch = self._dispatch
         self.engine = (_BatchedEngine if engine == "optimized"
                        else _LegacyEngine)(self.sim, tick, dispatch)
+        #: bound once — `engine.wake` runs several times per action.
+        self._wake = self.engine.wake
         window = AdaptiveBatchWindow() if adaptive else None
-        self.broker = _MegaBroker(self.sim, self.engine, tick, window)
+        # -- struct-of-arrays population state ----------------------------
+        n = ues
+        self.ue_seg = array("b", bytes(n))            # segment cursor
+        self.ue_site = array("i", [-1]) * n           # attached site
+        self.ue_epoch = array("h", bytes(2 * n))      # detach generation
+        self.ue_idle_token = array("h", bytes(2 * n))  # idle re-arm token
+        self.ue_retried = array("b", bytes(n))        # retry flag
+        self.ue_attach_started = array("d", bytes(8 * n))
+        #: packed (site, dwell_ticks, poke_gap_ticks) segment codes for
+        #: the whole population; uid's script is the slice
+        #: ``script_codes[script_off[uid]:script_off[uid+1]]``.
+        self.script_codes = array("q")
+        self.script_off = array("i", bytes(4 * (n + 1)))
+        #: legacy engine only: the cancellable idle event per uid (the
+        #: batched engine invalidates by token instead).
+        self._idle_events = [None] * n if self.engine.cancellable \
+            else None
+        self.broker = _MegaBroker(self.sim, self.engine, tick, window,
+                                  self.ue_epoch,
+                                  service_cost=service_cost)
         # -- site admission state -----------------------------------------
         self.site_attached = [0] * sites
         self.site_capacity = max(8, int(math.ceil(
@@ -260,10 +575,22 @@ class MegaloadWorkload:
         self.idle_detaches = 0
         self.departed = 0
         self.actions = 0
-        self.attach_latencies_ms: list[float] = []
+        self.attach_latencies_ms = array("d")
         self._idle_ticks = max(1, round(IDLE_TIMEOUT / tick))
         self.kpi_collector = None
-        self._population = self._build_population()
+        # -- mixed-fidelity cohort ----------------------------------------
+        self._real_uids = frozenset()
+        if real_fraction > 0:
+            count = max(1, round(ues * real_fraction))
+            stride = max(1, ues // count)
+            self._real_uids = frozenset(range(0, stride * count,
+                                              stride)[:count])
+        self.real_cohort: Optional[_RealCohort] = None
+        self._build_population()
+        if self._real_uids:
+            self.real_cohort = _RealCohort(
+                self, sorted(self._real_uids), rat=real_rat,
+                sites=real_sites)
 
     # -- fleet KPIs --------------------------------------------------------
     def attach_kpi_collector(self, store, interval: float = 1.0):
@@ -295,16 +622,29 @@ class MegaloadWorkload:
             "max_load": max(self.site_attached),
             "loaded_sites": sum(1 for n in self.site_attached if n > 0),
         })
+        cohort = self.real_cohort
+        if cohort is not None:
+            collector.add_counter_probe("real_cohort", lambda: {
+                "arrived": cohort.arrived,
+                "attach_ok": cohort.attach_ok,
+                "attach_failures": cohort.attach_failures,
+                "moves": cohort.moves,
+                "departed": cohort.departed,
+            })
+            collector.add_latency_gauge(
+                "real_cohort_latency", lambda: cohort.latencies_ms)
         self.kpi_collector = collector
         return collector
 
     # -- population script ------------------------------------------------
-    def _build_population(self) -> list[_Ue]:
+    def _build_population(self) -> None:
         """Precompute every UE's lifecycle from one seeded RNG.
 
         All randomness is consumed here, in uid order, before the clock
         starts: execution itself is purely deterministic state stepping,
         which is what lets the two engines replay identical outcomes.
+        The script lands directly in the packed SoA columns — no per-UE
+        object or tuple survives this loop.
         """
         rng = random.Random(self.seed)
         policy = TimeOfDayPolicy()
@@ -313,7 +653,12 @@ class MegaloadWorkload:
         time_scale = 24.0 * SECONDS_PER_HOUR / self.duration
         span = self.duration * ARRIVAL_SPAN
         tick = self.tick
-        population = []
+        n_sites = self.n_sites
+        codes = self.script_codes
+        append = codes.append
+        off = self.script_off
+        wake = self.engine.wake
+        real_uids = self._real_uids
         for uid in range(self.ues):
             # Diurnal thinning: candidates during the night window are
             # accepted at NIGHT_INTENSITY (fewer users awake).
@@ -327,122 +672,154 @@ class MegaloadWorkload:
             r = rng.random()
             moves = 0 if r < 0.30 else 1 if r < 0.65 else 2 if r < 0.90 \
                 else 3
-            script = []
             for _ in range(moves + 1):
-                site = rng.randrange(self.n_sites)
+                site = rng.randrange(n_sites)
                 dwell_ticks = max(1, round(
                     rng.uniform(DWELL_MIN, DWELL_MAX) / tick))
                 poke_gap_ticks = max(1, round(
                     rng.uniform(POKE_GAP_MIN, POKE_GAP_MAX) / tick))
-                script.append((site, dwell_ticks, poke_gap_ticks))
-            ue = _Ue(uid, tuple(script))
-            self.engine.wake(arrival_idx, ue, A_ARRIVE, 0)
-            population.append(ue)
-        return population
+                append((site << (2 * _SEG_BITS))
+                       | (dwell_ticks << _SEG_BITS) | poke_gap_ticks)
+            off[uid + 1] = len(codes)
+            meta = _M_REAL_ARRIVE if uid in real_uids else _M_ARRIVE
+            wake(arrival_idx, uid, meta)
 
     # -- execution ---------------------------------------------------------
     def _now_idx(self) -> int:
-        return int(self.sim.now / self.tick + 0.5)
+        # Reads the simulator's private clock field: the `now` property
+        # is a function call, and this runs once per effective action.
+        return int(self.sim._now / self.tick + 0.5)
 
-    def _dispatch(self, ue: _Ue, action: int, token: int,
-                  arg: int) -> None:
+    def _dispatch(self, uid: int, meta: int) -> None:
         # `actions` counts *effective* lifecycle steps only — stale
         # wakeups (token mismatch) are bookkeeping noise whose volume
         # differs between engines (legacy cancels them out of the heap,
         # batched lets them fall through), so counting them would break
-        # the cross-engine parity the digests pin.
+        # the cross-engine parity the digests pin.  Field decodes are
+        # deferred into the branches that need them.
+        action = meta >> _ACTION_SHIFT
+        epoch = self.ue_epoch
         if action == A_POKE:
             # Keep-alive: re-arm the idle timer (the timer-churn pattern
             # that litters the legacy heap with cancelled entries).
-            if token != ue.epoch:
+            if (meta >> _ARG_BITS) & _TOKEN_MASK != epoch[uid]:
                 return
             self.actions += 1
-            self._arm_idle(ue)
+            self._arm_idle(uid)
+            arg = meta & _ARG_MASK
             if arg > 0:
-                seg = ue.script[ue.seg]
-                self.engine.wake(self._now_idx() + seg[2], ue, A_POKE,
-                                 ue.epoch, arg - 1)
+                seg = self.script_codes[self.script_off[uid]
+                                        + self.ue_seg[uid]]
+                self._wake(
+                    self._now_idx() + (seg & _SEG_MASK), uid,
+                    _M_POKE | (epoch[uid] << _ARG_BITS) | (arg - 1))
             return
         if action == A_ARRIVE:
             self.actions += 1
             self.arrived += 1
-            self._start_attach(ue)
+            self.ue_attach_started[uid] = self.sim._now
+            self.broker.submit(uid)
             return
         if action == A_ATTACH_DONE:
-            if token != ue.epoch:
+            if (meta >> _ARG_BITS) & _TOKEN_MASK != epoch[uid]:
                 return
             self.actions += 1
-            self._attach_done(ue)
+            self._attach_done(uid)
             return
         if action == A_IDLE:
-            if token != ue.epoch or arg != ue.idle_token:
+            if (meta >> _ARG_BITS) & _TOKEN_MASK != epoch[uid] \
+                    or meta & _ARG_MASK != self.ue_idle_token[uid]:
                 return
             self.actions += 1
-            self._detach(ue)
+            self._detach(uid)
             self.idle_detaches += 1
             return
-        # A_SEG_END
-        if token != ue.epoch:
+        if action == A_SEG_END:
+            if (meta >> _ARG_BITS) & _TOKEN_MASK != epoch[uid]:
+                return
+            self.actions += 1
+            self._detach(uid)
+            nxt = self.ue_seg[uid] + 1
+            if self.script_off[uid] + nxt < self.script_off[uid + 1]:
+                self.ue_seg[uid] = nxt
+                self.moves += 1
+                self._start_attach(uid)
+            else:
+                self.departed += 1
             return
-        self.actions += 1
-        self._detach(ue)
-        if ue.seg + 1 < len(ue.script):
-            ue.seg += 1
-            self.moves += 1
-            self._start_attach(ue)
+        # A_REAL_* — the mixed-fidelity cohort runs the real SAP stack.
+        self.real_cohort.on_wake(uid, action,
+                                 (meta >> _ARG_BITS) & _TOKEN_MASK)
+
+    def _start_attach(self, uid: int) -> None:
+        self.ue_attach_started[uid] = self.sim._now
+        self.ue_retried[uid] = 0
+        self.broker.submit(uid)
+
+    def _attach_done(self, uid: int) -> None:
+        site_attached = self.site_attached
+        if self.ue_retried[uid]:
+            site = self.ue_site[uid]
         else:
-            self.departed += 1
-
-    def _start_attach(self, ue: _Ue) -> None:
-        ue.attach_started = self.sim.now
-        ue.retried = False
-        self.broker.submit(ue)
-
-    def _attach_done(self, ue: _Ue) -> None:
-        site = ue.script[ue.seg][0] if not ue.retried else ue.site
-        if self.site_attached[site] >= self.site_capacity:
+            site = self.script_codes[self.script_off[uid]
+                                     + self.ue_seg[uid]] >> (2 * _SEG_BITS)
+        if site_attached[site] >= self.site_capacity:
             self.attach_failures += 1
-            if ue.retried:
+            if self.ue_retried[uid]:
                 self.gave_up += 1
                 return
             # One deterministic retry against the neighbouring site.
-            ue.retried = True
+            self.ue_retried[uid] = 1
             self.retries += 1
-            ue.site = (site + 1) % self.n_sites
-            self.broker.submit(ue)
+            self.ue_site[uid] = (site + 1) % self.n_sites
+            self.broker.submit(uid)
             return
-        ue.site = site
-        self.site_attached[site] += 1
+        self.ue_site[uid] = site
+        site_attached[site] += 1
         self.attach_ok += 1
-        latency_ms = (self.sim.now - ue.attach_started) * 1000.0
+        latency_ms = (self.sim._now
+                      - self.ue_attach_started[uid]) * 1000.0
         self.attach_latencies_ms.append(round(latency_ms, 4))
         now_idx = self._now_idx()
-        _, dwell_ticks, poke_gap_ticks = ue.script[ue.seg]
-        self.engine.wake(now_idx + dwell_ticks, ue, A_SEG_END, ue.epoch)
+        seg = self.script_codes[self.script_off[uid] + self.ue_seg[uid]]
+        dwell_ticks = (seg >> _SEG_BITS) & _SEG_MASK
+        poke_gap_ticks = seg & _SEG_MASK
+        token_field = self.ue_epoch[uid] << _ARG_BITS
+        wake = self._wake
+        wake(now_idx + dwell_ticks, uid, _M_SEG_END | token_field)
         pokes = min(MAX_POKES_PER_SEGMENT, dwell_ticks // poke_gap_ticks)
         if pokes > 0:
-            self.engine.wake(now_idx + poke_gap_ticks, ue, A_POKE,
-                             ue.epoch, pokes - 1)
-        self._arm_idle(ue)
+            wake(now_idx + poke_gap_ticks, uid,
+                 _M_POKE | token_field | (pokes - 1))
+        self._arm_idle(uid)
 
-    def _arm_idle(self, ue: _Ue) -> None:
-        ue.idle_token += 1
-        if self.engine.cancellable and ue.idle_event is not None:
-            # The Timer.start idiom: cancel the previous deadline, push
-            # a fresh one — the dead entry stays in the heap.
-            ue.idle_event.cancel()
-        ue.idle_event = self.engine.wake(
-            self._now_idx() + self._idle_ticks, ue, A_IDLE, ue.epoch,
-            ue.idle_token)
+    def _arm_idle(self, uid: int) -> None:
+        idle_tokens = self.ue_idle_token
+        token = idle_tokens[uid] + 1
+        idle_tokens[uid] = token
+        meta = _M_IDLE | (self.ue_epoch[uid] << _ARG_BITS) | token
+        idx = self._now_idx() + self._idle_ticks
+        events = self._idle_events
+        if events is None:
+            self._wake(idx, uid, meta)
+            return
+        # The Timer.start idiom: cancel the previous deadline, push a
+        # fresh one — the dead entry stays in the legacy heap.
+        prev = events[uid]
+        if prev is not None:
+            prev.cancel()
+        events[uid] = self._wake(idx, uid, meta)
 
-    def _detach(self, ue: _Ue) -> None:
-        if ue.site >= 0:
-            self.site_attached[ue.site] -= 1
-            ue.site = -1
-        ue.epoch += 1
-        if self.engine.cancellable and ue.idle_event is not None:
-            ue.idle_event.cancel()
-            ue.idle_event = None
+    def _detach(self, uid: int) -> None:
+        site = self.ue_site[uid]
+        if site >= 0:
+            self.site_attached[site] -= 1
+            self.ue_site[uid] = -1
+        self.ue_epoch[uid] += 1
+        events = self._idle_events
+        if events is not None and events[uid] is not None:
+            events[uid].cancel()
+            events[uid] = None
 
     def run(self) -> dict:
         """Execute to completion; returns the cell dict for the report."""
@@ -482,14 +859,20 @@ class MegaloadWorkload:
             "attach_ms_p99": round(percentile(latencies, 99), 4)
             if latencies else 0.0,
         }
+        # Mixed-fidelity keys appear ONLY when the feature is on, so a
+        # --real-fraction 0 run keeps the byte-identical baseline digest.
+        if self.real_cohort is not None:
+            workload["real_fraction"] = self.real_fraction
+            workload["real_cohort"] = self.real_cohort.summary()
+        if self.charge_crypto:
+            workload["crypto_charging"] = {
+                "attach_cost_s": self.broker.service_cost,
+                "sign_ms": self.crypto_costs["sign_ms"],
+                "verify_ms": self.crypto_costs["verify_ms"],
+            }
         digest = hashlib.sha256(json.dumps(
             workload, sort_keys=True).encode()).hexdigest()
-        peak_rss_mb = 0.0
-        if resource is not None:
-            usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-            # Linux reports KiB, macOS bytes.
-            peak_rss_mb = round(usage / 1024.0 if usage < 1 << 34
-                                else usage / (1024.0 * 1024.0), 2)
+        peak_rss = _peak_rss_bytes()
         perf = {
             "wall_s": round(wall, 4),
             "ues_per_sec": round(self.ues / wall, 1),
@@ -499,7 +882,15 @@ class MegaloadWorkload:
             "events_scheduled": self.sim.events_scheduled,
             "peak_event_queue": self.sim.peak_queue,
             "heap_compactions": self.sim.compactions,
-            "peak_rss_mb": peak_rss_mb,
+            "peak_rss_mb": round(peak_rss / (1024.0 * 1024.0), 2),
+            # Peak-RSS growth across this workload's lifetime, per UE —
+            # the SoA memory gate.  Only meaningful for the first cell
+            # of a process (peak RSS never shrinks), which is why
+            # run_megaload leads with the optimized engine.
+            "rss_per_ue_bytes": round(
+                max(0.0, peak_rss - self._rss_before) / self.ues, 1),
+            "broker_service_cost_s": self.broker.service_cost,
+            "broker_busy_s": round(self.broker.busy_s, 6),
         }
         return {
             "engine": self.engine_name,
@@ -515,11 +906,18 @@ def run_cell(*, ues: int = 100_000, sites: int = 256,
              engine: str = "optimized",
              adaptive: Optional[bool] = None,
              compaction: Optional[bool] = None,
+             real_fraction: float = 0.0, real_rat: str = "lte",
+             real_sites: int = 4, charge_crypto: Optional[bool] = None,
              kpi_store=None, kpi_interval: float = 1.0) -> dict:
     """Run one megaload cell.  ``adaptive``/``compaction`` default to the
     engine's natural configuration (legacy = fixed window, no
     compaction; optimized = adaptive window, compaction on) but can be
-    pinned for apples-to-apples engine-equivalence checks.  With
+    pinned for apples-to-apples engine-equivalence checks.
+    ``real_fraction`` samples that slice of the population into the
+    full-fidelity SAP cohort (``real_rat`` selects the stack,
+    ``real_sites`` sizes its RAN); any real cohort implies
+    ``charge_crypto`` — measured RSA service times replace the
+    calibrated constant in the scripted broker model.  With
     ``kpi_store`` (a :class:`~repro.obs.fleet.FleetKpiStore`), a
     read-only collector samples workload/broker/site KPIs every
     ``kpi_interval`` sim-seconds — the workload digest is unaffected."""
@@ -529,7 +927,9 @@ def run_cell(*, ues: int = 100_000, sites: int = 256,
         compaction = engine == "optimized"
     workload = MegaloadWorkload(
         ues=ues, sites=sites, duration=duration, tick=tick, seed=seed,
-        engine=engine, adaptive=adaptive, compaction=compaction)
+        engine=engine, adaptive=adaptive, compaction=compaction,
+        real_fraction=real_fraction, real_rat=real_rat,
+        real_sites=real_sites, charge_crypto=charge_crypto)
     if kpi_store is not None:
         workload.attach_kpi_collector(kpi_store, interval=kpi_interval)
     return workload.run()
@@ -538,17 +938,34 @@ def run_cell(*, ues: int = 100_000, sites: int = 256,
 def run_megaload(*, ues: int = 100_000, sites: int = 256,
                  duration: float = 60.0, tick: float = 0.05,
                  seed: int = 7,
-                 engines: tuple = ("legacy", "optimized")) -> dict:
+                 engines: tuple = ("optimized", "legacy"),
+                 real_fraction: float = 0.0, real_rat: str = "lte",
+                 real_sites: int = 4, kpi_store=None,
+                 kpi_interval: float = 1.0) -> dict:
     """The full report: one cell per engine plus the speedup row that the
-    CI smoke gate enforces (optimized vs the pre-optimization core)."""
+    CI smoke gate enforces (optimized vs the pre-optimization core).
+    The optimized engine runs first so its ``rss_per_ue_bytes`` profile
+    measures a cold process (peak RSS is monotonic per process).  The
+    mixed-fidelity knobs pass straight to :func:`run_cell`; with
+    ``kpi_store`` the *first* cell is sampled (one store holds one
+    cell's windows)."""
     cells = [run_cell(ues=ues, sites=sites, duration=duration, tick=tick,
-                      seed=seed, engine=engine) for engine in engines]
+                      seed=seed, engine=engine,
+                      real_fraction=real_fraction, real_rat=real_rat,
+                      real_sites=real_sites,
+                      kpi_store=kpi_store if index == 0 else None,
+                      kpi_interval=kpi_interval)
+             for index, engine in enumerate(engines)]
     report = {
         "bench": "megaload",
         "config": {"ues": ues, "sites": sites, "duration_s": duration,
                    "tick_s": tick, "seed": seed},
         "cells": cells,
     }
+    if real_fraction > 0:
+        report["config"]["real_fraction"] = real_fraction
+        report["config"]["real_rat"] = real_rat
+        report["config"]["real_sites"] = real_sites
     by_engine = {cell["engine"]: cell for cell in cells}
     if "legacy" in by_engine and "optimized" in by_engine:
         legacy = by_engine["legacy"]["perf"]

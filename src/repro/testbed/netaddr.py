@@ -1,0 +1,62 @@
+"""Host-prefix allocation for testbed fleets.
+
+Several harnesses give every simulated UE its own host with a unique
+/24 prefix (routing in :mod:`repro.net` is an exact string match on the
+first three octets).  Historical schemes concatenated the slot into a
+single octet position (``f"10.22{slot}.0.2"``), which silently caps a
+fleet at 10 slots and produces pseudo-octets like ``10.2210.0.2`` past
+it.  :class:`HostPrefixAllocator` spreads slots across a /16-style
+block instead: slot ``s`` maps to ``10.<base+s//256>.<s%256>``, giving
+``span * 256`` distinct /24 prefixes per allocator.
+
+Allocator blocks in use (keep new ones disjoint):
+
+======================  ==========  ==============================
+harness                 base_octet  second-octet range
+======================  ==========  ==============================
+fleet_drive UEs/probes  64          10.64 – 10.71 (span 8)
+megaload real cohort    96          10.96 – 10.103 (span 8)
+======================  ==========  ==============================
+"""
+
+from __future__ import annotations
+
+
+class HostPrefixAllocator:
+    """Maps integer slots to unique ``10.x.y`` /24 prefixes.
+
+    ``base_octet`` picks the block (second octet of the first /24);
+    ``span`` is how many second-octet values the block may consume, so
+    capacity is ``span * 256`` slots.  ``address(slot)`` appends the
+    fixed ``host_octet`` to the slot's prefix.
+    """
+
+    def __init__(self, base_octet: int, *, span: int = 8,
+                 host_octet: int = 2):
+        if not 1 <= base_octet <= 255:
+            raise ValueError(f"base_octet {base_octet} out of range")
+        if span < 1 or base_octet + span - 1 > 255:
+            raise ValueError(
+                f"span {span} overflows the second octet from "
+                f"{base_octet}")
+        if not 1 <= host_octet <= 254:
+            raise ValueError(f"host_octet {host_octet} out of range")
+        self.base_octet = base_octet
+        self.span = span
+        self.host_octet = host_octet
+
+    @property
+    def capacity(self) -> int:
+        """Distinct /24 prefixes this allocator can hand out."""
+        return self.span * 256
+
+    def prefix(self, slot: int) -> str:
+        """The /24 prefix for ``slot`` (three octets, no trailing dot)."""
+        if not 0 <= slot < self.capacity:
+            raise ValueError(
+                f"slot {slot} out of range (capacity {self.capacity})")
+        return f"10.{self.base_octet + slot // 256}.{slot % 256}"
+
+    def address(self, slot: int) -> str:
+        """The host address for ``slot``: ``<prefix>.<host_octet>``."""
+        return f"{self.prefix(slot)}.{self.host_octet}"

@@ -218,3 +218,79 @@ class TestMegaload:
     def test_rejects_unknown_engine(self):
         with pytest.raises(ValueError):
             run_cell(engine="warp", **SMALL)
+
+
+class TestRssUnits:
+    """``ru_maxrss`` is KiB on Linux but bytes on macOS — the report
+    must normalize per platform instead of guessing from magnitude."""
+
+    def test_linux_maxrss_is_kib(self):
+        from repro.testbed.megaload import _rss_bytes
+        assert _rss_bytes(2048, platform="linux") == 2048 * 1024.0
+
+    def test_darwin_maxrss_is_bytes(self):
+        from repro.testbed.megaload import _rss_bytes
+        assert _rss_bytes(2048, platform="darwin") == 2048.0
+
+    def test_large_linux_value_not_misread_as_bytes(self):
+        from repro.testbed.megaload import _rss_bytes
+        # 32 GiB in KiB units: the old magnitude heuristic flipped to
+        # byte units here and under-reported by 1024x.
+        raw_kib = 32 * 1024 * 1024 * 1024 // 1024
+        assert _rss_bytes(raw_kib, platform="linux") == \
+            32 * 1024 ** 3 * 1.0
+
+
+# A mixed-fidelity micro-cell: 4 real UEs riding a 400-UE scripted
+# population (big enough for moves/failures, small enough for CI).
+MIXED = dict(ues=400, sites=8, duration=20.0, tick=0.05, seed=13,
+             engine="optimized", real_fraction=0.01, real_sites=2)
+
+
+class TestMixedFidelity:
+    @pytest.mark.parametrize("rat", ["lte", "5g"])
+    def test_two_seeded_runs_identical(self, rat):
+        first = run_cell(real_rat=rat, **MIXED)
+        second = run_cell(real_rat=rat, **MIXED)
+        assert first["digest"] == second["digest"]
+        assert first["workload"]["real_cohort"] == \
+            second["workload"]["real_cohort"]
+        assert first["workload"] == second["workload"]
+
+    def test_cohort_runs_the_real_attach_path(self):
+        cell = run_cell(**MIXED)
+        cohort = cell["workload"]["real_cohort"]
+        assert cohort["count"] == 4          # round(400 * 0.01)
+        assert cohort["arrived"] == 4
+        assert cohort["attach_ok"] > 0
+        assert cohort["broker_pipeline_requests"] > 0
+        if cohort["attach_ok"]:
+            assert cohort["attach_ms_p99"] >= cohort["attach_ms_p50"] > 0
+
+    def test_charged_service_time_matches_scripted_busy(self):
+        cell = run_cell(**MIXED)
+        perf = cell["perf"]
+        charged = perf["broker_service_cost_s"] \
+            * cell["workload"]["broker_requests"]
+        assert perf["broker_busy_s"] == pytest.approx(charged, abs=1e-5)
+        # Charging replaced the calibrated constant with the measured
+        # crypto cost, and the report says so.
+        charging = cell["workload"]["crypto_charging"]
+        assert charging["attach_cost_s"] == perf["broker_service_cost_s"]
+        assert charging["sign_ms"] > 0
+
+    def test_real_fraction_zero_keeps_plain_report(self):
+        cell = run_cell(engine="optimized", **SMALL)
+        assert "real_cohort" not in cell["workload"]
+        assert "real_fraction" not in cell["workload"]
+        assert "crypto_charging" not in cell["workload"]
+
+    def test_rejects_bad_real_fraction(self):
+        with pytest.raises(ValueError):
+            run_cell(engine="optimized", real_fraction=1.5, **SMALL)
+
+    def test_rejects_unknown_rat(self):
+        bad = dict(MIXED)
+        bad["real_rat"] = "6g"
+        with pytest.raises(ValueError):
+            run_cell(**bad)

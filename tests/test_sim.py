@@ -238,3 +238,81 @@ class TestTimer:
         assert timer.armed
         sim.run()
         assert not timer.armed
+
+
+class TestTickCalendar:
+    def _calendar(self, tick=0.1):
+        from repro.net.sim import TickCalendar
+        sim = Simulator()
+        fired = []
+        calendar = TickCalendar(sim, tick,
+                                lambda key, code: fired.append((key, code)))
+        return sim, calendar, fired
+
+    def test_dispatches_key_code_pairs_at_tick_time(self):
+        sim, calendar, fired = self._calendar(tick=0.5)
+        calendar.wake(4, 17, 3)
+        sim.run()
+        assert fired == [(17, 3)]
+        assert sim.now == 2.0   # 4 * 0.5
+
+    def test_code_defaults_to_zero(self):
+        sim, calendar, fired = self._calendar()
+        calendar.wake(1, 99)
+        sim.run()
+        assert fired == [(99, 0)]
+
+    def test_same_tick_preserves_append_order(self):
+        sim, calendar, fired = self._calendar()
+        calendar.wake(3, 2, 20)
+        calendar.wake(3, 1, 10)
+        calendar.wake(3, 3, 30)
+        sim.run()
+        assert fired == [(2, 20), (1, 10), (3, 30)]
+
+    def test_one_heap_event_per_occupied_tick(self):
+        sim, calendar, fired = self._calendar()
+        for key in range(100):
+            calendar.wake(5, key)
+        for key in range(50):
+            calendar.wake(9, key)
+        assert sim.events_scheduled == 2    # not 150
+        assert calendar.pending() == 150
+        sim.run()
+        assert len(fired) == 150
+        assert calendar.pending() == 0
+
+    def test_buckets_are_recycled_through_the_freelist(self):
+        sim, calendar, fired = self._calendar()
+        calendar.wake(1, 7, 70)
+        sim.run()
+        first_bucket = calendar._freelist[0]
+        calendar.wake(20, 8, 80)
+        assert calendar._buckets[20] is first_bucket
+        sim.run()
+        assert fired == [(7, 70), (8, 80)]
+
+    def test_wakes_queued_during_dispatch_land_on_later_ticks(self):
+        from repro.net.sim import TickCalendar
+        sim = Simulator()
+        fired = []
+        calendar = None
+
+        def dispatch(key, code):
+            fired.append((key, code))
+            if key == 1:
+                calendar.wake(10, 2, 0)
+
+        calendar = TickCalendar(sim, 0.1, dispatch)
+        calendar.wake(1, 1, 0)
+        sim.run()
+        assert fired == [(1, 0), (2, 0)]
+
+    def test_rejects_nonpositive_tick(self):
+        from repro.net.sim import TickCalendar
+        with pytest.raises(SimulationError):
+            TickCalendar(Simulator(), 0.0, lambda key, code: None)
+
+    def test_not_cancellable(self):
+        from repro.net.sim import TickCalendar
+        assert TickCalendar.cancellable is False
